@@ -1,0 +1,57 @@
+// Command daydream-bench regenerates the paper's evaluation: every table
+// and figure of §6 (Figures 5–10, §6.4, Tables 1–2), printed as aligned
+// text tables with paper-vs-measured notes.
+//
+// Usage:
+//
+//	daydream-bench            # run everything, in paper order
+//	daydream-bench -list      # list experiment IDs
+//	daydream-bench -run fig8  # run experiments whose ID contains "fig8"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"daydream/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "only run experiments whose ID contains this substring")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range exp.All() {
+		if *run != "" && !strings.Contains(e.ID, *run) {
+			continue
+		}
+		start := time.Now()
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "daydream-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.Format(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "daydream-bench:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "daydream-bench: no experiment matches -run %q (try -list)\n", *run)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,287 @@
+// Command daydream is the CLI front end to the Daydream reproduction:
+// collect a trace of a training iteration, inspect the dependency graph,
+// replay it, and ask what-if questions about optimizations.
+//
+// Usage:
+//
+//	daydream trace     -model resnet50 [-device 2080ti] [-framework pytorch] [-fp16] -o trace.json
+//	daydream graph     -trace trace.json
+//	daydream simulate  -trace trace.json
+//	daydream breakdown -trace trace.json
+//	daydream predict   -trace trace.json -opt amp|fusedadam|reconbn|distributed|p3 \
+//	                   [-machines 4 -gpus 2 -gbps 10] [-slice 819200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"daydream"
+	"daydream/internal/core"
+	"daydream/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "graph":
+		err = cmdGraph(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "breakdown":
+		err = cmdBreakdown(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "daydream: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "daydream:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: daydream <command> [flags]
+
+commands:
+  trace      profile one training iteration and write the trace as JSON
+  graph      build the dependency graph and print its statistics
+  simulate   replay the trace through Algorithm 1 (fidelity check)
+  breakdown  decompose the iteration into CPU-only/GPU-only/parallel time
+  predict    apply a what-if optimization and predict the iteration time
+  export     convert a trace to Chrome Trace Event JSON (chrome://tracing)
+  diagnose   attribute the critical path by resource and training phase`)
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	model := fs.String("model", "resnet50", "zoo model name")
+	device := fs.String("device", "2080ti", "device preset: 2080ti, p4000, v100")
+	fw := fs.String("framework", "pytorch", "framework dialect: pytorch, mxnet, caffe")
+	fp16 := fs.Bool("fp16", false, "collect under mixed precision")
+	seed := fs.Uint64("seed", 0, "jitter seed")
+	out := fs.String("o", "trace.json", "output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := daydream.Collect(daydream.CollectConfig{
+		Model: *model, Device: *device, Framework: *fw,
+		MixedPrecision: *fp16, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("traced %s on %s: iteration %v, %d activities, %d layer spans → %s\n",
+		tr.Model, tr.Device, tr.IterationTime, len(tr.Activities), len(tr.LayerSpans), *out)
+	return nil
+}
+
+func loadGraph(path string) (*trace.Trace, *daydream.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSON(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := daydream.BuildGraph(tr)
+	return tr, g, err
+}
+
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	path := fs.String("trace", "trace.json", "trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, g, err := loadGraph(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model=%s device=%s framework=%s precision=%s\n",
+		tr.Model, tr.Device, tr.Framework, tr.Precision)
+	fmt.Printf("tasks=%d edges=%d\n", g.NumTasks(), g.NumEdges())
+	for _, tid := range g.Threads() {
+		fmt.Printf("  %-14s %6d tasks\n", tid, len(g.ThreadTasks(tid)))
+	}
+	fmt.Printf("GPU tasks mapped to layers: %.1f%%\n", 100*core.MappedFraction(g))
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	path := fs.String("trace", "trace.json", "trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, g, err := loadGraph(*path)
+	if err != nil {
+		return err
+	}
+	got, err := g.PredictIteration()
+	if err != nil {
+		return err
+	}
+	diff := 100 * (float64(got-tr.IterationTime) / float64(tr.IterationTime))
+	fmt.Printf("traced iteration:    %v\n", tr.IterationTime)
+	fmt.Printf("simulated iteration: %v (%+.3f%%)\n", got, diff)
+	return nil
+}
+
+func cmdBreakdown(args []string) error {
+	fs := flag.NewFlagSet("breakdown", flag.ExitOnError)
+	path := fs.String("trace", "trace.json", "trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	b := daydream.ComputeBreakdown(tr)
+	total := b.Total()
+	row := func(name string, d time.Duration) {
+		fmt.Printf("%-10s %12v  %5.1f%%\n", name, d, 100*float64(d)/float64(total))
+	}
+	row("CPU+GPU", b.Parallel)
+	row("CPU-only", b.CPUOnly)
+	row("GPU-only", b.GPUOnly)
+	fmt.Printf("%-10s %12v\n", "total", total)
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	path := fs.String("trace", "trace.json", "trace file")
+	opt := fs.String("opt", "amp", "optimization: amp, fusedadam, reconbn, distributed, p3, upgrade")
+	device := fs.String("device", "v100", "target device for -opt upgrade")
+	machines := fs.Int("machines", 4, "machines (distributed/p3)")
+	gpus := fs.Int("gpus", 1, "GPUs per machine (distributed/p3)")
+	gbps := fs.Float64("gbps", 10, "network bandwidth in Gbps (distributed/p3)")
+	slice := fs.Int64("slice", 800<<10, "P3 slice size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, g, err := loadGraph(*path)
+	if err != nil {
+		return err
+	}
+	topo := daydream.NewTopology(*machines, *gpus, *gbps)
+	var predicted time.Duration
+	switch *opt {
+	case "amp":
+		_, predicted, err = daydream.Compare(g, func(c *daydream.Graph) error {
+			daydream.AMP(c)
+			return nil
+		})
+	case "fusedadam":
+		_, predicted, err = daydream.Compare(g, daydream.FusedAdam)
+	case "reconbn":
+		_, predicted, err = daydream.Compare(g, daydream.ReconBatchnorm)
+	case "distributed":
+		_, predicted, err = daydream.Compare(g, func(c *daydream.Graph) error {
+			return daydream.Distributed(c, topo)
+		})
+	case "p3":
+		predicted, err = daydream.P3Prediction(g, topo, *slice)
+	case "upgrade":
+		_, predicted, err = daydream.Compare(g, func(c *daydream.Graph) error {
+			return daydream.DeviceUpgrade(c, tr.Device, *device)
+		})
+	default:
+		return fmt.Errorf("unknown optimization %q", *opt)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline iteration:  %v\n", tr.IterationTime)
+	fmt.Printf("predicted with %s: %v (%.1f%% change)\n",
+		*opt, predicted, 100*(1-float64(predicted)/float64(tr.IterationTime)))
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	path := fs.String("trace", "trace.json", "trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, g, err := loadGraph(*path)
+	if err != nil {
+		return err
+	}
+	byResource, byPhase, err := daydream.Diagnose(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("critical path of one %s iteration (%v):\n", tr.Model, tr.IterationTime)
+	printAttribution := func(title string, as []daydream.PathAttribution) {
+		fmt.Printf("\nby %s:\n", title)
+		for _, a := range as {
+			fmt.Printf("  %-14s %12v  (%d tasks)\n", a.Label, a.Time, a.Tasks)
+		}
+	}
+	printAttribution("execution resource", byResource)
+	printAttribution("training phase", byPhase)
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	path := fs.String("trace", "trace.json", "trace file")
+	out := fs.String("o", "trace.chrome.json", "output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	o, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer o.Close()
+	if err := tr.WriteChromeTrace(o); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s — open in chrome://tracing or https://ui.perfetto.dev\n", *out)
+	return nil
+}

@@ -1,0 +1,282 @@
+package daydream
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/comm"
+	"daydream/internal/core"
+	"daydream/internal/dnn"
+	"daydream/internal/framework"
+	"daydream/internal/trace"
+	"daydream/internal/whatif"
+	"daydream/internal/xpu"
+)
+
+// Re-exported core types. Downstream code uses these aliases; the internal
+// packages stay private.
+type (
+	// Trace is a profiled training iteration (CUPTI-shaped records plus
+	// layer spans and gradient metadata).
+	Trace = trace.Trace
+	// Activity is one trace record.
+	Activity = trace.Activity
+	// Graph is the kernel-granularity dependency graph.
+	Graph = core.Graph
+	// Task is one node of the dependency graph.
+	Task = core.Task
+	// ThreadID identifies an execution thread (CPU thread, GPU stream
+	// or communication channel).
+	ThreadID = core.ThreadID
+	// SimResult is a simulation outcome (per-task start times and
+	// makespan).
+	SimResult = core.SimResult
+	// Scheduler overrides Algorithm 1's task-picking policy.
+	Scheduler = core.Scheduler
+	// Topology describes a data-parallel cluster.
+	Topology = comm.Topology
+	// Model is a DNN workload description.
+	Model = dnn.Model
+	// Device is an accelerator model.
+	Device = xpu.Device
+	// Breakdown is the CPU/GPU runtime decomposition of a trace.
+	Breakdown = trace.Breakdown
+)
+
+// CollectConfig configures trace collection on the synthetic substrate.
+type CollectConfig struct {
+	// Model is a zoo name: resnet50, vgg19, densenet121, gnmt,
+	// bert-base, bert-large. Exactly one of Model and CustomModel must
+	// be set.
+	Model string
+	// CustomModel profiles a caller-built model instead of a zoo one.
+	CustomModel *Model
+	// Device is a preset name: 2080ti (default), p4000, v100.
+	Device string
+	// Framework is the dialect: pytorch (default), mxnet, caffe.
+	Framework string
+	// MixedPrecision collects the trace under AMP instead of fp32.
+	MixedPrecision bool
+	// Seed perturbs the deterministic run-to-run jitter.
+	Seed uint64
+}
+
+// Collect profiles one training iteration and returns its trace — phase 1
+// of Daydream's workflow, standing in for CUPTI plus framework
+// instrumentation.
+func Collect(cfg CollectConfig) (*Trace, error) {
+	fcfg, err := frameworkConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fcfg.CollectTrace = true
+	res, err := framework.Run(*fcfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+func frameworkConfig(cfg CollectConfig) (*framework.Config, error) {
+	m := cfg.CustomModel
+	if m == nil {
+		if cfg.Model == "" {
+			return nil, fmt.Errorf("daydream: CollectConfig needs Model or CustomModel")
+		}
+		var err error
+		m, err = dnn.ByName(cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fcfg := framework.Config{Model: m, Seed: cfg.Seed}
+	if cfg.Device != "" {
+		dev, ok := xpu.DeviceByName(cfg.Device)
+		if !ok {
+			return nil, fmt.Errorf("daydream: unknown device %q (known: 2080ti, p4000, v100)", cfg.Device)
+		}
+		fcfg.Device = dev
+	}
+	switch cfg.Framework {
+	case "", "pytorch":
+	case "mxnet":
+		fcfg.Dialect = framework.MXNet
+	case "caffe":
+		fcfg.Dialect = framework.Caffe
+	default:
+		return nil, fmt.Errorf("daydream: unknown framework %q (known: pytorch, mxnet, caffe)", cfg.Framework)
+	}
+	if cfg.MixedPrecision {
+		fcfg.Precision = xpu.FP16
+	}
+	return &fcfg, nil
+}
+
+// BuildGraph constructs the kernel-granularity dependency graph from a
+// trace and applies the synchronization-free task-to-layer mapping —
+// phase 2 of Daydream's workflow.
+func BuildGraph(t *Trace) (*Graph, error) {
+	g, err := core.Build(t)
+	if err != nil {
+		return nil, err
+	}
+	core.MapLayers(g, t.LayerSpans)
+	return g, nil
+}
+
+// ModelByName builds a zoo model at its default batch size.
+func ModelByName(name string) (*Model, error) { return dnn.ByName(name) }
+
+// ModelNames lists the zoo.
+func ModelNames() []string { return dnn.Names() }
+
+// Gbps converts gigabits per second to bytes per second, for Topology
+// bandwidth fields.
+func Gbps(g float64) float64 { return comm.Gbps(g) }
+
+// NewTopology builds a cluster description with the defaults used in the
+// paper's evaluation (PCIe intra-machine links).
+func NewTopology(machines, gpusPerMachine int, gbps float64) Topology {
+	return Topology{
+		Machines:       machines,
+		GPUsPerMachine: gpusPerMachine,
+		NICBandwidth:   comm.Gbps(gbps),
+		IntraBandwidth: 11e9,
+		StepLatency:    15 * time.Microsecond,
+	}
+}
+
+// ComputeBreakdown decomposes a trace into CPU-only / GPU-only / CPU+GPU
+// runtime (the paper's Figure 6 analysis).
+func ComputeBreakdown(t *Trace) Breakdown { return trace.ComputeBreakdown(t) }
+
+// What-if transformations (paper §5). Each mutates the graph in place;
+// clone first to keep the baseline:
+//
+//	pred := g.Clone()
+//	daydream.AMP(pred)
+
+// AMP models automatic mixed precision (Algorithm 3).
+func AMP(g *Graph) { whatif.AMP(g) }
+
+// FusedAdam models Apex's fused Adam optimizer (Algorithm 4).
+func FusedAdam(g *Graph) error { return whatif.FusedAdam(g) }
+
+// ReconBatchnorm models batchnorm restructuring (Algorithm 5).
+func ReconBatchnorm(g *Graph) error {
+	return whatif.ReconBatchnorm(g, whatif.ReconBatchnormOptions{})
+}
+
+// Distributed predicts data-parallel training from a single-GPU profile
+// (Algorithm 6).
+func Distributed(g *Graph, topo Topology) error {
+	return whatif.Distributed(g, whatif.DistributedOptions{Topology: topo})
+}
+
+// P3Prediction predicts MXNet parameter-server training with
+// priority-based parameter propagation (Algorithm 7) and returns the
+// steady-state iteration time. sliceBytes == 0 selects P3's default slice
+// size; sliceBytes < 0 disables slicing and priorities, modeling the
+// plain FIFO parameter server (Figure 10's "Baseline").
+func P3Prediction(g *Graph, topo Topology, sliceBytes int64) (time.Duration, error) {
+	switch {
+	case sliceBytes == 0:
+		sliceBytes = 800 << 10
+	case sliceBytes < 0:
+		sliceBytes = 0 // whole tensors, FIFO order
+	}
+	res, err := whatif.P3(g.Clone(), whatif.P3Options{Topology: topo, SliceBytes: sliceBytes})
+	if err != nil {
+		return 0, err
+	}
+	sim, err := res.Graph.Simulate()
+	if err != nil {
+		return 0, err
+	}
+	return res.IterationTime(sim), nil
+}
+
+// DeviceUpgrade predicts the effect of moving the workload to a different
+// accelerator: compute-bound kernels scale by the FLOPS ratio,
+// memory-bound ones by the bandwidth ratio, copies by the PCIe ratio.
+// fromName must match the device the trace was collected on; names are
+// the device presets plus full marketing names.
+func DeviceUpgrade(g *Graph, fromName, toName string) error {
+	from, err := deviceByAnyName(fromName)
+	if err != nil {
+		return err
+	}
+	to, err := deviceByAnyName(toName)
+	if err != nil {
+		return err
+	}
+	return whatif.DeviceUpgrade(g, from, to)
+}
+
+// deviceByAnyName resolves short preset names and full marketing names.
+func deviceByAnyName(name string) (*xpu.Device, error) {
+	if d, ok := xpu.DeviceByName(name); ok {
+		return d, nil
+	}
+	for _, d := range []*xpu.Device{xpu.RTX2080Ti(), xpu.P4000(), xpu.V100()} {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("daydream: unknown device %q", name)
+}
+
+// KernelProfile carries externally measured kernel durations keyed by
+// name substring (paper §7.4: profile a new kernel once, feed the result
+// to Daydream instead of porting the kernel into the framework).
+type KernelProfile = whatif.KernelProfile
+
+// ApplyKernelProfile overwrites matching GPU task durations and returns
+// the number of tasks updated.
+func ApplyKernelProfile(g *Graph, p KernelProfile) int {
+	return whatif.ApplyKernelProfile(g, p)
+}
+
+// Footprint is an analytic training-memory estimate.
+type Footprint = dnn.Footprint
+
+// EstimateMemory estimates a model's training memory footprint.
+func EstimateMemory(m *Model) Footprint { return dnn.EstimateMemory(m) }
+
+// MaxBatchSize finds the largest batch whose estimated footprint fits in
+// memBytes, for a caller-supplied model builder.
+func MaxBatchSize(build func(batch int) *Model, memBytes int64) int {
+	return dnn.MaxBatchSize(build, memBytes)
+}
+
+// PathAttribution groups critical-path time.
+type PathAttribution = core.PathAttribution
+
+// Diagnose simulates the graph, extracts its critical path — the chain of
+// tasks that determines the iteration time — and attributes the path's
+// time by execution resource and by training phase. It answers "why did
+// my DNN training workload run slowly?" quantitatively.
+func Diagnose(g *Graph) (byResource, byPhase []PathAttribution, err error) {
+	res, err := g.Simulate()
+	if err != nil {
+		return nil, nil, err
+	}
+	path := core.CriticalPath(g, res)
+	return core.AttributePath(path, core.ByThreadKind),
+		core.AttributePath(path, core.ByPhase), nil
+}
+
+// Compare runs a what-if transformation on a clone of the baseline graph
+// and reports (baseline, predicted) iteration times.
+func Compare(g *Graph, transform func(*Graph) error) (baseline, predicted time.Duration, err error) {
+	baseline, err = g.Clone().PredictIteration()
+	if err != nil {
+		return 0, 0, err
+	}
+	c := g.Clone()
+	if err := transform(c); err != nil {
+		return 0, 0, err
+	}
+	predicted, err = c.PredictIteration()
+	return baseline, predicted, err
+}

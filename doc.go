@@ -1,0 +1,34 @@
+// Package daydream is a Go reproduction of "Daydream: Accurately
+// Estimating the Efficacy of Optimizations for DNN Training" (Zhu,
+// Phanishayee, Pekhimenko — USENIX ATC 2020).
+//
+// Daydream answers what-if questions about DNN training performance
+// ("will mixed precision help my model?", "how will training scale to 16
+// GPUs on a 10 Gbps network?") without implementing the optimizations. It
+// works in four phases:
+//
+//  1. Collect a kernel-level trace of one training iteration (CUPTI-shaped
+//     records plus per-layer instrumentation). In this reproduction the
+//     trace comes from a deterministic synthetic training executor that
+//     substitutes for real GPUs — see DESIGN.md for the substitution
+//     argument.
+//  2. Build a kernel-granularity dependency graph with the paper's five
+//     dependency types, and map tasks to DNN layers without synchronization.
+//  3. Transform the graph to model an optimization, using the primitives
+//     Select, Scale, Insert, Remove and custom schedulers.
+//  4. Simulate the transformed graph (the paper's Algorithm 1) to predict
+//     the new iteration time.
+//
+// The basic flow:
+//
+//	tr, _ := daydream.Collect(daydream.CollectConfig{Model: "resnet50"})
+//	g, _ := daydream.BuildGraph(tr)
+//	pred := g.Clone()
+//	daydream.AMP(pred)
+//	t, _ := pred.PredictIteration()
+//	fmt.Printf("AMP would change %v to %v\n", tr.IterationTime, t)
+//
+// See the examples/ directory for complete programs, and cmd/daydream-bench
+// for the harness that regenerates every table and figure of the paper's
+// evaluation.
+package daydream

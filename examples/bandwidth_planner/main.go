@@ -1,0 +1,65 @@
+// Bandwidth planner: answer "would upgrading to a faster network improve
+// training throughput?" (a question from the paper's introduction) by
+// sweeping the network bandwidth for a fixed cluster shape and locating
+// the point of diminishing returns — all from one single-GPU profile.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"daydream"
+)
+
+func main() {
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: "gnmt"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := daydream.BuildGraph(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := g.Clone().PredictIteration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	const machines, gpus = 4, 2
+	fmt.Printf("%s on %d×%d GPUs — iteration time vs network bandwidth\n",
+		tr.Model, machines, gpus)
+	fmt.Printf("(single-GPU compute: %v; gradients: %.0f MB/iteration)\n\n",
+		single, float64(gradientBytes(tr))/(1<<20))
+
+	prev := 0.0
+	for _, gbps := range []float64{5, 10, 20, 40, 80, 160} {
+		c := g.Clone()
+		if err := daydream.Distributed(c, daydream.NewTopology(machines, gpus, gbps)); err != nil {
+			log.Fatal(err)
+		}
+		iter, err := c.PredictIteration()
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain := ""
+		if prev > 0 {
+			gain = fmt.Sprintf(" (%.0f%% faster than previous step)", 100*(1-float64(iter)/prev))
+		}
+		bars := int(float64(iter) / float64(single) * 4)
+		if bars > 60 {
+			bars = 60
+		}
+		fmt.Printf("%6.0f Gbps  %-14v %s%s\n", gbps, iter, strings.Repeat("#", bars), gain)
+		prev = float64(iter)
+	}
+	fmt.Println("\nOnce the bars stop shrinking, the network is no longer the bottleneck —")
+	fmt.Println("spending on faster NICs past that point buys nothing.")
+}
+
+func gradientBytes(tr *daydream.Trace) int64 {
+	var total int64
+	for _, g := range tr.Gradients {
+		total += g.Bytes
+	}
+	return total
+}

@@ -1,0 +1,54 @@
+// Distributed scaling planner: answer "how will my workload scale with the
+// number of GPUs, and would upgrading the network help?" from a single
+// single-GPU profile — no cluster required (paper §2.2: Daydream "avoids
+// the potential cost of cluster setup").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daydream"
+)
+
+func main() {
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: "bert-large"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := daydream.BuildGraph(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := g.Clone().PredictIteration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s single-GPU iteration: %v\n\n", tr.Model, single)
+	fmt.Printf("%-8s %-10s %-14s %-12s %s\n",
+		"config", "bandwidth", "iteration", "scaling", "efficiency")
+
+	for _, gbps := range []float64{10, 25, 100} {
+		for _, cfg := range []struct{ m, g int }{
+			{1, 2}, {1, 4}, {2, 4}, {4, 4}, {8, 4},
+		} {
+			topo := daydream.NewTopology(cfg.m, cfg.g, gbps)
+			c := g.Clone()
+			if err := daydream.Distributed(c, topo); err != nil {
+				log.Fatal(err)
+			}
+			iter, err := c.PredictIteration()
+			if err != nil {
+				log.Fatal(err)
+			}
+			n := float64(topo.TotalGPUs())
+			// Per-iteration global batch grows with n, so throughput
+			// scaling is n × (single / iter).
+			scaling := n * float64(single) / float64(iter)
+			fmt.Printf("%-8s %-10s %-14v %-12s %.0f%%\n",
+				topo.String(), fmt.Sprintf("%.0fGbps", gbps), iter,
+				fmt.Sprintf("%.1fx of %.0fx", scaling, n), 100*scaling/n)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,68 @@
+// Memory planner: answer the paper's introductory question "Does GPU
+// memory capacity limit the performance of my model?" — estimate training
+// footprints for the model zoo, find the largest batch that fits each
+// device, and size the headroom a memory-footprint optimization like
+// vDNN_conv would free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daydream"
+	"daydream/internal/dnn"
+	"daydream/internal/xpu"
+)
+
+func gb(n int64) float64 { return float64(n) / (1 << 30) }
+
+func main() {
+	fmt.Println("Training memory footprints (at zoo default batch sizes):")
+	fmt.Printf("%-14s %8s %8s %8s %10s %8s %8s\n",
+		"model", "params", "grads", "optim", "activs", "wkspc", "total")
+	for _, name := range daydream.ModelNames() {
+		m, err := daydream.ModelByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := daydream.EstimateMemory(m)
+		fmt.Printf("%-14s %7.2fG %7.2fG %7.2fG %9.2fG %7.2fG %7.2fG\n",
+			name, gb(f.Params), gb(f.Gradients), gb(f.OptimizerState),
+			gb(f.Activations), gb(f.Workspace), gb(f.Total()))
+	}
+
+	fmt.Println("\nLargest ResNet-50 batch that fits:")
+	for _, dev := range []*xpu.Device{xpu.P4000(), xpu.RTX2080Ti(), xpu.V100()} {
+		b := daydream.MaxBatchSize(func(batch int) *daydream.Model {
+			return dnn.ResNet50(batch)
+		}, dev.MemBytes)
+		fmt.Printf("  %-22s (%2.0f GB): batch %d\n", dev.Name, gb(dev.MemBytes), b)
+	}
+
+	// How much would offloading convolutional feature maps (vDNN_conv)
+	// free, and what batch would that enable?
+	const target = "resnet50"
+	m, _ := daydream.ModelByName(target)
+	freed := dnn.OffloadableActivations(m, func(l *dnn.Layer) bool { return l.Kind == dnn.Conv })
+	f := daydream.EstimateMemory(m)
+	fmt.Printf("\nvDNN_conv on %s/%d would offload %.2f GB of %.2f GB of activations (%.0f%%),\n",
+		target, m.BatchSize, gb(freed), gb(f.Activations), 100*float64(freed)/float64(f.Activations))
+
+	mem := xpu.RTX2080Ti().MemBytes
+	plain := daydream.MaxBatchSize(func(b int) *daydream.Model { return dnn.ResNet50(b) }, mem)
+	withVDNN := daydream.MaxBatchSize(func(b int) *daydream.Model { return dnn.ResNet50(b) },
+		mem+offloadAt(mem))
+	fmt.Printf("raising the feasible 2080 Ti batch from %d to ≈%d —\n", plain, withVDNN)
+	fmt.Println("then run `examples/quickstart`-style what-ifs to see if the PCIe cost is worth it.")
+}
+
+// offloadAt estimates the activation bytes vDNN_conv frees at the batch
+// size that saturates the given memory (a fixed-point-ish approximation:
+// use the fit batch of the plain model).
+func offloadAt(mem int64) int64 {
+	b := daydream.MaxBatchSize(func(batch int) *daydream.Model {
+		return dnn.ResNet50(batch)
+	}, mem)
+	m := dnn.ResNet50(b)
+	return dnn.OffloadableActivations(m, func(l *dnn.Layer) bool { return l.Kind == dnn.Conv })
+}

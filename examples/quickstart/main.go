@@ -1,0 +1,48 @@
+// Quickstart: profile one training iteration, build the dependency graph,
+// and ask Daydream's archetypal what-if question — "will mixed precision
+// help my model?" — without implementing mixed precision.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daydream"
+)
+
+func main() {
+	// Phase 1: collect a kernel-level trace of one ResNet-50 iteration
+	// (on the synthetic substrate standing in for CUPTI + PyTorch).
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: "resnet50"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s on %s: %d activities, iteration %v\n",
+		tr.Model, tr.Device, len(tr.Activities), tr.IterationTime)
+
+	// Phase 2: build the kernel-granularity dependency graph with
+	// task-to-layer mapping.
+	g, err := daydream.BuildGraph(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dependency graph: %d tasks, %d edges\n", g.NumTasks(), g.NumEdges())
+
+	// Phases 3+4: transform a clone of the graph with the AMP model
+	// (compute kernels 3× faster, memory-bound kernels 2×) and simulate.
+	baseline, predicted, err := daydream.Compare(g, func(c *daydream.Graph) error {
+		daydream.AMP(c)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (replayed): %v\n", baseline)
+	fmt.Printf("with AMP (predicted): %v (%.1f%% faster)\n",
+		predicted, 100*(1-float64(predicted)/float64(baseline)))
+
+	// Where does the time go? (The paper's Figure 6 decomposition.)
+	b := daydream.ComputeBreakdown(tr)
+	fmt.Printf("breakdown: CPU+GPU %v, CPU-only %v, GPU-only %v\n",
+		b.Parallel, b.CPUOnly, b.GPUOnly)
+}

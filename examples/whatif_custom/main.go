@@ -1,0 +1,96 @@
+// Custom what-ifs: the graph-transformation primitives (Select, Scale,
+// Insert, Remove) are a user-facing API, not just plumbing for the built-in
+// optimization models. This example asks three questions the paper's
+// introduction poses, directly against the primitives:
+//
+//  1. "Why did my DNN training workload run slowly?" — find the dominant
+//     kernels.
+//  2. "How much would a 2× faster CPU help?" — shrink every CPU task and
+//     every inter-task gap.
+//  3. "What if all element-wise kernels were fused away?" — remove them
+//     and their launches.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"daydream"
+)
+
+func main() {
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: "bert-base"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := daydream.BuildGraph(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := g.Clone().PredictIteration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s baseline iteration: %v\n\n", tr.Model, baseline)
+
+	// 1. Where does GPU time go?
+	byName := map[string]time.Duration{}
+	for _, t := range g.Select(func(t *daydream.Task) bool { return t.OnGPU() }) {
+		byName[t.Name] += t.Duration
+	}
+	type kv struct {
+		name string
+		d    time.Duration
+	}
+	var top []kv
+	for n, d := range byName {
+		top = append(top, kv{n, d})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].d > top[j].d })
+	fmt.Println("top GPU kernels:")
+	for _, e := range top[:5] {
+		fmt.Printf("  %-45s %v\n", e.name, e.d)
+	}
+
+	// 2. What if the CPU were 2× faster? Scale every CPU task and gap.
+	cpu2x := g.Clone()
+	for _, t := range cpu2x.Select(func(t *daydream.Task) bool { return t.OnCPU() }) {
+		t.Duration /= 2
+		t.Gap /= 2
+	}
+	p2, err := cpu2x.PredictIteration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n2x faster CPU:   %v (%.1f%% faster)\n",
+		p2, 100*(1-float64(p2)/float64(baseline)))
+
+	// 3. What if every element-wise kernel were fused into its producer?
+	// Remove the kernels and the launch calls that trigger them.
+	fused := g.Clone()
+	for _, t := range fused.Select(func(t *daydream.Task) bool {
+		return t.OnGPU() && containsSubstr(t.Name, "elementwise")
+	}) {
+		if peer := t.Peer(); peer != nil {
+			fused.Remove(peer)
+		}
+		fused.Remove(t)
+	}
+	p3, err := fused.PredictIteration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fused pointwise: %v (%.1f%% faster)\n",
+		p3, 100*(1-float64(p3)/float64(baseline)))
+}
+
+func containsSubstr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stage is one step of a BlueConnect-decomposed all-reduce: a
+// reduce-scatter or all-gather over a sub-group of the cluster, executed
+// on its own communication channel so stages over disjoint dimensions can
+// proceed in parallel pipelines.
+type Stage struct {
+	// Op is "reduce_scatter" or "all_gather".
+	Op string
+	// Group is the sub-group size p_i of this stage.
+	Group int
+	// Channel names the parallel communication channel the stage uses.
+	Channel string
+	// Bytes is the payload the stage moves.
+	Bytes int64
+	// Duration is the stage's theoretical duration.
+	Duration time.Duration
+}
+
+// Decompose splits an all-reduce of the given payload into BlueConnect's
+// stage sequence for a factorization p1·p2·…·pk of the worker count:
+// reduce-scatter over p1, …, pk, then all-gather over pk, …, p1. Each
+// stage i operates on bytes/(p1·…·p_{i−1}) of data, using bandwidth bw[i]
+// (stages over intra-machine dimensions use faster links). len(bw) must
+// equal len(factors); bw[i] is the bus bandwidth for dimension i.
+func Decompose(bytes int64, factors []int, bw []float64, stepLatency time.Duration) ([]Stage, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("comm: empty factorization")
+	}
+	if len(bw) != len(factors) {
+		return nil, fmt.Errorf("comm: got %d bandwidths for %d factors", len(bw), len(factors))
+	}
+	var stages []Stage
+	remaining := bytes
+	for i, p := range factors {
+		if p < 1 {
+			return nil, fmt.Errorf("comm: factor %d must be positive", p)
+		}
+		stages = append(stages, Stage{
+			Op:       "reduce_scatter",
+			Group:    p,
+			Channel:  fmt.Sprintf("nccl.dim%d", i),
+			Bytes:    remaining,
+			Duration: ReduceScatterTime(remaining, p, bw[i], stepLatency),
+		})
+		remaining /= int64(p)
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		p := factors[i]
+		stages = append(stages, Stage{
+			Op:       "all_gather",
+			Group:    p,
+			Channel:  fmt.Sprintf("nccl.dim%d", i),
+			Bytes:    remaining,
+			Duration: AllGatherTime(remaining, p, bw[i], stepLatency),
+		})
+		remaining *= int64(p)
+	}
+	return stages, nil
+}

@@ -1,0 +1,112 @@
+package comm
+
+import "daydream/internal/trace"
+
+// DefaultBucketBytes is PyTorch DDP's default gradient bucket capacity
+// (25 MB).
+const DefaultBucketBytes = 25 << 20
+
+// Bucket is one DDP gradient bucket: a group of per-layer gradients that
+// is all-reduced with a single NCCL call (paper §4.2.1: "gradients from
+// multiple layers can be grouped and sent with a single allReduce
+// primitive").
+type Bucket struct {
+	// ID is the bucket index in launch order (first-ready first).
+	ID int
+	// Bytes is the total gradient payload.
+	Bytes int64
+	// Layers are the indices of the layers whose gradients the bucket
+	// carries.
+	Layers []int
+}
+
+// AssignBuckets groups per-layer gradients into buckets of at most capBytes
+// in reverse layer order — the order backpropagation produces them, which
+// is the order DDP fills buckets in. Layers without gradients are skipped.
+// The returned buckets are in launch order (deepest layers first), and each
+// input gradient's Bucket field is updated in place.
+func AssignBuckets(grads []trace.GradientInfo, capBytes int64) []Bucket {
+	if capBytes <= 0 {
+		capBytes = DefaultBucketBytes
+	}
+	// Sort view: reverse topological order.
+	order := make([]*trace.GradientInfo, 0, len(grads))
+	for i := range grads {
+		if grads[i].Bytes > 0 {
+			order = append(order, &grads[i])
+		}
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	var buckets []Bucket
+	cur := Bucket{ID: 0}
+	flush := func() {
+		if len(cur.Layers) > 0 {
+			buckets = append(buckets, cur)
+			cur = Bucket{ID: len(buckets)}
+		}
+	}
+	for _, g := range order {
+		if cur.Bytes > 0 && cur.Bytes+g.Bytes > capBytes {
+			flush()
+		}
+		g.Bucket = cur.ID
+		cur.Bytes += g.Bytes
+		cur.Layers = append(cur.Layers, g.Index)
+	}
+	flush()
+	return buckets
+}
+
+// BucketsFromTrace reconstructs the bucket list from a trace whose
+// gradient metadata already carries bucket assignments (set by the
+// instrumented framework at collection time).
+func BucketsFromTrace(grads []trace.GradientInfo) []Bucket {
+	byID := map[int]*Bucket{}
+	maxID := -1
+	for _, g := range grads {
+		if g.Bucket < 0 || g.Bytes <= 0 {
+			continue
+		}
+		b, ok := byID[g.Bucket]
+		if !ok {
+			b = &Bucket{ID: g.Bucket}
+			byID[g.Bucket] = b
+		}
+		b.Bytes += g.Bytes
+		b.Layers = append(b.Layers, g.Index)
+		if g.Bucket > maxID {
+			maxID = g.Bucket
+		}
+	}
+	out := make([]Bucket, 0, len(byID))
+	for id := 0; id <= maxID; id++ {
+		if b, ok := byID[id]; ok {
+			out = append(out, *b)
+		}
+	}
+	return out
+}
+
+// Slices splits a payload of the given size into slices of at most
+// sliceBytes, returning the slice sizes. P3 uses this to break large
+// gradient tensors into prioritizable units.
+func Slices(bytes, sliceBytes int64) []int64 {
+	if bytes <= 0 {
+		return nil
+	}
+	if sliceBytes <= 0 || bytes <= sliceBytes {
+		return []int64{bytes}
+	}
+	var out []int64
+	for bytes > 0 {
+		n := sliceBytes
+		if bytes < n {
+			n = bytes
+		}
+		out = append(out, n)
+		bytes -= n
+	}
+	return out
+}

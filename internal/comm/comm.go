@@ -1,0 +1,100 @@
+// Package comm provides the analytic communication cost models Daydream
+// uses to synthesize communication tasks from single-GPU profiles:
+// ring all-reduce per the NCCL-tests performance formula the paper cites
+// [56], parameter-server push/pull, and the reduce-scatter/all-gather
+// stages BlueConnect decomposes all-reduce into. It also implements
+// PyTorch-DDP-style gradient bucketing.
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Topology describes a data-parallel training cluster the way the paper's
+// Figure 8 configurations do: machines × GPUs-per-machine plus the network
+// bandwidth between machines.
+type Topology struct {
+	// Machines is the number of machines.
+	Machines int
+	// GPUsPerMachine is the number of workers per machine.
+	GPUsPerMachine int
+	// NICBandwidth is the per-machine network bandwidth in bytes/s
+	// (e.g. 10 Gbps ⇒ 1.25e9).
+	NICBandwidth float64
+	// IntraBandwidth is the intra-machine (PCIe) bandwidth in bytes/s.
+	IntraBandwidth float64
+	// StepLatency is the fixed per-algorithm-step latency (link latency
+	// plus kernel scheduling).
+	StepLatency time.Duration
+}
+
+// TotalGPUs returns the total worker count.
+func (t Topology) TotalGPUs() int { return t.Machines * t.GPUsPerMachine }
+
+// String renders the configuration the way the paper labels Figure 8
+// columns: "MxG".
+func (t Topology) String() string {
+	return fmt.Sprintf("%dx%d", t.Machines, t.GPUsPerMachine)
+}
+
+// BusBandwidth returns the per-worker effective "bus bandwidth" of a ring
+// spanning the whole cluster. With g workers per machine, g ring links
+// traverse each NIC, so each gets NIC/g; single-machine rings ride PCIe.
+func (t Topology) BusBandwidth() float64 {
+	if t.Machines <= 1 {
+		return t.IntraBandwidth
+	}
+	bw := t.NICBandwidth / float64(t.GPUsPerMachine)
+	if t.IntraBandwidth > 0 && t.IntraBandwidth < bw {
+		bw = t.IntraBandwidth
+	}
+	return bw
+}
+
+// Gbps converts a link rate in gigabits per second to bytes per second.
+func Gbps(g float64) float64 { return g * 1e9 / 8 }
+
+// RingAllReduceTime returns the theoretical duration of an all-reduce of
+// the given payload across n workers at the given bus bandwidth:
+// 2(n−1)/n · bytes / busBW plus 2(n−1) step latencies. This is the
+// NCCL-tests formula the paper's Figure 9 labels "Theoretical".
+func RingAllReduceTime(bytes int64, n int, busBW float64, stepLatency time.Duration) time.Duration {
+	if n <= 1 || bytes <= 0 {
+		return 0
+	}
+	steps := 2 * (n - 1)
+	sec := 2 * float64(n-1) / float64(n) * float64(bytes) / busBW
+	return time.Duration(sec*float64(time.Second)) + time.Duration(steps)*stepLatency
+}
+
+// AllReduceTime returns the theoretical ring all-reduce duration for the
+// topology.
+func (t Topology) AllReduceTime(bytes int64) time.Duration {
+	return RingAllReduceTime(bytes, t.TotalGPUs(), t.BusBandwidth(), t.StepLatency)
+}
+
+// ReduceScatterTime returns the theoretical duration of a ring
+// reduce-scatter across n workers: (n−1)/n · bytes / busBW.
+func ReduceScatterTime(bytes int64, n int, busBW float64, stepLatency time.Duration) time.Duration {
+	if n <= 1 || bytes <= 0 {
+		return 0
+	}
+	sec := float64(n-1) / float64(n) * float64(bytes) / busBW
+	return time.Duration(sec*float64(time.Second)) + time.Duration(n-1)*stepLatency
+}
+
+// AllGatherTime returns the theoretical duration of a ring all-gather,
+// which is identical in cost to reduce-scatter.
+func AllGatherTime(bytes int64, n int, busBW float64, stepLatency time.Duration) time.Duration {
+	return ReduceScatterTime(bytes, n, busBW, stepLatency)
+}
+
+// TransferTime returns the duration of a point-to-point transfer of the
+// given payload (a parameter-server push or pull).
+func TransferTime(bytes int64, bw float64, latency time.Duration) time.Duration {
+	if bytes <= 0 {
+		return latency
+	}
+	return time.Duration(float64(bytes)/bw*float64(time.Second)) + latency
+}

@@ -1,0 +1,272 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"daydream/internal/trace"
+)
+
+func TestGbps(t *testing.T) {
+	if Gbps(10) != 1.25e9 {
+		t.Errorf("10 Gbps = %v B/s, want 1.25e9", Gbps(10))
+	}
+}
+
+func TestRingAllReduceFormula(t *testing.T) {
+	// 2(n−1)/n · bytes/bw: 100 MB across 4 workers at 1 GB/s = 150 ms.
+	got := RingAllReduceTime(100e6, 4, 1e9, 0)
+	want := 150 * time.Millisecond
+	if got != want {
+		t.Errorf("ring all-reduce = %v, want %v", got, want)
+	}
+}
+
+func TestRingAllReduceEdgeCases(t *testing.T) {
+	if RingAllReduceTime(100, 1, 1e9, time.Second) != 0 {
+		t.Error("single worker must cost nothing")
+	}
+	if RingAllReduceTime(0, 8, 1e9, time.Second) != 0 {
+		t.Error("empty payload must cost nothing")
+	}
+}
+
+func TestRingAllReduceLatencyTerm(t *testing.T) {
+	base := RingAllReduceTime(1e6, 4, 1e9, 0)
+	withLat := RingAllReduceTime(1e6, 4, 1e9, time.Millisecond)
+	if withLat-base != 6*time.Millisecond { // 2(n−1) steps
+		t.Errorf("latency term = %v, want 6ms", withLat-base)
+	}
+}
+
+// TestReduceScatterPlusAllGather checks the BlueConnect identity: a
+// reduce-scatter followed by an all-gather over the same group moves
+// exactly as much data as the all-reduce they replace.
+func TestReduceScatterPlusAllGather(t *testing.T) {
+	f := func(kb uint16, nRaw uint8) bool {
+		bytes := int64(kb)*1024 + 1024
+		n := int(nRaw%15) + 2
+		rs := ReduceScatterTime(bytes, n, 1e9, 0)
+		ag := AllGatherTime(bytes, n, 1e9, 0)
+		ar := RingAllReduceTime(bytes, n, 1e9, 0)
+		diff := rs + ag - ar
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // nanosecond rounding only
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	got := TransferTime(1e9, 1e9, 5*time.Millisecond)
+	if got != time.Second+5*time.Millisecond {
+		t.Errorf("transfer = %v", got)
+	}
+	if TransferTime(0, 1e9, 7*time.Millisecond) != 7*time.Millisecond {
+		t.Error("zero payload should cost only latency")
+	}
+}
+
+func TestBusBandwidth(t *testing.T) {
+	single := Topology{Machines: 1, GPUsPerMachine: 4, IntraBandwidth: 11e9, NICBandwidth: 1.25e9}
+	if single.BusBandwidth() != 11e9 {
+		t.Error("single-machine ring should ride PCIe")
+	}
+	multi := Topology{Machines: 4, GPUsPerMachine: 2, IntraBandwidth: 11e9, NICBandwidth: 1.25e9}
+	if multi.BusBandwidth() != 1.25e9/2 {
+		t.Errorf("2 GPUs sharing a NIC: bus = %v, want NIC/2", multi.BusBandwidth())
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	topo := Topology{Machines: 4, GPUsPerMachine: 2}
+	if topo.String() != "4x2" {
+		t.Errorf("String = %q", topo.String())
+	}
+	if topo.TotalGPUs() != 8 {
+		t.Errorf("TotalGPUs = %d", topo.TotalGPUs())
+	}
+}
+
+func grads(sizes ...int64) []trace.GradientInfo {
+	out := make([]trace.GradientInfo, len(sizes))
+	for i, s := range sizes {
+		out[i] = trace.GradientInfo{Layer: string(rune('a' + i)), Index: i, Bytes: s, Bucket: -1}
+	}
+	return out
+}
+
+func TestAssignBucketsReverseOrder(t *testing.T) {
+	gs := grads(10, 20, 30, 40)
+	buckets := AssignBuckets(gs, 60)
+	if len(buckets) != 2 {
+		t.Fatalf("bucket count = %d, want 2", len(buckets))
+	}
+	// Reverse order: layers 3,2 fill bucket 0 (40+30 > 60 → 40 then 30
+	// overflows... 40+30=70 > 60, so bucket0={3}, bucket1={2,1,0}? No:
+	// 30+20+10=60 fits exactly.
+	if buckets[0].Layers[0] != 3 {
+		t.Errorf("first bucket starts with layer %d, want 3 (deepest)", buckets[0].Layers[0])
+	}
+	var covered int
+	for _, b := range buckets {
+		covered += len(b.Layers)
+	}
+	if covered != 4 {
+		t.Errorf("buckets cover %d layers, want 4", covered)
+	}
+}
+
+func TestAssignBucketsWritesBack(t *testing.T) {
+	gs := grads(10, 20, 30)
+	AssignBuckets(gs, 1000)
+	for _, g := range gs {
+		if g.Bucket != 0 {
+			t.Errorf("layer %d bucket = %d, want 0 (everything fits)", g.Index, g.Bucket)
+		}
+	}
+}
+
+func TestAssignBucketsOversizedGradient(t *testing.T) {
+	gs := grads(10, 500, 10)
+	buckets := AssignBuckets(gs, 100)
+	// The 500-byte gradient exceeds the cap; it must still travel, in a
+	// bucket of its own.
+	found := false
+	for _, b := range buckets {
+		if len(b.Layers) == 1 && b.Bytes == 500 {
+			found = true
+		}
+		if b.Bytes > 100 && len(b.Layers) > 1 {
+			t.Errorf("multi-layer bucket exceeds cap: %+v", b)
+		}
+	}
+	if !found {
+		t.Error("oversized gradient did not get its own bucket")
+	}
+}
+
+func TestAssignBucketsSkipsZero(t *testing.T) {
+	gs := grads(0, 10, 0, 20)
+	buckets := AssignBuckets(gs, 100)
+	for _, b := range buckets {
+		for _, li := range b.Layers {
+			if gs[li].Bytes == 0 {
+				t.Errorf("gradient-free layer %d bucketed", li)
+			}
+		}
+	}
+	_ = buckets
+}
+
+// TestAssignBucketsProperties checks, on random gradient sets, that every
+// non-empty gradient is covered exactly once and payloads are conserved.
+func TestAssignBucketsProperties(t *testing.T) {
+	f := func(seed int64, capKB uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		sizes := make([]int64, n)
+		var total int64
+		for i := range sizes {
+			sizes[i] = int64(rng.Intn(1 << 16))
+			total += sizes[i]
+		}
+		gs := grads(sizes...)
+		buckets := AssignBuckets(gs, int64(capKB)*256+1)
+		var sum int64
+		seen := map[int]bool{}
+		for _, b := range buckets {
+			sum += b.Bytes
+			for _, li := range b.Layers {
+				if seen[li] {
+					return false
+				}
+				seen[li] = true
+			}
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketsFromTraceRoundTrip(t *testing.T) {
+	gs := grads(100, 200, 300, 400, 500)
+	want := AssignBuckets(gs, 600)
+	got := BucketsFromTrace(gs)
+	if len(got) != len(want) {
+		t.Fatalf("round trip bucket count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Bytes != want[i].Bytes || len(got[i].Layers) != len(want[i].Layers) {
+			t.Errorf("bucket %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSlices(t *testing.T) {
+	if got := Slices(0, 10); got != nil {
+		t.Errorf("Slices(0) = %v", got)
+	}
+	if got := Slices(25, 10); len(got) != 3 || got[2] != 5 {
+		t.Errorf("Slices(25,10) = %v", got)
+	}
+	if got := Slices(10, 0); len(got) != 1 || got[0] != 10 {
+		t.Errorf("Slices with no cap = %v", got)
+	}
+}
+
+// TestSlicesConservation checks payload conservation on random inputs.
+func TestSlicesConservation(t *testing.T) {
+	f := func(total uint32, slice uint16) bool {
+		var sum int64
+		for _, s := range Slices(int64(total), int64(slice)) {
+			if s <= 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == int64(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	stages, err := Decompose(64<<20, []int{4, 2}, []float64{1e9, 11e9}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 4 { // reduce-scatter ×2 + all-gather ×2
+		t.Fatalf("stage count = %d, want 4", len(stages))
+	}
+	if stages[0].Op != "reduce_scatter" || stages[3].Op != "all_gather" {
+		t.Error("stage ops out of order")
+	}
+	if stages[1].Bytes != (64<<20)/4 {
+		t.Errorf("second stage bytes = %d, want payload/4", stages[1].Bytes)
+	}
+	// Symmetric channels: stage 0 and stage 3 use dimension 0.
+	if stages[0].Channel != stages[3].Channel {
+		t.Error("mirrored stages should share a channel")
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(1024, nil, nil, 0); err == nil {
+		t.Error("empty factorization accepted")
+	}
+	if _, err := Decompose(1024, []int{2}, []float64{1e9, 2e9}, 0); err == nil {
+		t.Error("mismatched bandwidths accepted")
+	}
+	if _, err := Decompose(1024, []int{0}, []float64{1e9}, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+}

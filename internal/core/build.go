@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"daydream/internal/trace"
+)
+
+// minSyncResidual is the floor on a synchronization task's own duration
+// once its waiting time has been converted into dependency edges.
+const minSyncResidual = 2 * time.Microsecond
+
+// Build constructs the kernel-granularity dependency graph from a trace,
+// adding the paper's five dependency types (§4.2.2):
+//
+//  1. sequential order of CPU tasks in the same thread,
+//  2. sequential order of GPU tasks in the same CUDA stream,
+//  3. correlation from CUDA API calls to the GPU activities they launch,
+//  4. CUDA synchronization (and blocking device-to-host copies): an edge
+//     from the last GPU task enqueued before the call to the call, and
+//  5. communication: an edge from the last compute task that precedes a
+//     communication primitive (traces of distributed runs only; what-if
+//     transformations insert their own communication tasks with precise
+//     dependencies).
+//
+// Synchronization-flavoured CPU tasks keep only the residual duration that
+// remains after their traced waiting time is explained by dependency
+// edges; otherwise a what-if that shrinks upstream GPU work could never
+// shrink the overall runtime.
+func Build(tr *trace.Trace) (*Graph, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("core: build: %w", err)
+	}
+	g := NewGraph()
+	g.Meta = Metadata{
+		Model:         tr.Model,
+		Device:        tr.Device,
+		Framework:     tr.Framework,
+		Precision:     tr.Precision,
+		BatchSize:     tr.BatchSize,
+		IterationTime: tr.IterationTime,
+		Gradients:     append([]trace.GradientInfo(nil), tr.Gradients...),
+	}
+
+	// Work over a time-sorted copy of the activities.
+	acts := append([]trace.Activity(nil), tr.Activities...)
+	sort.SliceStable(acts, func(i, j int) bool {
+		if acts[i].Start != acts[j].Start {
+			return acts[i].Start < acts[j].Start
+		}
+		return acts[i].ID < acts[j].ID
+	})
+
+	tasks := make([]*Task, len(acts))
+	byCorrAPI := make(map[uint64]*Task)
+	byCorrGPU := make(map[uint64]*Task)
+	for i := range acts {
+		a := &acts[i]
+		tid, err := threadOf(a)
+		if err != nil {
+			return nil, err
+		}
+		t := g.NewTask(a.Name, a.Kind, tid, a.Duration)
+		t.TracedStart = a.Start
+		t.TracedDuration = a.Duration
+		t.Correlation = a.Correlation
+		t.Bytes = a.Bytes
+		t.Dir = a.Dir
+		tasks[i] = t
+		if a.Correlation != 0 {
+			if a.Kind.OnCPU() {
+				byCorrAPI[a.Correlation] = t
+			} else {
+				byCorrGPU[a.Correlation] = t
+			}
+		}
+	}
+
+	// Dependency types 1, 2 and channel order: append each task to its
+	// thread sequence (the input is time-sorted, so per-thread order is
+	// trace order). CPU gaps are computed against the next CPU task on
+	// the same thread.
+	lastOnThread := make(map[ThreadID]*Task)
+	for _, t := range tasks {
+		if prev := lastOnThread[t.Thread]; prev != nil && t.Thread.Kind == CPUThread {
+			gap := t.TracedStart - prev.End()
+			if gap > 0 {
+				prev.Gap = gap
+			}
+		}
+		g.AppendTask(t)
+		lastOnThread[t.Thread] = t
+	}
+
+	// Dependency type 3: correlation edges.
+	for corr, api := range byCorrAPI {
+		gpu := byCorrGPU[corr]
+		if gpu == nil {
+			return nil, fmt.Errorf("core: correlation %d has no GPU record", corr)
+		}
+		if err := g.Correlate(api, gpu); err != nil {
+			return nil, err
+		}
+	}
+
+	// Dependency types 4 and 5: sweep in time order tracking, per
+	// stream, the most recently enqueued GPU task (a GPU task is
+	// "enqueued" when its correlated API record appears; uncorrelated
+	// GPU tasks count at their own start).
+	lastEnqueued := make(map[ThreadID]*Task)
+	var lastGPU *Task
+	for _, t := range tasks {
+		// A blocking call waits for the GPU work enqueued strictly
+		// before it, so resolve its edges before registering its own
+		// correlated copy.
+		if isBlockingCall(t) {
+			var waited time.Duration
+			for _, gpu := range lastEnqueued {
+				g.addEdge(gpu, t, DepSync)
+				if gpu.End() > waited {
+					waited = gpu.End()
+				}
+			}
+			t.Duration = syncResidual(t, waited)
+		} else if t.Kind == trace.KindComm && lastGPU != nil {
+			g.addEdge(lastGPU, t, DepComm)
+		}
+		switch {
+		case t.OnCPU() && t.Correlation != 0:
+			if gpu := t.peer; gpu != nil {
+				lastEnqueued[gpu.Thread] = gpu
+				lastGPU = gpu
+			}
+		case t.OnGPU() && t.Correlation == 0:
+			lastEnqueued[t.Thread] = t
+			lastGPU = t
+		}
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// threadOf maps an activity to its execution thread.
+func threadOf(a *trace.Activity) (ThreadID, error) {
+	switch {
+	case a.Kind.OnCPU():
+		return CPU(a.Thread), nil
+	case a.Kind.OnGPU():
+		return Stream(a.Stream), nil
+	case a.Kind.OnChannel():
+		return Channel(a.Channel), nil
+	}
+	return ThreadID{}, fmt.Errorf("core: activity %d (%s) of kind %s has no execution thread", a.ID, a.Name, a.Kind)
+}
+
+// isBlockingCall reports whether a CPU task blocks until previously
+// enqueued GPU work completes: CUDA synchronizations and device-to-host
+// copies (§4.2.2).
+func isBlockingCall(t *Task) bool {
+	if !t.OnCPU() {
+		return false
+	}
+	return t.Kind == trace.KindSync || (t.Kind == trace.KindMemcpyAPI && t.Dir == trace.MemcpyD2H)
+}
+
+// syncResidual converts a blocking call's traced duration into the
+// residual that remains once waiting is explained by edges: the time from
+// the waited-for GPU completion (or the call's start, whichever is later)
+// to the call's traced end.
+func syncResidual(t *Task, waited time.Duration) time.Duration {
+	start := t.TracedStart
+	if waited > start {
+		start = waited
+	}
+	res := t.End() - start
+	if res < minSyncResidual {
+		res = minSyncResidual
+	}
+	return res
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"daydream/internal/trace"
+)
+
+func TestCriticalPathSerialChain(t *testing.T) {
+	g, tasks := chain(3, 10*time.Microsecond)
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CriticalPath(g, res)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3", len(path))
+	}
+	for i := range path {
+		if path[i] != tasks[i] {
+			t.Fatalf("path[%d] = %v, want %v", i, path[i], tasks[i])
+		}
+	}
+}
+
+func TestCriticalPathPicksLongerThread(t *testing.T) {
+	g := NewGraph()
+	short := g.NewTask("short", trace.KindCPUOp, CPU(1), 5*time.Microsecond)
+	g.AppendTask(short)
+	long := g.NewTask("long", trace.KindKernel, Stream(7), 50*time.Microsecond)
+	g.AppendTask(long)
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CriticalPath(g, res)
+	if len(path) != 1 || path[0] != long {
+		t.Fatalf("path = %v, want just the long kernel", path)
+	}
+}
+
+func TestCriticalPathCrossThread(t *testing.T) {
+	// launch → kernel → sync: all three are binding.
+	g := NewGraph()
+	launch := g.NewTask("launch", trace.KindLaunch, CPU(1), 10*time.Microsecond)
+	g.AppendTask(launch)
+	kernel := g.NewTask("k", trace.KindKernel, Stream(7), 20*time.Microsecond)
+	g.AppendTask(kernel)
+	if err := g.Correlate(launch, kernel); err != nil {
+		t.Fatal(err)
+	}
+	sync := g.NewTask("sync", trace.KindSync, CPU(1), 2*time.Microsecond)
+	g.AppendTask(sync)
+	if err := g.AddDependency(kernel, sync, DepSync); err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CriticalPath(g, res)
+	if len(path) != 3 || path[0] != launch || path[1] != kernel || path[2] != sync {
+		t.Fatalf("path = %v, want launch→kernel→sync", path)
+	}
+}
+
+func TestCriticalPathCoversMakespan(t *testing.T) {
+	// On a real model graph, the path's total time accounts for the
+	// whole makespan (no unexplained slack along the binding chain
+	// when the chain reaches back to time zero).
+	g := modelGraph(t, "resnet50")
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CriticalPath(g, res)
+	if len(path) < 10 {
+		t.Fatalf("suspiciously short critical path: %d tasks", len(path))
+	}
+	var sum time.Duration
+	for _, u := range path {
+		sum += u.Duration + u.Gap
+	}
+	if first := path[0]; res.Start[first.ID] == 0 && sum != res.Makespan {
+		t.Fatalf("zero-anchored path sums to %v, makespan %v", sum, res.Makespan)
+	}
+	if sum > res.Makespan {
+		t.Fatalf("path time %v exceeds makespan %v", sum, res.Makespan)
+	}
+}
+
+func TestCriticalPathEmptyGraph(t *testing.T) {
+	g := NewGraph()
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path := CriticalPath(g, res); path != nil {
+		t.Fatalf("empty graph has a path: %v", path)
+	}
+}
+
+func TestAttributePath(t *testing.T) {
+	g := modelGraph(t, "bert-base")
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CriticalPath(g, res)
+	byKind := AttributePath(path, ByThreadKind)
+	if len(byKind) == 0 {
+		t.Fatal("no attribution groups")
+	}
+	var total time.Duration
+	for _, a := range byKind {
+		total += a.Time
+		if a.Tasks <= 0 {
+			t.Fatalf("group %q has no tasks", a.Label)
+		}
+	}
+	// Attribution partitions the path.
+	var pathTime time.Duration
+	for _, u := range path {
+		pathTime += u.Duration + u.Gap
+	}
+	if total != pathTime {
+		t.Fatalf("attribution sums to %v, path is %v", total, pathTime)
+	}
+	// Sorted descending.
+	for i := 1; i < len(byKind); i++ {
+		if byKind[i].Time > byKind[i-1].Time {
+			t.Fatal("attribution not sorted")
+		}
+	}
+	// Phase attribution also works.
+	byPhase := AttributePath(path, ByPhase)
+	if len(byPhase) == 0 {
+		t.Fatal("no phase attribution")
+	}
+}

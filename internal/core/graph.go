@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"daydream/internal/trace"
+)
+
+// Graph is the kernel-granularity dependency graph. Tasks live on
+// execution threads (CPU threads, GPU streams, communication channels);
+// edges carry one of the paper's five dependency kinds.
+type Graph struct {
+	// Meta carries workload metadata copied from the source trace,
+	// needed by what-if transformations (gradient sizes, bucketing).
+	Meta Metadata
+
+	tasks   map[int]*Task
+	order   []int // task IDs in creation order
+	threads map[ThreadID]*seqList
+	kinds   map[[2]int]DepKind
+	nextID  int
+}
+
+// Metadata is the non-timeline information a what-if analysis needs.
+type Metadata struct {
+	// Model, Device, Framework, Precision describe the profiled run.
+	Model     string
+	Device    string
+	Framework string
+	Precision string
+	// BatchSize is the per-worker batch size.
+	BatchSize int
+	// IterationTime is the traced iteration time (for reference).
+	IterationTime time.Duration
+	// Gradients is the per-layer gradient metadata.
+	Gradients []trace.GradientInfo
+}
+
+type seqList struct {
+	head, tail *Task
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		tasks:   make(map[int]*Task),
+		threads: make(map[ThreadID]*seqList),
+		kinds:   make(map[[2]int]DepKind),
+	}
+}
+
+// NumTasks returns the number of tasks.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// NumEdges returns the number of dependency edges.
+func (g *Graph) NumEdges() int { return len(g.kinds) }
+
+// Task returns the task with the given ID, or nil.
+func (g *Graph) Task(id int) *Task { return g.tasks[id] }
+
+// Tasks returns all tasks in creation order. The returned slice is fresh.
+func (g *Graph) Tasks() []*Task {
+	out := make([]*Task, 0, len(g.tasks))
+	for _, id := range g.order {
+		if t, ok := g.tasks[id]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Threads returns the thread IDs present in the graph, sorted for
+// determinism.
+func (g *Graph) Threads() []ThreadID {
+	out := make([]ThreadID, 0, len(g.threads))
+	for tid := range g.threads {
+		out = append(out, tid)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Num != b.Num {
+			return a.Num < b.Num
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// ThreadTasks returns the thread's tasks in sequence order.
+func (g *Graph) ThreadTasks(tid ThreadID) []*Task {
+	var out []*Task
+	if l := g.threads[tid]; l != nil {
+		for t := l.head; t != nil; t = t.seqNext {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NewTask creates a task with a fresh ID. The task is not yet placed on a
+// thread; use AppendTask, InsertAfter or InsertBefore.
+func (g *Graph) NewTask(name string, kind trace.Kind, thread ThreadID, dur time.Duration) *Task {
+	t := &Task{
+		ID:         g.nextID,
+		Name:       name,
+		Kind:       kind,
+		Thread:     thread,
+		Duration:   dur,
+		LayerIndex: -1,
+	}
+	g.nextID++
+	g.tasks[t.ID] = t
+	g.order = append(g.order, t.ID)
+	return t
+}
+
+// seq returns (allocating if needed) the sequence list for a thread.
+func (g *Graph) seq(tid ThreadID) *seqList {
+	l := g.threads[tid]
+	if l == nil {
+		l = &seqList{}
+		g.threads[tid] = l
+	}
+	return l
+}
+
+// AppendTask places t at the tail of its thread's sequence, adding the
+// sequence dependency from the previous tail.
+func (g *Graph) AppendTask(t *Task) {
+	l := g.seq(t.Thread)
+	if l.tail != nil {
+		t.seqPrev = l.tail
+		l.tail.seqNext = t
+		g.addEdge(l.tail, t, DepSequence)
+	} else {
+		l.head = t
+	}
+	l.tail = t
+}
+
+// InsertAfter places t on prev's thread immediately after prev, splicing
+// the sequence dependency chain (the paper's Insert primitive, Figure 4).
+func (g *Graph) InsertAfter(prev, t *Task) error {
+	if prev == nil {
+		return fmt.Errorf("core: InsertAfter: nil anchor")
+	}
+	if g.tasks[prev.ID] != prev {
+		return fmt.Errorf("core: InsertAfter: anchor %v not in graph", prev)
+	}
+	t.Thread = prev.Thread
+	next := prev.seqNext
+	t.seqPrev = prev
+	t.seqNext = next
+	prev.seqNext = t
+	if next != nil {
+		next.seqPrev = t
+		g.removeEdge(prev, next)
+		g.addEdge(t, next, DepSequence)
+	} else {
+		g.seq(t.Thread).tail = t
+	}
+	g.addEdge(prev, t, DepSequence)
+	return nil
+}
+
+// InsertBefore places t on next's thread immediately before next.
+func (g *Graph) InsertBefore(next, t *Task) error {
+	if next == nil {
+		return fmt.Errorf("core: InsertBefore: nil anchor")
+	}
+	if prev := next.seqPrev; prev != nil {
+		return g.InsertAfter(prev, t)
+	}
+	// Insert at head.
+	t.Thread = next.Thread
+	l := g.seq(t.Thread)
+	t.seqNext = next
+	next.seqPrev = t
+	l.head = t
+	g.addEdge(t, next, DepSequence)
+	return nil
+}
+
+// AddDependency adds an edge from → to of the given kind. Duplicate edges
+// are ignored (the first kind wins). Self-edges are rejected.
+func (g *Graph) AddDependency(from, to *Task, kind DepKind) error {
+	if from == nil || to == nil {
+		return fmt.Errorf("core: AddDependency: nil task")
+	}
+	if from == to {
+		return fmt.Errorf("core: AddDependency: self edge on %v", from)
+	}
+	g.addEdge(from, to, kind)
+	return nil
+}
+
+func (g *Graph) addEdge(from, to *Task, kind DepKind) {
+	key := [2]int{from.ID, to.ID}
+	if _, dup := g.kinds[key]; dup {
+		return
+	}
+	g.kinds[key] = kind
+	from.children = append(from.children, to)
+	to.parents = append(to.parents, from)
+}
+
+func (g *Graph) removeEdge(from, to *Task) {
+	key := [2]int{from.ID, to.ID}
+	if _, ok := g.kinds[key]; !ok {
+		return
+	}
+	delete(g.kinds, key)
+	from.children = removeTask(from.children, to)
+	to.parents = removeTask(to.parents, from)
+}
+
+// EdgeKind returns the kind of the edge from → to, if present.
+func (g *Graph) EdgeKind(from, to *Task) (DepKind, bool) {
+	k, ok := g.kinds[[2]int{from.ID, to.ID}]
+	return k, ok
+}
+
+func removeTask(s []*Task, t *Task) []*Task {
+	for i, x := range s {
+		if x == t {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Correlate records launch ↔ kernel correlation between an API task and a
+// GPU task: peers are linked and a correlation edge is added.
+func (g *Graph) Correlate(api, gpu *Task) error {
+	if err := g.AddDependency(api, gpu, DepCorrelation); err != nil {
+		return err
+	}
+	api.peer = gpu
+	gpu.peer = api
+	return nil
+}
+
+// Remove deletes a task (the paper's Remove primitive): the thread
+// sequence is spliced around it, and every non-sequence ordering
+// constraint through the task is preserved by reconnecting its remaining
+// parents to its remaining children.
+func (g *Graph) Remove(t *Task) {
+	if g.tasks[t.ID] != t {
+		return
+	}
+	// Splice the thread sequence.
+	prev, next := t.seqPrev, t.seqNext
+	l := g.seq(t.Thread)
+	if prev != nil {
+		prev.seqNext = next
+	} else {
+		l.head = next
+	}
+	if next != nil {
+		next.seqPrev = prev
+	} else {
+		l.tail = prev
+	}
+	// Snapshot edges before unlinking.
+	parents := append([]*Task(nil), t.parents...)
+	children := append([]*Task(nil), t.children...)
+	for _, p := range parents {
+		g.removeEdge(p, t)
+	}
+	for _, c := range children {
+		g.removeEdge(t, c)
+	}
+	// Restore the sequence chain.
+	if prev != nil && next != nil {
+		g.addEdge(prev, next, DepSequence)
+	}
+	// Preserve transitive ordering through the removed task.
+	for _, p := range parents {
+		for _, c := range children {
+			if p == c {
+				continue
+			}
+			if p == prev && c == next {
+				continue // already restored as sequence
+			}
+			g.addEdge(p, c, DepCustom)
+		}
+	}
+	if t.peer != nil && t.peer.peer == t {
+		t.peer.peer = nil
+	}
+	delete(g.tasks, t.ID)
+}
+
+// Select returns the tasks matching the predicate, in creation order
+// (the paper's Select primitive).
+func (g *Graph) Select(pred func(*Task) bool) []*Task {
+	var out []*Task
+	for _, id := range g.order {
+		if t, ok := g.tasks[id]; ok && pred(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Scale multiplies the durations of the given tasks by factor (the
+// shrink/scale primitive).
+func Scale(tasks []*Task, factor float64) {
+	for _, t := range tasks {
+		t.Duration = time.Duration(float64(t.Duration) * factor)
+	}
+}
+
+// Validate checks structural invariants: sequence-chain consistency and
+// acyclicity. It returns the first violation.
+func (g *Graph) Validate() error {
+	for tid, l := range g.threads {
+		var prev *Task
+		for t := l.head; t != nil; t = t.seqNext {
+			if t.Thread != tid {
+				return fmt.Errorf("core: task %v chained on thread %v", t, tid)
+			}
+			if t.seqPrev != prev {
+				return fmt.Errorf("core: broken sequence links at %v", t)
+			}
+			prev = t
+		}
+		if l.tail != prev {
+			return fmt.Errorf("core: thread %v tail mismatch", tid)
+		}
+	}
+	// Kahn's algorithm for cycle detection.
+	ref := make(map[int]int, len(g.tasks))
+	var frontier []*Task
+	for _, t := range g.tasks {
+		ref[t.ID] = len(t.parents)
+		if len(t.parents) == 0 {
+			frontier = append(frontier, t)
+		}
+	}
+	seen := 0
+	for len(frontier) > 0 {
+		t := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		seen++
+		for _, c := range t.children {
+			ref[c.ID]--
+			if ref[c.ID] == 0 {
+				frontier = append(frontier, c)
+			}
+		}
+	}
+	if seen != len(g.tasks) {
+		return fmt.Errorf("core: dependency graph has a cycle (%d of %d tasks reachable)", seen, len(g.tasks))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph; transformations on the copy do
+// not affect the original. Task IDs are preserved.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	c.Meta = g.Meta
+	c.Meta.Gradients = append([]trace.GradientInfo(nil), g.Meta.Gradients...)
+	c.nextID = g.nextID
+	c.order = append([]int(nil), g.order...)
+	for id, t := range g.tasks {
+		nt := *t
+		nt.parents, nt.children = nil, nil
+		nt.seqPrev, nt.seqNext, nt.peer = nil, nil, nil
+		c.tasks[id] = &nt
+	}
+	for key, kind := range g.kinds {
+		c.kinds[key] = kind
+		from, to := c.tasks[key[0]], c.tasks[key[1]]
+		from.children = append(from.children, to)
+		to.parents = append(to.parents, from)
+	}
+	for tid, l := range g.threads {
+		nl := &seqList{}
+		var prev *Task
+		for t := l.head; t != nil; t = t.seqNext {
+			nt := c.tasks[t.ID]
+			nt.seqPrev = prev
+			if prev != nil {
+				prev.seqNext = nt
+			} else {
+				nl.head = nt
+			}
+			prev = nt
+		}
+		nl.tail = prev
+		c.threads[tid] = nl
+	}
+	for id, t := range g.tasks {
+		if t.peer != nil {
+			c.tasks[id].peer = c.tasks[t.peer.ID]
+		}
+	}
+	return c
+}

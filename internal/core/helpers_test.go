@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"daydream/internal/dnn"
+	"daydream/internal/framework"
+	"daydream/internal/trace"
+)
+
+// collectTrace profiles a zoo model on the synthetic substrate.
+func collectTrace(t *testing.T, name string) *trace.Trace {
+	t.Helper()
+	m, err := dnn.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := framework.Run(framework.Config{Model: m, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+// modelGraph profiles a zoo model on the synthetic substrate and builds
+// its mapped dependency graph — the shared fixture for integration-level
+// core tests.
+func modelGraph(t *testing.T, name string) *Graph {
+	t.Helper()
+	tr := collectTrace(t, name)
+	g, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MapLayers(g, tr.LayerSpans)
+	return g
+}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"daydream/internal/core"
+	"daydream/internal/dnn"
+	"daydream/internal/framework"
+)
+
+// TestReplayIdentity checks the foundation of every what-if analysis: a
+// dependency graph built from a baseline trace and simulated without any
+// transformation must reproduce the traced iteration time almost exactly.
+func TestReplayIdentity(t *testing.T) {
+	for _, name := range dnn.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			model, err := dnn.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := framework.Run(framework.Config{Model: model, CollectTrace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := core.Build(res.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := g.Simulate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			traced := res.IterationTime
+			relErr := math.Abs(float64(sim.Makespan-traced)) / float64(traced)
+			t.Logf("%s: traced=%v simulated=%v err=%.3f%%", name, traced, sim.Makespan, 100*relErr)
+			if relErr > 0.01 {
+				t.Errorf("replay error %.2f%% exceeds 1%% (traced %v, simulated %v)", 100*relErr, traced, sim.Makespan)
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSimulatorScalesToLargeGraphs chains ten BERT-Large iterations
+// (~130K tasks) and checks the simulator stays correct and fast enough
+// for interactive what-if exploration.
+func TestSimulatorScalesToLargeGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-graph test skipped in -short mode")
+	}
+	g := modelGraph(t, "bert-large")
+	single, err := g.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.Repeat(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumTasks() != 10*g.NumTasks() {
+		t.Fatalf("repeat produced %d tasks, want %d", rep.NumTasks(), 10*g.NumTasks())
+	}
+	start := time.Now()
+	res, err := rep.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("simulated %d tasks in %v", rep.NumTasks(), elapsed)
+	if elapsed > 30*time.Second {
+		t.Fatalf("simulation of %d tasks took %v", rep.NumTasks(), elapsed)
+	}
+	// Ten chained synchronous iterations ≈ 10 × one iteration.
+	ratio := float64(res.Makespan) / float64(10*single)
+	if ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("10-iteration makespan %v vs 10×%v (ratio %.3f)", res.Makespan, single, ratio)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scheduler picks the next task to dispatch from the execution frontier —
+// the paper's overridable schedule() of Algorithm 1 (§4.4 "Schedule").
+// effStart returns the earliest time the task could begin given current
+// thread progress. Implementations must be deterministic.
+type Scheduler interface {
+	Pick(frontier []*Task, effStart func(*Task) time.Duration) *Task
+}
+
+// EarliestStart is the default scheduler: the frontier task with the
+// earliest effective start wins; ties fall to higher priority, then lower
+// task ID.
+type EarliestStart struct{}
+
+// Pick implements Scheduler.
+func (EarliestStart) Pick(frontier []*Task, effStart func(*Task) time.Duration) *Task {
+	var best *Task
+	var bestT time.Duration
+	for _, t := range frontier {
+		et := effStart(t)
+		switch {
+		case best == nil, et < bestT:
+			best, bestT = t, et
+		case et == bestT:
+			if t.Priority > best.Priority || (t.Priority == best.Priority && t.ID < best.ID) {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// SimResult is the outcome of one simulation.
+type SimResult struct {
+	// Makespan is the time from simulation start to the completion of
+	// the last task (gaps included).
+	Makespan time.Duration
+	// Start maps task ID to simulated start time.
+	Start map[int]time.Duration
+	// ThreadEnd maps each thread to its final progress.
+	ThreadEnd map[ThreadID]time.Duration
+}
+
+// Finish returns the simulated completion time of a task.
+func (r *SimResult) Finish(t *Task) time.Duration {
+	return r.Start[t.ID] + t.Duration
+}
+
+// simOptions collects Simulate options.
+type simOptions struct {
+	scheduler Scheduler
+}
+
+// SimOption configures Simulate.
+type SimOption func(*simOptions)
+
+// WithScheduler overrides the default earliest-start scheduling policy
+// (used, e.g., to model P3's priority queues or vDNN's prefetch policy).
+func WithScheduler(s Scheduler) SimOption {
+	return func(o *simOptions) { o.scheduler = s }
+}
+
+// Simulate executes Algorithm 1 of the paper: a frontier-based replay that
+// dispatches each task to its execution thread once its dependencies
+// complete, advancing per-thread progress by duration plus gap, and
+// propagating earliest-start times along dependency edges.
+func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
+	o := simOptions{scheduler: EarliestStart{}}
+	for _, fn := range opts {
+		fn(&o)
+	}
+
+	res := &SimResult{
+		Start:     make(map[int]time.Duration, len(g.tasks)),
+		ThreadEnd: make(map[ThreadID]time.Duration),
+	}
+	ref := make(map[int]int, len(g.tasks))
+	earliest := make(map[int]time.Duration, len(g.tasks))
+	var frontier []*Task
+	for _, id := range g.order {
+		t, ok := g.tasks[id]
+		if !ok {
+			continue
+		}
+		ref[id] = len(t.parents)
+		if ref[id] == 0 {
+			frontier = append(frontier, t)
+		}
+	}
+
+	effStart := func(t *Task) time.Duration {
+		es := earliest[t.ID]
+		if p := res.ThreadEnd[t.Thread]; p > es {
+			es = p
+		}
+		return es
+	}
+
+	executed := 0
+	for len(frontier) > 0 {
+		u := o.scheduler.Pick(frontier, effStart)
+		if u == nil {
+			return nil, fmt.Errorf("core: scheduler returned no task from a frontier of %d", len(frontier))
+		}
+		// Remove u from the frontier.
+		found := false
+		for i, t := range frontier {
+			if t == u {
+				frontier[i] = frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: scheduler picked task %v outside the frontier", u)
+		}
+		start := effStart(u)
+		res.Start[u.ID] = start
+		end := start + u.Duration + u.Gap
+		res.ThreadEnd[u.Thread] = end
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		executed++
+		for _, c := range u.children {
+			if end > earliest[c.ID] {
+				earliest[c.ID] = end
+			}
+			ref[c.ID]--
+			if ref[c.ID] == 0 {
+				frontier = append(frontier, c)
+			}
+		}
+	}
+	if executed != len(g.tasks) {
+		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, len(g.tasks))
+	}
+	return res, nil
+}
+
+// PredictIteration simulates the graph and returns the makespan — the
+// predicted iteration time. It is a convenience wrapper for the common
+// whole-graph question.
+func (g *Graph) PredictIteration(opts ...SimOption) (time.Duration, error) {
+	res, err := g.Simulate(opts...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

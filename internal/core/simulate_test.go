@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"daydream/internal/trace"
+)
+
+func TestSimulateSerialChain(t *testing.T) {
+	g, _ := chain(4, 10*time.Microsecond)
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 40*time.Microsecond {
+		t.Fatalf("makespan = %v, want 40µs", res.Makespan)
+	}
+}
+
+func TestSimulateGapSemantics(t *testing.T) {
+	// Per Algorithm 1, a task's gap advances its thread's progress and
+	// its children's earliest start.
+	g, tasks := chain(2, 10*time.Microsecond)
+	tasks[0].Gap = 5 * time.Microsecond
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Start[tasks[1].ID]; got != 15*time.Microsecond {
+		t.Fatalf("second task starts at %v, want 15µs", got)
+	}
+	if res.Makespan != 25*time.Microsecond {
+		t.Fatalf("makespan = %v, want 25µs", res.Makespan)
+	}
+}
+
+func TestSimulateParallelThreads(t *testing.T) {
+	// Two independent threads run concurrently: makespan = max, not sum.
+	g := NewGraph()
+	a := g.NewTask("a", trace.KindCPUOp, CPU(1), 30*time.Microsecond)
+	g.AppendTask(a)
+	b := g.NewTask("b", trace.KindKernel, Stream(7), 50*time.Microsecond)
+	g.AppendTask(b)
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 50*time.Microsecond {
+		t.Fatalf("makespan = %v, want 50µs", res.Makespan)
+	}
+	if res.Start[a.ID] != 0 || res.Start[b.ID] != 0 {
+		t.Fatal("independent tasks should both start at 0")
+	}
+}
+
+func TestSimulateCrossThreadDependency(t *testing.T) {
+	// launch (10µs, CPU) → kernel (20µs, GPU); then a sync on the CPU
+	// waits for the kernel. Classic launch/sync diamond.
+	g := NewGraph()
+	launch := g.NewTask("launch", trace.KindLaunch, CPU(1), 10*time.Microsecond)
+	g.AppendTask(launch)
+	kernel := g.NewTask("k", trace.KindKernel, Stream(7), 20*time.Microsecond)
+	g.AppendTask(kernel)
+	if err := g.Correlate(launch, kernel); err != nil {
+		t.Fatal(err)
+	}
+	sync := g.NewTask("sync", trace.KindSync, CPU(1), 2*time.Microsecond)
+	g.AppendTask(sync)
+	if err := g.AddDependency(kernel, sync, DepSync); err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Start[kernel.ID] != 10*time.Microsecond {
+		t.Fatalf("kernel starts at %v, want 10µs", res.Start[kernel.ID])
+	}
+	if res.Start[sync.ID] != 30*time.Microsecond {
+		t.Fatalf("sync starts at %v, want 30µs (after kernel)", res.Start[sync.ID])
+	}
+	if res.Makespan != 32*time.Microsecond {
+		t.Fatalf("makespan = %v, want 32µs", res.Makespan)
+	}
+}
+
+func TestSimulateDetectsCycle(t *testing.T) {
+	g, tasks := chain(2, time.Microsecond)
+	if err := g.AddDependency(tasks[1], tasks[0], DepCustom); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Simulate(); err == nil {
+		t.Fatal("cycle simulated successfully")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	g, _ := chain(50, time.Microsecond)
+	// Cross edges to create scheduling choice.
+	tasks := g.Tasks()
+	for i := 0; i+7 < len(tasks); i += 7 {
+		k := g.NewTask("k", trace.KindKernel, Stream(7), 3*time.Microsecond)
+		g.AppendTask(k)
+		if err := g.AddDependency(tasks[i], k, DepCustom); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Fatal("simulation not deterministic")
+	}
+	for id, s := range r1.Start {
+		if r2.Start[id] != s {
+			t.Fatalf("task %d start differs across runs", id)
+		}
+	}
+}
+
+// prioritySched prefers higher-priority tasks among those ready at the
+// same effective time — the shape of the P3 scheduler.
+func TestSchedulerPriorityTieBreak(t *testing.T) {
+	// Two channel tasks become ready at the same instant; the default
+	// scheduler must favor the higher Priority.
+	g := NewGraph()
+	gate := g.NewTask("gate", trace.KindCPUOp, CPU(1), 10*time.Microsecond)
+	g.AppendTask(gate)
+	low := g.NewTask("low", trace.KindComm, Channel("ps.send"), 10*time.Microsecond)
+	low.Priority = -5
+	high := g.NewTask("high", trace.KindComm, Channel("ps.send"), 10*time.Microsecond)
+	high.Priority = 5
+	for _, task := range []*Task{low, high} {
+		if err := g.AddDependency(gate, task, DepComm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Start[high.ID] != 10*time.Microsecond {
+		t.Fatalf("high-priority task starts at %v, want first slot", res.Start[high.ID])
+	}
+	if res.Start[low.ID] != 20*time.Microsecond {
+		t.Fatalf("low-priority task starts at %v, want second slot", res.Start[low.ID])
+	}
+}
+
+// reversePriority inverts the default preference, to prove the override
+// hook actually controls scheduling.
+type reversePriority struct{}
+
+func (reversePriority) Pick(frontier []*Task, effStart func(*Task) time.Duration) *Task {
+	var best *Task
+	var bestT time.Duration
+	for _, task := range frontier {
+		et := effStart(task)
+		switch {
+		case best == nil, et < bestT:
+			best, bestT = task, et
+		case et == bestT && task.Priority < best.Priority:
+			best = task
+		}
+	}
+	return best
+}
+
+func TestSchedulerOverride(t *testing.T) {
+	g := NewGraph()
+	gate := g.NewTask("gate", trace.KindCPUOp, CPU(1), 10*time.Microsecond)
+	g.AppendTask(gate)
+	low := g.NewTask("low", trace.KindComm, Channel("c"), 10*time.Microsecond)
+	low.Priority = -5
+	high := g.NewTask("high", trace.KindComm, Channel("c"), 10*time.Microsecond)
+	high.Priority = 5
+	for _, task := range []*Task{low, high} {
+		if err := g.AddDependency(gate, task, DepComm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := g.Simulate(WithScheduler(reversePriority{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Start[low.ID] != 10*time.Microsecond {
+		t.Fatal("scheduler override not honored")
+	}
+}
+
+// TestSimulationInvariants checks, on a real model graph, the two
+// correctness properties of Algorithm 1: no task starts before a parent
+// finishes (plus gap), and tasks on one thread never overlap.
+func TestSimulationInvariants(t *testing.T) {
+	g := modelGraph(t, "densenet121")
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range g.Tasks() {
+		uEnd := res.Start[u.ID] + u.Duration + u.Gap
+		for _, c := range u.Children() {
+			if res.Start[c.ID] < uEnd {
+				t.Fatalf("dependency violated: %v starts %v before parent %v ends %v",
+					c, res.Start[c.ID], u, uEnd)
+			}
+		}
+	}
+	for _, tid := range g.Threads() {
+		tasks := g.ThreadTasks(tid)
+		for i := 1; i < len(tasks); i++ {
+			prevEnd := res.Start[tasks[i-1].ID] + tasks[i-1].Duration + tasks[i-1].Gap
+			if res.Start[tasks[i].ID] < prevEnd {
+				t.Fatalf("thread %v overlap at position %d", tid, i)
+			}
+		}
+	}
+}
+
+func TestSimResultFinish(t *testing.T) {
+	g, tasks := chain(1, 10*time.Microsecond)
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish(tasks[0]) != 10*time.Microsecond {
+		t.Fatal("Finish wrong")
+	}
+}
+
+func TestEmptyGraphSimulates(t *testing.T) {
+	g := NewGraph()
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 {
+		t.Fatal("empty graph has nonzero makespan")
+	}
+}

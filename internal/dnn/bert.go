@@ -1,0 +1,101 @@
+package dnn
+
+import "fmt"
+
+// bertConfig parameterizes a BERT encoder stack.
+type bertConfig struct {
+	name   string
+	blocks int
+	hidden int
+	heads  int
+	vocab  int
+	maxPos int
+	batch  int
+	seqLen int
+}
+
+// buildBERT assembles a BERT model for SQuAD fine-tuning: embeddings, a
+// stack of Transformer blocks, and a span-prediction head. Per block there
+// are exactly 16 parameter tensors (q/k/v/out/fc1/fc2 weight+bias pairs
+// plus two LayerNorms), so the unfused-Adam weight-update phase launches
+// the thousands of elementwise kernels the paper counts in §6.3.
+func buildBERT(cfg bertConfig) *Model {
+	b := newBuilder(cfg.name, "SQuAD", cfg.batch, Adam)
+	b.model.SeqLen = cfg.seqLen
+	tokens := cfg.batch * cfg.seqLen
+	h := cfg.hidden
+	tf := float64(tokens)
+	hf := float64(h)
+
+	// Embeddings: word + position + token-type tables feed one gather,
+	// then LayerNorm and dropout.
+	b.add(embeddingLayer("embeddings.gather", tokens, cfg.vocab, h,
+		int64(cfg.maxPos)*int64(h), 2*int64(h)))
+	b.add(layerNormLayer("embeddings.ln", tf*hf, h))
+	b.add(pointwiseLayer("embeddings.dropout", Dropout, tf*hf))
+
+	for i := 0; i < cfg.blocks; i++ {
+		p := fmt.Sprintf("encoder.layer%d", i)
+		b.add(linearLayer(p+".attn.query", tokens, h, h))
+		b.add(linearLayer(p+".attn.key", tokens, h, h))
+		b.add(linearLayer(p+".attn.value", tokens, h, h))
+		b.add(matmulLayer(p+".attn.scores", float64(cfg.batch), float64(cfg.seqLen), float64(cfg.seqLen), hf/float64(cfg.heads), float64(cfg.heads)))
+		attnElems := float64(cfg.batch) * float64(cfg.heads) * float64(cfg.seqLen) * float64(cfg.seqLen)
+		b.add(softmaxLayer(p+".attn.softmax", attnElems))
+		b.add(pointwiseLayer(p+".attn.dropout", Dropout, attnElems))
+		b.add(matmulLayer(p+".attn.context", float64(cfg.batch), float64(cfg.seqLen), hf/float64(cfg.heads), float64(cfg.seqLen), float64(cfg.heads)))
+		b.add(linearLayer(p+".attn.output", tokens, h, h))
+		b.add(pointwiseLayer(p+".attn.residual", Add, tf*hf))
+		b.add(layerNormLayer(p+".attn.ln", tf*hf, h))
+		b.add(linearLayer(p+".ffn.fc1", tokens, h, 4*h))
+		b.add(geluLayer(p+".ffn.gelu", tf*4*hf))
+		b.add(linearLayer(p+".ffn.fc2", tokens, 4*h, h))
+		b.add(pointwiseLayer(p+".ffn.residual", Add, tf*hf))
+		b.add(layerNormLayer(p+".ffn.ln", tf*hf, h))
+	}
+
+	b.add(linearLayer("qa_outputs", tokens, h, 2))
+	b.add(lossLayer("loss", 2*tf))
+	return b.done()
+}
+
+// layerNormLayer builds a layer normalization over n elements with
+// per-channel gamma/beta of the given width.
+func layerNormLayer(name string, n float64, width int) *Layer {
+	return &Layer{
+		Name:     name,
+		Kind:     LayerNorm,
+		Tensors:  []int64{int64(width), int64(width)},
+		FLOPsFwd: 5 * n, BytesFwd: 3 * n * 4,
+		FLOPsBwd: 7 * n, BytesBwd: 4 * n * 4,
+		ActBytes: int64(n) * 4,
+	}
+}
+
+// geluLayer builds a GeLU activation over n elements.
+func geluLayer(name string, n float64) *Layer {
+	return &Layer{
+		Name:     name,
+		Kind:     GeLU,
+		FLOPsFwd: 8 * n, BytesFwd: 2 * n * 4,
+		FLOPsBwd: 10 * n, BytesBwd: 3 * n * 4,
+		ActBytes: int64(n) * 4,
+	}
+}
+
+// BERTBase builds the 12-block, 768-hidden BERT-Base model for SQuAD at
+// the given batch size and sequence length.
+func BERTBase(batch, seqLen int) *Model {
+	return buildBERT(bertConfig{
+		name: "BERT-Base", blocks: 12, hidden: 768, heads: 12,
+		vocab: 30522, maxPos: 512, batch: batch, seqLen: seqLen,
+	})
+}
+
+// BERTLarge builds the 24-block, 1024-hidden BERT-Large model for SQuAD.
+func BERTLarge(batch, seqLen int) *Model {
+	return buildBERT(bertConfig{
+		name: "BERT-Large", blocks: 24, hidden: 1024, heads: 16,
+		vocab: 30522, maxPos: 512, batch: batch, seqLen: seqLen,
+	})
+}

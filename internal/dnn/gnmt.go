@@ -1,0 +1,155 @@
+package dnn
+
+import "fmt"
+
+// seqHelpers provides cost formulas shared by the sequence models.
+
+// linearLayer builds a Linear layer mapping (batch·tokens, in) → out.
+func linearLayer(name string, tokens, in, out int) *Layer {
+	t, i, o := float64(tokens), float64(in), float64(out)
+	flops := 2 * t * i * o
+	weights := i * o
+	bytes := (t*i + t*o + weights) * 4
+	return &Layer{
+		Name:     name,
+		Kind:     Linear,
+		Tensors:  []int64{int64(weights), int64(out)},
+		FLOPsFwd: flops, BytesFwd: bytes,
+		FLOPsBwd: 2 * flops, BytesBwd: 2 * bytes,
+		ActBytes: int64(t*o) * 4,
+	}
+}
+
+// pointwiseLayer builds an elementwise layer over n elements.
+func pointwiseLayer(name string, kind LayerKind, n float64) *Layer {
+	return &Layer{
+		Name:     name,
+		Kind:     kind,
+		FLOPsFwd: n, BytesFwd: 2.5 * n * 4,
+		FLOPsBwd: n, BytesBwd: 2.5 * n * 4,
+		ActBytes: int64(n) * 4,
+	}
+}
+
+// lstmLayer builds one (optionally bidirectional) LSTM layer over a
+// sequence.
+func lstmLayer(name string, batch, seq, in, hidden int, bidir bool) *Layer {
+	dirs := 1
+	if bidir {
+		dirs = 2
+	}
+	b, s, i, h, d := float64(batch), float64(seq), float64(in), float64(hidden), float64(dirs)
+	flops := 2 * b * s * (i*4*h + h*4*h) * d
+	weights := (4*h*(i+h) + 8*h) * d
+	bytes := (b*s*(i+h*d+8*h)*4 + weights*4)
+	var tensors []int64
+	for k := 0; k < dirs; k++ {
+		tensors = append(tensors,
+			int64(4*h*i), // w_ih
+			int64(4*h*h), // w_hh
+			int64(8*h),   // biases
+		)
+	}
+	return &Layer{
+		Name:     name,
+		Kind:     LSTM,
+		Tensors:  tensors,
+		FLOPsFwd: flops, BytesFwd: bytes,
+		FLOPsBwd: 2 * flops, BytesBwd: 2 * bytes,
+		ActBytes: int64(b*s*h*d) * 4,
+		// cuDNN fuses recurrent steps aggressively; four serialized
+		// chunks per layer keeps the recurrent GEMMs at realistic
+		// (tensor-core-friendly) sizes.
+		SeqChunks: 4,
+	}
+}
+
+// embeddingLayer builds a token embedding lookup.
+func embeddingLayer(name string, tokens, vocab, hidden int, extraTensors ...int64) *Layer {
+	t, h := float64(tokens), float64(hidden)
+	tensors := append([]int64{int64(vocab) * int64(hidden)}, extraTensors...)
+	return &Layer{
+		Name:     name,
+		Kind:     Embedding,
+		Tensors:  tensors,
+		FLOPsFwd: 0, BytesFwd: t*h*4 + t*8,
+		FLOPsBwd: t * h, BytesBwd: 2 * t * h * 4,
+		ActBytes: int64(t*h) * 4,
+	}
+}
+
+// GNMT builds Google's neural machine translation model (Wu et al.) for
+// WMT'16 En→De at the given batch size and (average) sequence length:
+// a 4-layer encoder with a bidirectional first layer, a 4-layer decoder
+// with additive attention, and a 32 K-vocabulary classifier. Trained with
+// Adam, as in the paper's FusedAdam experiment ("Seq2Seq").
+func GNMT(batch, seqLen int) *Model {
+	const (
+		vocab  = 32000
+		hidden = 1024
+	)
+	b := newBuilder("GNMT", "WMT16", batch, Adam)
+	b.model.SeqLen = seqLen
+	tokens := batch * seqLen
+
+	b.add(embeddingLayer("encoder.embedding", tokens, vocab, hidden))
+	b.add(lstmLayer("encoder.lstm0", batch, seqLen, hidden, hidden, true))
+	b.add(linearLayer("encoder.bridge", tokens, 2*hidden, hidden))
+	for i := 1; i < 4; i++ {
+		b.add(lstmLayer(fmt.Sprintf("encoder.lstm%d", i), batch, seqLen, hidden, hidden, false))
+	}
+
+	b.add(embeddingLayer("decoder.embedding", tokens, vocab, hidden))
+	for i := 0; i < 4; i++ {
+		b.add(lstmLayer(fmt.Sprintf("decoder.lstm%d", i), batch, seqLen, hidden, hidden, false))
+		if i == 0 {
+			// Attention after the first decoder layer: a query
+			// projection, score and context products, and an
+			// output projection.
+			b.add(linearLayer("decoder.attention.query", tokens, hidden, hidden))
+			b.add(matmulLayer("decoder.attention.scores", float64(batch), float64(seqLen), float64(seqLen), float64(hidden), 1))
+			b.add(softmaxLayer("decoder.attention.softmax", float64(batch)*float64(seqLen)*float64(seqLen)))
+			b.add(matmulLayer("decoder.attention.context", float64(batch), float64(seqLen), float64(hidden), float64(seqLen), 1))
+			b.add(linearLayer("decoder.attention.out", tokens, 2*hidden, hidden))
+		}
+	}
+	b.add(linearLayer("decoder.classifier", tokens, hidden, vocab))
+	b.add(lossLayer("loss", float64(tokens)*float64(vocab)))
+	return b.done()
+}
+
+// matmulLayer builds a batched activation×activation matrix product of
+// shape (batchCount·heads) × (m×k · k×n).
+func matmulLayer(name string, batchCount, m, n, k, heads float64) *Layer {
+	bh := batchCount * heads
+	flops := 2 * bh * m * n * k
+	bytes := bh * (m*k + k*n + m*n) * 4
+	return &Layer{
+		Name:     name,
+		Kind:     MatMul,
+		FLOPsFwd: flops, BytesFwd: bytes,
+		FLOPsBwd: 2 * flops, BytesBwd: 2 * bytes,
+		ActBytes: int64(bh*m*n) * 4,
+	}
+}
+
+// softmaxLayer builds a softmax over n elements.
+func softmaxLayer(name string, n float64) *Layer {
+	return &Layer{
+		Name:     name,
+		Kind:     Softmax,
+		FLOPsFwd: 4 * n, BytesFwd: 3 * n * 4,
+		FLOPsBwd: 3 * n, BytesBwd: 3 * n * 4,
+		ActBytes: int64(n) * 4,
+	}
+}
+
+// lossLayer builds a softmax + NLL loss over n logits.
+func lossLayer(name string, n float64) *Layer {
+	return &Layer{
+		Name:     name,
+		Kind:     Loss,
+		FLOPsFwd: 4 * n, BytesFwd: 3 * n * 4,
+		FLOPsBwd: 2 * n, BytesBwd: 2 * n * 4,
+	}
+}

@@ -1,0 +1,305 @@
+// Package dnn defines the DNN model zoo the paper evaluates (Table 2):
+// ResNet-50, VGG-19 and DenseNet-121 for image classification, GNMT for
+// machine translation, and BERT-Base/Large for language modeling. Models
+// are sequences of layers with analytic parameter, FLOP and memory-traffic
+// accounting; each layer expands to the GPU kernels a cuDNN/cuBLAS-backed
+// framework would launch for its forward, backward and weight-update
+// phases.
+package dnn
+
+import (
+	"fmt"
+
+	"daydream/internal/xpu"
+)
+
+// LayerKind enumerates the operator types used by the model zoo.
+type LayerKind int
+
+// Layer kinds.
+const (
+	Conv LayerKind = iota
+	BatchNorm
+	ReLU
+	GeLU
+	Pool
+	Linear
+	MatMul // activation×activation product (attention); no parameters
+	Softmax
+	LayerNorm
+	Dropout
+	Add
+	Concat
+	Embedding
+	LSTM
+	Loss
+	DataPrep // host-side only; no kernels
+)
+
+var layerKindNames = map[LayerKind]string{
+	Conv: "conv", BatchNorm: "batchnorm", ReLU: "relu", GeLU: "gelu",
+	Pool: "pool", Linear: "linear", MatMul: "matmul", Softmax: "softmax",
+	LayerNorm: "layernorm", Dropout: "dropout", Add: "add", Concat: "concat",
+	Embedding: "embedding", LSTM: "lstm", Loss: "loss", DataPrep: "dataprep",
+}
+
+// String returns the lower-case kind name.
+func (k LayerKind) String() string {
+	if n, ok := layerKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("layerkind(%d)", int(k))
+}
+
+// Layer is one operator instance in a model, with analytic cost metadata
+// computed by the model builders for a specific batch size.
+type Layer struct {
+	// Name is the framework-style qualified name, e.g. "layer3.2.conv1".
+	Name string
+	// Kind is the operator type.
+	Kind LayerKind
+	// Index is the topological position within the model.
+	Index int
+	// Tensors lists the element counts of the layer's learnable
+	// parameter tensors (weight, bias, gamma, beta, ...). Empty for
+	// parameter-free layers.
+	Tensors []int64
+	// FLOPsFwd and BytesFwd are the forward-pass arithmetic work and
+	// DRAM traffic at the builder's batch size.
+	FLOPsFwd, BytesFwd float64
+	// FLOPsBwd and BytesBwd are the same for the backward pass
+	// (typically ≈2× forward for parameterized layers).
+	FLOPsBwd, BytesBwd float64
+	// ActBytes is the size of the layer's output activation, used by the
+	// memory-footprint optimizations (vDNN, Gist).
+	ActBytes int64
+	// SeqChunks is, for LSTM layers, the number of sequential time-step
+	// chunks the recurrence serializes into.
+	SeqChunks int
+	// Branch marks layers on a side branch of the dataflow (e.g.
+	// ResNet's downsample shortcut) that a framework with multi-stream
+	// execution could run concurrently with the main path. Used by the
+	// engine's concurrent-kernels mode (paper §7.5).
+	Branch bool
+}
+
+// CPUOps returns how many framework-level operator dispatches the layer's
+// forward pass costs on the CPU. The model zoo's layers are coarse — one
+// "MatMul" layer stands for the view/permute/bmm/view chain a real
+// framework executes — so the CPU dispatch cost aggregates accordingly.
+// This is what makes BERT's iteration CPU-bound in the right places
+// (paper §6.3: "the CUDA launch calls on the CPU become the main
+// bottleneck").
+func (l *Layer) CPUOps() int {
+	switch l.Kind {
+	case Linear:
+		return 4 // view, addmm/matmul, add bias, view
+	case MatMul:
+		return 6 // reshape/permute chains around bmm
+	case Conv:
+		return 2
+	case BatchNorm, LayerNorm:
+		return 3
+	case Softmax, Dropout, GeLU, Pool:
+		return 2
+	case Embedding:
+		return 3
+	case LSTM:
+		return 12 // per-sequence setup, packing, gate plumbing
+	case Loss:
+		return 4
+	case ReLU, Add, Concat:
+		return 1
+	}
+	return 1
+}
+
+// Params returns the total number of learnable parameters.
+func (l *Layer) Params() int64 {
+	var n int64
+	for _, t := range l.Tensors {
+		n += t
+	}
+	return n
+}
+
+// GradBytes returns the size of the fp32 gradient the layer produces.
+func (l *Layer) GradBytes() int64 { return l.Params() * 4 }
+
+// HasParams reports whether the layer has learnable parameters.
+func (l *Layer) HasParams() bool { return len(l.Tensors) > 0 }
+
+// share splits a total proportionally: part(total, num, den) = total*num/den.
+func share(total float64, num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return total * num / den
+}
+
+// ForwardKernels expands the layer into the GPU kernels its forward pass
+// launches, in launch order.
+func (l *Layer) ForwardKernels() []xpu.Kernel {
+	switch l.Kind {
+	case Conv:
+		return []xpu.Kernel{
+			{Class: xpu.ClassConv, FLOPs: l.FLOPsFwd, Bytes: l.BytesFwd, TensorCore: true},
+		}
+	case Linear:
+		return []xpu.Kernel{
+			{Class: xpu.ClassGEMM, FLOPs: l.FLOPsFwd, Bytes: share(l.BytesFwd, 9, 10), TensorCore: true},
+			{Name: "elementwise_kernel_add_bias", Class: xpu.ClassElementwise, Bytes: share(l.BytesFwd, 1, 10)},
+		}
+	case MatMul:
+		return []xpu.Kernel{
+			{Class: xpu.ClassGEMM, FLOPs: l.FLOPsFwd, Bytes: l.BytesFwd, TensorCore: true},
+		}
+	case BatchNorm:
+		return []xpu.Kernel{
+			{Class: xpu.ClassBatchNorm, FLOPs: l.FLOPsFwd, Bytes: l.BytesFwd},
+		}
+	case ReLU, Add, Dropout, Concat:
+		return []xpu.Kernel{
+			{Class: classOfPointwise(l.Kind), FLOPs: l.FLOPsFwd, Bytes: l.BytesFwd},
+		}
+	case GeLU:
+		return []xpu.Kernel{
+			{Name: "elementwise_kernel_gelu", Class: xpu.ClassElementwise, FLOPs: l.FLOPsFwd, Bytes: l.BytesFwd},
+		}
+	case Pool:
+		return []xpu.Kernel{
+			{Class: xpu.ClassPool, FLOPs: l.FLOPsFwd, Bytes: l.BytesFwd},
+		}
+	case Softmax:
+		return []xpu.Kernel{
+			{Class: xpu.ClassSoftmax, FLOPs: l.FLOPsFwd, Bytes: l.BytesFwd},
+		}
+	case LayerNorm:
+		return []xpu.Kernel{
+			{Class: xpu.ClassLayerNorm, FLOPs: l.FLOPsFwd, Bytes: l.BytesFwd},
+		}
+	case Embedding:
+		return []xpu.Kernel{
+			{Class: xpu.ClassEmbedding, FLOPs: l.FLOPsFwd, Bytes: l.BytesFwd},
+		}
+	case LSTM:
+		return l.lstmKernels(l.FLOPsFwd, l.BytesFwd, false)
+	case Loss:
+		return []xpu.Kernel{
+			{Class: xpu.ClassSoftmax, FLOPs: l.FLOPsFwd, Bytes: share(l.BytesFwd, 4, 5)},
+			{Name: "reduce_kernel_nll_loss", Class: xpu.ClassReduce, Bytes: share(l.BytesFwd, 1, 5)},
+		}
+	case DataPrep:
+		return nil
+	}
+	return nil
+}
+
+// BackwardKernels expands the layer into the GPU kernels its backward pass
+// launches, in launch order.
+func (l *Layer) BackwardKernels() []xpu.Kernel {
+	switch l.Kind {
+	case Conv:
+		// Data-gradient and weight-gradient convolutions.
+		return []xpu.Kernel{
+			{Name: "scudnn_128x128_dgrad", Class: xpu.ClassConv, FLOPs: share(l.FLOPsBwd, 1, 2), Bytes: share(l.BytesBwd, 1, 2), TensorCore: true},
+			{Name: "scudnn_128x64_wgrad", Class: xpu.ClassConv, FLOPs: share(l.FLOPsBwd, 1, 2), Bytes: share(l.BytesBwd, 1, 2), TensorCore: true},
+		}
+	case Linear:
+		return []xpu.Kernel{
+			{Name: "volta_sgemm_128x64_tn_dgrad", Class: xpu.ClassGEMM, FLOPs: share(l.FLOPsBwd, 1, 2), Bytes: share(l.BytesBwd, 2, 5), TensorCore: true},
+			{Name: "volta_sgemm_128x64_nt_wgrad", Class: xpu.ClassGEMM, FLOPs: share(l.FLOPsBwd, 1, 2), Bytes: share(l.BytesBwd, 2, 5), TensorCore: true},
+			{Name: "reduce_kernel_bias_grad", Class: xpu.ClassReduce, Bytes: share(l.BytesBwd, 1, 5)},
+		}
+	case MatMul:
+		return []xpu.Kernel{
+			{Name: "volta_sgemm_128x64_tn", Class: xpu.ClassGEMM, FLOPs: share(l.FLOPsBwd, 1, 2), Bytes: share(l.BytesBwd, 1, 2), TensorCore: true},
+			{Name: "volta_sgemm_128x64_nt", Class: xpu.ClassGEMM, FLOPs: share(l.FLOPsBwd, 1, 2), Bytes: share(l.BytesBwd, 1, 2), TensorCore: true},
+		}
+	case BatchNorm:
+		return []xpu.Kernel{
+			{Name: "bn_bw_tr_1C11_kernel_NCHW", Class: xpu.ClassBatchNorm, FLOPs: l.FLOPsBwd, Bytes: l.BytesBwd},
+		}
+	case ReLU, Add, Dropout, Concat:
+		return []xpu.Kernel{
+			{Class: classOfPointwise(l.Kind), FLOPs: l.FLOPsBwd, Bytes: l.BytesBwd},
+		}
+	case GeLU:
+		return []xpu.Kernel{
+			{Name: "elementwise_kernel_gelu_backward", Class: xpu.ClassElementwise, FLOPs: l.FLOPsBwd, Bytes: l.BytesBwd},
+		}
+	case Pool:
+		return []xpu.Kernel{
+			{Name: "pooling_bw_4d_kernel", Class: xpu.ClassPool, FLOPs: l.FLOPsBwd, Bytes: l.BytesBwd},
+		}
+	case Softmax:
+		return []xpu.Kernel{
+			{Name: "softmax_warp_backward", Class: xpu.ClassSoftmax, FLOPs: l.FLOPsBwd, Bytes: l.BytesBwd},
+		}
+	case LayerNorm:
+		return []xpu.Kernel{
+			{Name: "layer_norm_grad_input_kernel", Class: xpu.ClassLayerNorm, FLOPs: share(l.FLOPsBwd, 3, 4), Bytes: share(l.BytesBwd, 3, 4)},
+			{Name: "reduce_kernel_layer_norm_param_grad", Class: xpu.ClassReduce, Bytes: share(l.BytesBwd, 1, 4)},
+		}
+	case Embedding:
+		return []xpu.Kernel{
+			{Name: "embedding_backward_feature_kernel", Class: xpu.ClassEmbedding, FLOPs: l.FLOPsBwd, Bytes: l.BytesBwd},
+		}
+	case LSTM:
+		return l.lstmKernels(l.FLOPsBwd, l.BytesBwd, true)
+	case Loss:
+		return []xpu.Kernel{
+			{Name: "elementwise_kernel_nll_backward", Class: xpu.ClassElementwise, FLOPs: l.FLOPsBwd, Bytes: l.BytesBwd},
+		}
+	case DataPrep:
+		return nil
+	}
+	return nil
+}
+
+func classOfPointwise(k LayerKind) xpu.Class {
+	if k == Dropout {
+		return xpu.ClassDropout
+	}
+	return xpu.ClassElementwise
+}
+
+// lstmKernels models a cuDNN-style LSTM layer: one large input GEMM batched
+// over the whole sequence, then SeqChunks serialized chunks of
+// (recurrent GEMM + fused pointwise gate math). Backward mirrors forward
+// with an extra weight-gradient GEMM.
+func (l *Layer) lstmKernels(flops, bytes float64, backward bool) []xpu.Kernel {
+	chunks := l.SeqChunks
+	if chunks <= 0 {
+		chunks = 8
+	}
+	// Work split: half the GEMM work is the batched input projection,
+	// half is the serialized recurrence; pointwise gates are ~12% of
+	// traffic.
+	gemmFLOPs := share(flops, 7, 8)
+	ewBytes := share(bytes, 1, 8)
+	gemmBytes := bytes - ewBytes
+	ks := []xpu.Kernel{{
+		Name: "volta_sgemm_128x128_nn_lstm_input", Class: xpu.ClassGEMM,
+		FLOPs: gemmFLOPs / 2, Bytes: gemmBytes / 2, TensorCore: true,
+	}}
+	for i := 0; i < chunks; i++ {
+		ks = append(ks,
+			xpu.Kernel{
+				Name: "volta_sgemm_64x64_nn_lstm_recur", Class: xpu.ClassGEMM,
+				FLOPs: gemmFLOPs / 2 / float64(chunks), Bytes: gemmBytes / 2 / float64(chunks), TensorCore: true,
+			},
+			xpu.Kernel{
+				Name: "elementwise_kernel_lstm_gates", Class: xpu.ClassElementwise,
+				Bytes: ewBytes / float64(chunks),
+			},
+		)
+	}
+	if backward {
+		ks = append(ks, xpu.Kernel{
+			Name: "volta_sgemm_128x64_nt_lstm_wgrad", Class: xpu.ClassGEMM,
+			FLOPs: share(gemmFLOPs, 1, 4), Bytes: share(gemmBytes, 1, 4), TensorCore: true,
+		})
+	}
+	return ks
+}

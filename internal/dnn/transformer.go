@@ -1,0 +1,65 @@
+package dnn
+
+import "fmt"
+
+// Transformer builds the base encoder–decoder Transformer of Vaswani et
+// al. (cited by the paper as one of the models driving the demand for
+// compute) for WMT'16: six encoder and six decoder blocks with d_model
+// 512, 8 heads and a 2048-wide feed-forward, a 32 K vocabulary and tied
+// generator. Trained with Adam. It extends the zoo beyond the paper's
+// Table 2 and exercises the cross-attention dataflow pattern.
+func Transformer(batch, seqLen int) *Model {
+	const (
+		vocab  = 32000
+		dModel = 512
+		heads  = 8
+		dFF    = 2048
+	)
+	b := newBuilder("Transformer", "WMT16", batch, Adam)
+	b.model.SeqLen = seqLen
+	tokens := batch * seqLen
+	tf := float64(tokens)
+	dm := float64(dModel)
+
+	attention := func(prefix string, crossTokens int) {
+		b.add(linearLayer(prefix+".query", tokens, dModel, dModel))
+		b.add(linearLayer(prefix+".key", crossTokens, dModel, dModel))
+		b.add(linearLayer(prefix+".value", crossTokens, dModel, dModel))
+		b.add(matmulLayer(prefix+".scores", float64(batch), float64(seqLen), float64(seqLen), dm/heads, heads))
+		attnElems := float64(batch) * heads * float64(seqLen) * float64(seqLen)
+		b.add(softmaxLayer(prefix+".softmax", attnElems))
+		b.add(pointwiseLayer(prefix+".dropout", Dropout, attnElems))
+		b.add(matmulLayer(prefix+".context", float64(batch), float64(seqLen), dm/heads, float64(seqLen), heads))
+		b.add(linearLayer(prefix+".output", tokens, dModel, dModel))
+		b.add(pointwiseLayer(prefix+".residual", Add, tf*dm))
+		b.add(layerNormLayer(prefix+".ln", tf*dm, dModel))
+	}
+	ffn := func(prefix string) {
+		b.add(linearLayer(prefix+".fc1", tokens, dModel, dFF))
+		b.add(pointwiseLayer(prefix+".relu", ReLU, tf*float64(dFF)))
+		b.add(linearLayer(prefix+".fc2", tokens, dFF, dModel))
+		b.add(pointwiseLayer(prefix+".residual", Add, tf*dm))
+		b.add(layerNormLayer(prefix+".ln", tf*dm, dModel))
+	}
+
+	b.add(embeddingLayer("encoder.embedding", tokens, vocab, dModel))
+	b.add(pointwiseLayer("encoder.pos_dropout", Dropout, tf*dm))
+	for i := 0; i < 6; i++ {
+		p := fmt.Sprintf("encoder.layer%d", i)
+		attention(p+".self_attn", tokens)
+		ffn(p + ".ffn")
+	}
+
+	b.add(embeddingLayer("decoder.embedding", tokens, vocab, dModel))
+	b.add(pointwiseLayer("decoder.pos_dropout", Dropout, tf*dm))
+	for i := 0; i < 6; i++ {
+		p := fmt.Sprintf("decoder.layer%d", i)
+		attention(p+".self_attn", tokens)
+		attention(p+".cross_attn", tokens)
+		ffn(p + ".ffn")
+	}
+
+	b.add(linearLayer("generator", tokens, dModel, vocab))
+	b.add(lossLayer("loss", tf*float64(vocab)))
+	return b.done()
+}

@@ -1,0 +1,295 @@
+package dnn
+
+import "fmt"
+
+// visionBuilder tracks the (channels, height, width) of the activation
+// flowing through a convolutional network while layers are appended.
+type visionBuilder struct {
+	*builder
+	batch   int
+	c, h, w int
+}
+
+func newVisionBuilder(name, dataset string, batch int, opt OptimizerKind) *visionBuilder {
+	return &visionBuilder{
+		builder: newBuilder(name, dataset, batch, opt),
+		batch:   batch,
+		c:       3, h: 224, w: 224,
+	}
+}
+
+// elems returns the element count of the current activation across the
+// batch.
+func (v *visionBuilder) elems() float64 {
+	return float64(v.batch) * float64(v.c) * float64(v.h) * float64(v.w)
+}
+
+func (v *visionBuilder) actBytes() int64 { return int64(v.elems()) * 4 }
+
+// conv appends a 2-D convolution and updates the tracked shape.
+func (v *visionBuilder) conv(name string, cout, k, stride int) *Layer {
+	inElems := v.elems()
+	hout := (v.h + stride - 1) / stride
+	wout := (v.w + stride - 1) / stride
+	outElems := float64(v.batch) * float64(cout) * float64(hout) * float64(wout)
+	weights := float64(k*k) * float64(v.c) * float64(cout)
+	flops := 2 * weights * float64(hout) * float64(wout) * float64(v.batch)
+	bytesFwd := (inElems + outElems + weights) * 4
+	l := v.add(&Layer{
+		Name:     name,
+		Kind:     Conv,
+		Tensors:  []int64{int64(weights)},
+		FLOPsFwd: flops, BytesFwd: bytesFwd,
+		FLOPsBwd: 2 * flops, BytesBwd: 2 * bytesFwd,
+	})
+	v.c, v.h, v.w = cout, hout, wout
+	l.ActBytes = v.actBytes()
+	return l
+}
+
+// bn appends a batch-normalization layer over the current shape.
+func (v *visionBuilder) bn(name string) *Layer {
+	e := v.elems()
+	l := v.add(&Layer{
+		Name:     name,
+		Kind:     BatchNorm,
+		Tensors:  []int64{int64(v.c), int64(v.c)},
+		FLOPsFwd: 5 * e, BytesFwd: 3.2 * e * 4,
+		FLOPsBwd: 7 * e, BytesBwd: 4.5 * e * 4,
+		ActBytes: v.actBytes(),
+	})
+	return l
+}
+
+// relu appends a ReLU over the current shape.
+func (v *visionBuilder) relu(name string) *Layer {
+	e := v.elems()
+	return v.add(&Layer{
+		Name:     name,
+		Kind:     ReLU,
+		FLOPsFwd: e, BytesFwd: 2 * e * 4,
+		FLOPsBwd: e, BytesBwd: 3 * e * 4,
+		ActBytes: v.actBytes(),
+	})
+}
+
+// pool appends a pooling layer with the given kernel and stride.
+func (v *visionBuilder) pool(name string, k, stride int) *Layer {
+	inElems := v.elems()
+	v.h = (v.h + stride - 1) / stride
+	v.w = (v.w + stride - 1) / stride
+	outElems := v.elems()
+	return v.add(&Layer{
+		Name:     name,
+		Kind:     Pool,
+		FLOPsFwd: inElems * float64(k*k) / float64(stride*stride),
+		BytesFwd: (inElems + outElems) * 4,
+		FLOPsBwd: inElems, BytesBwd: (inElems + outElems) * 4,
+		ActBytes: v.actBytes(),
+	})
+}
+
+// globalPool collapses the spatial dimensions to 1×1.
+func (v *visionBuilder) globalPool(name string) *Layer {
+	inElems := v.elems()
+	v.h, v.w = 1, 1
+	return v.add(&Layer{
+		Name:     name,
+		Kind:     Pool,
+		FLOPsFwd: inElems, BytesFwd: inElems * 4,
+		FLOPsBwd: inElems, BytesBwd: inElems * 4 * 2,
+		ActBytes: v.actBytes(),
+	})
+}
+
+// add2 appends an elementwise residual addition over the current shape.
+func (v *visionBuilder) addResidual(name string) *Layer {
+	e := v.elems()
+	return v.add(&Layer{
+		Name:     name,
+		Kind:     Add,
+		FLOPsFwd: e, BytesFwd: 3 * e * 4,
+		FLOPsBwd: e, BytesBwd: 2 * e * 4,
+		ActBytes: v.actBytes(),
+	})
+}
+
+// concat appends a channel concatenation that grows the channel count by
+// extra, reading and writing the combined tensor (DenseNet).
+func (v *visionBuilder) concat(name string, extra int) *Layer {
+	v.c += extra
+	e := v.elems()
+	return v.add(&Layer{
+		Name:     name,
+		Kind:     Concat,
+		FLOPsFwd: 0, BytesFwd: 2 * e * 4,
+		FLOPsBwd: 0, BytesBwd: 2 * e * 4,
+		ActBytes: v.actBytes(),
+	})
+}
+
+// fc appends a fully connected layer from the flattened activation.
+func (v *visionBuilder) fc(name string, out int) *Layer {
+	in := float64(v.c) * float64(v.h) * float64(v.w)
+	flops := 2 * in * float64(out) * float64(v.batch)
+	weights := in * float64(out)
+	bytesFwd := (in*float64(v.batch) + float64(out)*float64(v.batch) + weights) * 4
+	l := v.add(&Layer{
+		Name:     name,
+		Kind:     Linear,
+		Tensors:  []int64{int64(weights), int64(out)},
+		FLOPsFwd: flops, BytesFwd: bytesFwd,
+		FLOPsBwd: 2 * flops, BytesBwd: 2 * bytesFwd,
+	})
+	v.c, v.h, v.w = out, 1, 1
+	l.ActBytes = v.actBytes()
+	return l
+}
+
+// dropout appends a dropout layer over the current shape.
+func (v *visionBuilder) dropout(name string) *Layer {
+	e := v.elems()
+	return v.add(&Layer{
+		Name:     name,
+		Kind:     Dropout,
+		FLOPsFwd: e, BytesFwd: 2.5 * e * 4,
+		FLOPsBwd: e, BytesBwd: 2.5 * e * 4,
+		ActBytes: v.actBytes(),
+	})
+}
+
+// loss appends a classification softmax + NLL loss over the current shape.
+func (v *visionBuilder) loss(name string) *Layer {
+	e := v.elems()
+	return v.add(&Layer{
+		Name:     name,
+		Kind:     Loss,
+		FLOPsFwd: 4 * e, BytesFwd: 3 * e * 4,
+		FLOPsBwd: 2 * e, BytesBwd: 2 * e * 4,
+	})
+}
+
+// ResNet50 builds ResNet-50 (He et al.) for ImageNet at the given per-GPU
+// batch size: a 7×7 stem, four bottleneck stages of [3,4,6,3] blocks, and a
+// 1000-way classifier. Trained with SGD, as in the paper's evaluation.
+func ResNet50(batch int) *Model {
+	v := newVisionBuilder("ResNet-50", "ImageNet", batch, SGD)
+	v.conv("conv1", 64, 7, 2)
+	v.bn("bn1")
+	v.relu("relu1")
+	v.pool("maxpool", 3, 2)
+
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, 64, 256, 1},
+		{4, 128, 512, 2},
+		{6, 256, 1024, 2},
+		{3, 512, 2048, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			p := fmt.Sprintf("layer%d.%d", si+1, bi)
+			stride := 1
+			if bi == 0 {
+				stride = st.stride
+			}
+			v.conv(p+".conv1", st.mid, 1, 1)
+			v.bn(p + ".bn1")
+			v.relu(p + ".relu1")
+			v.conv(p+".conv2", st.mid, 3, stride)
+			v.bn(p + ".bn2")
+			v.relu(p + ".relu2")
+			v.conv(p+".conv3", st.out, 1, 1)
+			v.bn(p + ".bn3")
+			if bi == 0 {
+				// Downsample shortcut: a side branch joined by
+				// the residual add (shape already updated by
+				// conv3); eligible for concurrent execution.
+				v.conv(p+".downsample.conv", st.out, 1, 1).Branch = true
+				v.bn(p + ".downsample.bn").Branch = true
+			}
+			v.addResidual(p + ".add")
+			v.relu(p + ".relu3")
+		}
+	}
+	v.globalPool("avgpool")
+	v.fc("fc", 1000)
+	v.loss("loss")
+	return v.done()
+}
+
+// VGG19 builds VGG-19 (Simonyan & Zisserman) for ImageNet: sixteen 3×3
+// convolutions in five pooled groups, then the three enormous fully
+// connected layers that make VGG the canonical communication-bound model
+// for the P3 experiments (≈143 M parameters, ≈548 MB of gradients).
+func VGG19(batch int) *Model {
+	v := newVisionBuilder("VGG-19", "ImageNet", batch, SGD)
+	groups := []struct {
+		convs, ch int
+	}{
+		{2, 64}, {2, 128}, {4, 256}, {4, 512}, {4, 512},
+	}
+	for gi, g := range groups {
+		for ci := 0; ci < g.convs; ci++ {
+			name := fmt.Sprintf("features.g%d.conv%d", gi+1, ci+1)
+			v.conv(name, g.ch, 3, 1)
+			v.relu(fmt.Sprintf("features.g%d.relu%d", gi+1, ci+1))
+		}
+		v.pool(fmt.Sprintf("features.g%d.pool", gi+1), 2, 2)
+	}
+	v.fc("classifier.fc1", 4096)
+	v.relu("classifier.relu1")
+	v.dropout("classifier.drop1")
+	v.fc("classifier.fc2", 4096)
+	v.relu("classifier.relu2")
+	v.dropout("classifier.drop2")
+	v.fc("classifier.fc3", 1000)
+	v.loss("loss")
+	return v.done()
+}
+
+// DenseNet121 builds DenseNet-121 (Huang et al.) for ImageNet: four dense
+// blocks of [6,12,24,16] layers (BN→ReLU→1×1 conv→BN→ReLU→3×3 conv→concat,
+// growth rate 32) with compressing transitions. The heavy use of batchnorm
+// and ReLU makes it the paper's §6.4 target for the reconstructed-batchnorm
+// optimization (Caffe).
+func DenseNet121(batch int) *Model {
+	v := newVisionBuilder("DenseNet-121", "ImageNet", batch, SGD)
+	const growth = 32
+	v.conv("conv0", 64, 7, 2)
+	v.bn("bn0")
+	v.relu("relu0")
+	v.pool("pool0", 3, 2)
+
+	blocks := []int{6, 12, 24, 16}
+	for bi, n := range blocks {
+		for li := 0; li < n; li++ {
+			p := fmt.Sprintf("block%d.layer%d", bi+1, li+1)
+			pre := v.c // input channels to this dense layer
+			v.bn(p + ".bn1")
+			v.relu(p + ".relu1")
+			v.conv(p+".conv1", 4*growth, 1, 1)
+			v.bn(p + ".bn2")
+			v.relu(p + ".relu2")
+			v.conv(p+".conv2", growth, 3, 1)
+			// Concatenate the new features onto the running
+			// tensor: restore input channels and grow.
+			v.c = pre
+			v.concat(p+".concat", growth)
+		}
+		if bi != len(blocks)-1 {
+			p := fmt.Sprintf("transition%d", bi+1)
+			v.bn(p + ".bn")
+			v.relu(p + ".relu")
+			v.conv(p+".conv", v.c/2, 1, 1)
+			v.pool(p+".pool", 2, 2)
+		}
+	}
+	v.bn("bn_final")
+	v.relu("relu_final")
+	v.globalPool("avgpool")
+	v.fc("classifier", 1000)
+	v.loss("loss")
+	return v.done()
+}

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestExperimentDeterminism runs the fastest full experiment twice and
+// requires identical rows: every number this repository reports must be
+// bit-reproducible (the substrate's jitter is a pure function of its
+// inputs).
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep skipped in -short mode")
+	}
+	run := func() []AMPRow {
+		rows, err := RunFig5AMP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("row counts differ between runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

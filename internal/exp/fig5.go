@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"time"
+
+	"daydream/internal/framework"
+	"daydream/internal/trace"
+	"daydream/internal/whatif"
+	"daydream/internal/xpu"
+)
+
+// AMPRow is one bar group of Figure 5.
+type AMPRow struct {
+	// Model is the paper's model label.
+	Model string
+	// Baseline is the measured fp32 iteration time.
+	Baseline time.Duration
+	// GroundTruth is the measured mixed-precision iteration time.
+	GroundTruth time.Duration
+	// Predicted is Daydream's prediction from the fp32 trace.
+	Predicted time.Duration
+	// Err is |Predicted − GroundTruth| / GroundTruth.
+	Err float64
+}
+
+// ampModels lists Figure 5's models with the paper's labels.
+var ampModels = []struct{ label, zoo string }{
+	{"BERT_Base", "bert-base"},
+	{"BERT_Large", "bert-large"},
+	{"Seq2Seq", "gnmt"},
+	{"ResNet-50", "resnet50"},
+}
+
+// RunFig5AMP computes Figure 5: baseline (fp32), ground truth with mixed
+// precision, and Daydream's prediction with Algorithm 3.
+func RunFig5AMP() ([]AMPRow, error) {
+	var rows []AMPRow
+	for _, mm := range ampModels {
+		m := model(mm.zoo)
+		baseRes, g, err := Profile(framework.Config{Model: m})
+		if err != nil {
+			return nil, err
+		}
+		gt, err := framework.Run(framework.Config{Model: m, Precision: xpu.FP16})
+		if err != nil {
+			return nil, err
+		}
+		pred := g.Clone()
+		whatif.AMP(pred)
+		predicted, err := pred.PredictIteration()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AMPRow{
+			Model:       mm.label,
+			Baseline:    baseRes.IterationTime,
+			GroundTruth: gt.IterationTime,
+			Predicted:   predicted,
+			Err:         relErr(predicted, gt.IterationTime),
+		})
+	}
+	return rows, nil
+}
+
+// Fig5AMP renders Figure 5 as a table.
+func Fig5AMP() ([]*Table, error) {
+	rows, err := RunFig5AMP()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig5",
+		Title:  "AMP — baseline (FP32), ground truth with mixed precision, and Daydream's prediction",
+		Header: []string{"Model", "Baseline (ms)", "Ground Truth (ms)", "Prediction (ms)", "GT speedup", "Pred. error"},
+		Notes: []string{
+			"paper: prediction errors below 13% for all models; BERT_Large improvement 17.2% predicted with <3% error",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Model, ms(r.Baseline), ms(r.GroundTruth), ms(r.Predicted),
+			pct(improvement(r.Baseline, r.GroundTruth)), pct(r.Err),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// BreakdownRow is one bar of Figure 6.
+type BreakdownRow struct {
+	// Model and Precision label the bar.
+	Model, Precision string
+	// Breakdown is the CPU/GPU decomposition.
+	Breakdown trace.Breakdown
+}
+
+// RunFig6Breakdown computes Figure 6: the CPU-only / GPU-only / CPU+GPU
+// runtime decomposition of the fp32 and fp16 runs of Figure 5's models.
+func RunFig6Breakdown() ([]BreakdownRow, error) {
+	// Figure 6 orders models the other way around.
+	models := []struct{ label, zoo string }{
+		{"ResNet-50", "resnet50"},
+		{"GNMT", "gnmt"},
+		{"BERT_BASE", "bert-base"},
+		{"BERT_LARGE", "bert-large"},
+	}
+	var rows []BreakdownRow
+	for _, mm := range models {
+		m := model(mm.zoo)
+		for _, p := range []xpu.Precision{xpu.FP32, xpu.FP16} {
+			res, err := framework.Run(framework.Config{Model: m, Precision: p, CollectTrace: true})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, BreakdownRow{
+				Model:     mm.label,
+				Precision: p.String(),
+				Breakdown: trace.ComputeBreakdown(res.Trace),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Breakdown renders Figure 6 as a table.
+func Fig6Breakdown() ([]*Table, error) {
+	rows, err := RunFig6Breakdown()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Runtime breakdown of baseline (FP32) and mixed precision (FP16)",
+		Header: []string{"Model", "Precision", "CPU+GPU (ms)", "CPU-only (ms)", "GPU-only (ms)", "Total (ms)"},
+		Notes: []string{
+			"paper: CPU runtime barely changes under AMP; improvements come from the GPU-only part, and CPU becomes the bottleneck for BERT",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Model, r.Precision,
+			ms(r.Breakdown.Parallel), ms(r.Breakdown.CPUOnly), ms(r.Breakdown.GPUOnly),
+			ms(r.Breakdown.Total()),
+		})
+	}
+	return []*Table{t}, nil
+}

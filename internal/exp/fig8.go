@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/comm"
+	"daydream/internal/core"
+	"daydream/internal/framework"
+	"daydream/internal/whatif"
+)
+
+// DistRow is one bar of Figure 8: a (model, machines×GPUs, bandwidth)
+// configuration.
+type DistRow struct {
+	// Model is the paper's label.
+	Model string
+	// Topology is the cluster configuration.
+	Topology comm.Topology
+	// GbpsLabel is the bandwidth column label ("10Gbps", ...).
+	GbpsLabel string
+	// GroundTruth is the measured distributed iteration time (with the
+	// sync-before-allReduce mitigation, as in the paper's Figure 8).
+	GroundTruth time.Duration
+	// Predicted is Daydream's prediction from the single-GPU profile.
+	Predicted time.Duration
+	// Err is |Predicted − GroundTruth| / GroundTruth.
+	Err float64
+}
+
+// fig8Topology builds the cluster model for a configuration: machines
+// share a NIC of the given rate; intra-machine traffic rides PCIe.
+func fig8Topology(machines, gpus int, gbps float64) comm.Topology {
+	return comm.Topology{
+		Machines:       machines,
+		GPUsPerMachine: gpus,
+		NICBandwidth:   comm.Gbps(gbps),
+		IntraBandwidth: 11e9,
+		StepLatency:    15 * time.Microsecond,
+	}
+}
+
+// fig8Configs lists the paper's system configurations in figure order.
+var fig8Configs = []struct{ machines, gpus int }{
+	{1, 1}, {2, 1}, {3, 1}, {4, 1}, {2, 2}, {3, 2}, {4, 2},
+}
+
+// fig8Bandwidths lists the evaluated network rates in Gbps.
+var fig8Bandwidths = []float64{10, 20, 40}
+
+// RunFig8Model computes one Figure 8 subfigure: distributed predictions
+// for one model across all configurations.
+func RunFig8Model(label, zoo string) ([]DistRow, error) {
+	m := model(zoo)
+	// One single-GPU profile answers every configuration (§7.1:
+	// "Daydream's profiling can be performed just once").
+	_, g, err := Profile(framework.Config{Model: m})
+	if err != nil {
+		return nil, err
+	}
+	var rows []DistRow
+	for _, bw := range fig8Bandwidths {
+		for _, cfg := range fig8Configs {
+			if cfg.machines == 1 && cfg.gpus == 1 && bw != fig8Bandwidths[0] {
+				continue // the single-GPU baseline has no network
+			}
+			topo := fig8Topology(cfg.machines, cfg.gpus, bw)
+			gt, err := framework.Run(framework.Config{
+				Model: m,
+				Cluster: &framework.Cluster{
+					Topology:       topo,
+					Backend:        framework.BackendNCCL,
+					SyncBeforeComm: true,
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			var predicted time.Duration
+			if topo.TotalGPUs() == 1 {
+				predicted, err = g.Clone().PredictIteration()
+			} else {
+				predicted, err = predictDistributed(g, topo)
+			}
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, DistRow{
+				Model:       label,
+				Topology:    topo,
+				GbpsLabel:   fmt.Sprintf("%.0fGbps", bw),
+				GroundTruth: gt.IterationTime,
+				Predicted:   predicted,
+				Err:         relErr(predicted, gt.IterationTime),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// predictDistributed applies Algorithm 6 to a clone of the baseline graph
+// and simulates it.
+func predictDistributed(g *core.Graph, topo comm.Topology) (time.Duration, error) {
+	pred := g.Clone()
+	if err := whatif.Distributed(pred, whatif.DistributedOptions{Topology: topo}); err != nil {
+		return 0, err
+	}
+	return pred.PredictIteration()
+}
+
+// fig8Models lists the four subfigures.
+var fig8Models = []struct{ sub, label, zoo string }{
+	{"fig8a", "ResNet-50", "resnet50"},
+	{"fig8b", "GNMT", "gnmt"},
+	{"fig8c", "BERT_BASE", "bert-base"},
+	{"fig8d", "BERT_LARGE", "bert-large"},
+}
+
+// Fig8Distributed renders all four subfigures of Figure 8.
+func Fig8Distributed() ([]*Table, error) {
+	var tables []*Table
+	for _, mm := range fig8Models {
+		rows, err := RunFig8Model(mm.label, mm.zoo)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID:     mm.sub,
+			Title:  fmt.Sprintf("Runtime predictions for %s (ground truth: sync before each allReduce)", mm.label),
+			Header: []string{"Config", "Bandwidth", "Ground Truth (ms)", "Prediction (ms)", "Pred. error"},
+			Notes: []string{
+				"paper: at most ~10% prediction error in most configurations, with a few exceptions at 20/40Gbps",
+			},
+		}
+		for _, r := range rows {
+			t.Rows = append(t.Rows, []string{
+				r.Topology.String(), r.GbpsLabel,
+				ms(r.GroundTruth), ms(r.Predicted), pct(r.Err),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

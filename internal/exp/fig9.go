@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/framework"
+)
+
+// NCCLRow is one reduction call of Figure 9.
+type NCCLRow struct {
+	// Bucket is the gradient bucket index (launch order).
+	Bucket int
+	// Bytes is the bucket payload.
+	Bytes int64
+	// Baseline is the call's duration in regular training (interfering
+	// with backward compute).
+	Baseline time.Duration
+	// Sync is the call's duration with a CUDA synchronization inserted
+	// before each reduction.
+	Sync time.Duration
+	// Optimal is the duration when executing exclusively.
+	Optimal time.Duration
+	// Theoretical is the NCCL-tests formula value.
+	Theoretical time.Duration
+}
+
+// Fig9Summary aggregates the per-call comparison.
+type Fig9Summary struct {
+	// BaselineOverTheoretical is the mean baseline/theoretical ratio −1
+	// (the paper measures +34% on average).
+	BaselineOverTheoretical float64
+	// SyncImprovement is the mean (baseline−sync)/baseline (the paper
+	// measures 22.8%).
+	SyncImprovement float64
+	// IterBaseline and IterSync compare whole-iteration times of the
+	// two modes (§6.5: the sync mitigation "could bring an improvement
+	// of up to 22%" and never degrades).
+	IterBaseline, IterSync time.Duration
+}
+
+// RunFig9NCCL reproduces Figure 9: every all-reduce of one GNMT iteration
+// on a 4-machine × 2-GPU cluster at 10 Gbps, in the four variants.
+func RunFig9NCCL() ([]NCCLRow, Fig9Summary, error) {
+	m := model("gnmt")
+	topo := fig8Topology(4, 2, 10)
+	baseline, err := framework.Run(framework.Config{
+		Model: m,
+		Cluster: &framework.Cluster{
+			Topology: topo,
+			Backend:  framework.BackendNCCL,
+		},
+	})
+	if err != nil {
+		return nil, Fig9Summary{}, err
+	}
+	synced, err := framework.Run(framework.Config{
+		Model: m,
+		Cluster: &framework.Cluster{
+			Topology:       topo,
+			Backend:        framework.BackendNCCL,
+			SyncBeforeComm: true,
+		},
+	})
+	if err != nil {
+		return nil, Fig9Summary{}, err
+	}
+	if len(baseline.Comm) != len(synced.Comm) {
+		return nil, Fig9Summary{}, fmt.Errorf("exp: fig9: run disagreement: %d vs %d reductions",
+			len(baseline.Comm), len(synced.Comm))
+	}
+	var rows []NCCLRow
+	var ratioSum, improveSum float64
+	for i, c := range baseline.Comm {
+		s := synced.Comm[i]
+		rows = append(rows, NCCLRow{
+			Bucket:      c.Bucket,
+			Bytes:       c.Bytes,
+			Baseline:    c.Actual,
+			Sync:        s.Actual,
+			Optimal:     c.Exclusive,
+			Theoretical: c.Theoretical,
+		})
+		ratioSum += float64(c.Actual)/float64(c.Theoretical) - 1
+		improveSum += 1 - float64(s.Actual)/float64(c.Actual)
+	}
+	n := float64(len(rows))
+	sum := Fig9Summary{
+		BaselineOverTheoretical: ratioSum / n,
+		SyncImprovement:         improveSum / n,
+		IterBaseline:            baseline.IterationTime,
+		IterSync:                synced.IterationTime,
+	}
+	return rows, sum, nil
+}
+
+// Fig9NCCL renders Figure 9 as a table.
+func Fig9NCCL() ([]*Table, error) {
+	rows, sum, err := RunFig9NCCL()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig9",
+		Title:  "All individual reduction runtimes in one GNMT iteration (4x2, 10Gbps)",
+		Header: []string{"Bucket", "MB", "Baseline (ms)", "Sync (ms)", "Optimal (ms)", "Theoretical (ms)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Bucket),
+			fmt.Sprintf("%.1f", float64(r.Bytes)/(1<<20)),
+			ms(r.Baseline), ms(r.Sync), ms(r.Optimal), ms(r.Theoretical),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("measured: baseline %.1f%% above theoretical (paper: 34%%); sync improves primitives by %.1f%% (paper: 22.8%%)",
+			100*sum.BaselineOverTheoretical, 100*sum.SyncImprovement),
+		fmt.Sprintf("iteration time: baseline %sms vs sync %sms (%.1f%% improvement; paper: up to 22%%, never a degradation)",
+			ms(sum.IterBaseline), ms(sum.IterSync),
+			100*improvement(sum.IterBaseline, sum.IterSync)),
+	)
+	return []*Table{t}, nil
+}

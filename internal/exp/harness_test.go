@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{
+		ID:     "t1",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"x", "y"}, {"longer", "z"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tb.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"t1 — demo", "a       bb", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if len(seen) != 11 {
+		t.Errorf("%d experiments, want 11 (Table 2, Figs 5–10, §6.4, Table 1, ablation, upgrade)", len(seen))
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if ms(1500*time.Microsecond) != "1.5" {
+		t.Errorf("ms = %q", ms(1500*time.Microsecond))
+	}
+	if pct(0.123) != "12.3%" {
+		t.Errorf("pct = %q", pct(0.123))
+	}
+	if relErr(110, 100) != 0.1 || relErr(90, 100) != 0.1 {
+		t.Error("relErr not symmetric in magnitude")
+	}
+	if relErr(5, 0) != 0 {
+		t.Error("relErr divide-by-zero not guarded")
+	}
+	if improvement(100, 75) != 0.25 {
+		t.Error("improvement wrong")
+	}
+	if improvement(0, 80) != 0 {
+		t.Error("improvement divide-by-zero not guarded")
+	}
+}
+
+func TestModelPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("model() with unknown name did not panic")
+		}
+	}()
+	model("not-a-model")
+}
+
+// TestPaperBands asserts the headline reproduction claims so regressions
+// in the substrate or the predictor are caught by CI, not by eyeballing
+// tables. Bounds are the paper's, with slack for the synthetic substrate.
+func TestPaperBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-band checks skipped in -short mode")
+	}
+	t.Run("fig5", func(t *testing.T) {
+		rows, err := RunFig5AMP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Err > 0.13 {
+				t.Errorf("%s: AMP prediction error %.1f%% exceeds the paper's 13%%", r.Model, 100*r.Err)
+			}
+			if r.GroundTruth >= r.Baseline {
+				t.Errorf("%s: AMP did not help", r.Model)
+			}
+			if r.Model == "BERT_Large" && r.Err > 0.05 {
+				t.Errorf("BERT_Large AMP error %.1f%%, paper reports <3%%", 100*r.Err)
+			}
+		}
+	})
+	t.Run("fig7", func(t *testing.T) {
+		rows, err := RunFig7FusedAdam()
+		if err != nil {
+			t.Fatal(err)
+		}
+		byModel := map[string]FusedAdamRow{}
+		for _, r := range rows {
+			byModel[r.Model] = r
+			if r.Err > 0.13 {
+				t.Errorf("%s: FusedAdam prediction error %.1f%% exceeds 13%%", r.Model, 100*r.Err)
+			}
+		}
+		// BERT gains large, GNMT small (paper §6.3).
+		if imp := improvement(byModel["BERT_Large"].Baseline, byModel["BERT_Large"].GroundTruth); imp < 0.15 {
+			t.Errorf("BERT_Large FusedAdam improvement %.1f%%, want large", 100*imp)
+		}
+		if imp := improvement(byModel["Seq2Seq"].Baseline, byModel["Seq2Seq"].GroundTruth); imp > 0.10 {
+			t.Errorf("Seq2Seq FusedAdam improvement %.1f%%, paper says <10%%", 100*imp)
+		}
+	})
+	t.Run("fig9", func(t *testing.T) {
+		_, sum, err := RunFig9NCCL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.BaselineOverTheoretical < 0.20 || sum.BaselineOverTheoretical > 0.50 {
+			t.Errorf("baseline over theoretical %.1f%%, paper: 34%%", 100*sum.BaselineOverTheoretical)
+		}
+		if sum.SyncImprovement < 0.10 {
+			t.Errorf("sync improvement %.1f%%, paper: 22.8%%", 100*sum.SyncImprovement)
+		}
+		if sum.IterSync > sum.IterBaseline {
+			t.Error("sync variant degraded the iteration (paper: never)")
+		}
+	})
+	t.Run("sec6.4", func(t *testing.T) {
+		r, err := RunBatchnormRecon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PredictedSpeedup <= r.GroundTruthSpeedup {
+			t.Errorf("prediction (%.1f%%) must overestimate ground truth (%.1f%%), as in §6.4",
+				100*r.PredictedSpeedup, 100*r.GroundTruthSpeedup)
+		}
+		if r.GroundTruthSpeedup <= 0 {
+			t.Error("reconstruction must still help")
+		}
+	})
+	t.Run("fig10-overestimates-at-high-bw", func(t *testing.T) {
+		rows, err := RunFig10Model("VGG-19", fig10Models[1].build(), []float64{5, 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		low, high := rows[0], rows[1]
+		if high.Predicted > high.GroundTruth {
+			t.Errorf("at 20Gbps prediction (%v) should be optimistic vs ground truth (%v)",
+				high.Predicted, high.GroundTruth)
+		}
+		if high.Err < low.Err {
+			t.Errorf("P3 error should grow with bandwidth: %.1f%% at 5Gbps vs %.1f%% at 20Gbps",
+				100*low.Err, 100*high.Err)
+		}
+		if high.Err > 0.20 {
+			t.Errorf("P3 error %.1f%% exceeds the paper's 16.2%% band (with slack)", 100*high.Err)
+		}
+	})
+	t.Run("fig8-error-band", func(t *testing.T) {
+		rows, err := RunFig8Model("ResNet-50", "resnet50")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Err > 0.18 {
+				t.Errorf("%s %s: distributed prediction error %.1f%% out of band",
+					r.Topology, r.GbpsLabel, 100*r.Err)
+			}
+		}
+	})
+}

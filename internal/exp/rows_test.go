@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"testing"
+
+	"daydream/internal/xpu"
+)
+
+// TestFig6Invariants checks the paper's three Figure-6 observations on
+// the generated breakdown rows.
+func TestFig6Invariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweep skipped in -short mode")
+	}
+	rows, err := RunFig6Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]BreakdownRow{}
+	for _, r := range rows {
+		byKey[r.Model+"/"+r.Precision] = r
+	}
+	for _, m := range []string{"ResNet-50", "GNMT", "BERT_BASE", "BERT_LARGE"} {
+		fp32, ok32 := byKey[m+"/fp32"]
+		fp16, ok16 := byKey[m+"/fp16"]
+		if !ok32 || !ok16 {
+			t.Fatalf("%s: missing precision rows", m)
+		}
+		// (i) total shrinks under AMP.
+		if fp16.Breakdown.Total() >= fp32.Breakdown.Total() {
+			t.Errorf("%s: AMP did not shrink the iteration", m)
+		}
+		// (ii) CPU runtime barely changes: CPU-involved time within 5%.
+		cpu32 := fp32.Breakdown.CPUOnly + fp32.Breakdown.Parallel
+		cpu16 := fp16.Breakdown.CPUOnly + fp16.Breakdown.Parallel
+		rel := float64(cpu16-cpu32) / float64(cpu32)
+		if rel < -0.08 || rel > 0.08 {
+			t.Errorf("%s: CPU time changed %.1f%% under AMP; paper says it barely changes", m, 100*rel)
+		}
+	}
+	// (iii) CPU becomes the bottleneck for BERT: CPU-only grows.
+	for _, m := range []string{"BERT_BASE", "BERT_LARGE"} {
+		if byKey[m+"/fp16"].Breakdown.CPUOnly <= byKey[m+"/fp32"].Breakdown.CPUOnly {
+			t.Errorf("%s: CPU-only did not grow under AMP", m)
+		}
+	}
+}
+
+// TestFig8RowCount checks the configuration sweep shape: 1×1 once plus
+// 6 configurations × 3 bandwidths.
+func TestFig8RowCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 sweep skipped in -short mode")
+	}
+	rows, err := RunFig8Model("ResNet-50", "resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 {
+		t.Fatalf("fig8 rows = %d, want 19", len(rows))
+	}
+	// Ground truth grows with the worker count at fixed bandwidth
+	// (ring cost is increasing in n).
+	first := rows[1] // 2x1 @ 10Gbps
+	last := rows[6]  // 4x2 @ 10Gbps
+	if last.GroundTruth <= first.GroundTruth {
+		t.Error("more workers at 10Gbps should cost more")
+	}
+}
+
+// TestFig10BaselineMonotone checks the plain-PS baseline improves (weakly)
+// with bandwidth, and P3's ground truth never loses to the baseline.
+func TestFig10BaselineMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 sweep skipped in -short mode")
+	}
+	rows, err := RunFig10Model("VGG-19", fig10Models[1].build(), []float64{5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Baseline > rows[i-1].Baseline {
+			t.Errorf("baseline got slower with more bandwidth: %v → %v",
+				rows[i-1].Baseline, rows[i].Baseline)
+		}
+	}
+	for _, r := range rows {
+		if float64(r.GroundTruth) > 1.02*float64(r.Baseline) {
+			t.Errorf("%vGbps: P3 (%v) lost to FIFO (%v)", r.Gbps, r.GroundTruth, r.Baseline)
+		}
+	}
+}
+
+// TestUpgradeRows checks the device-upgrade validation's structure and
+// directionality: V100 faster than 2080 Ti, P4000 slower.
+func TestUpgradeRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("upgrade sweep skipped in -short mode")
+	}
+	rows, err := RunUpgrade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("upgrade rows = %d, want 6", len(rows))
+	}
+	v100 := xpu.V100().Name
+	for _, r := range rows {
+		if r.Err > 0.15 {
+			t.Errorf("%s→%s: error %.1f%% out of band", r.Model, r.Target, 100*r.Err)
+		}
+		if r.Target == v100 && r.Predicted >= r.Source {
+			t.Errorf("%s: V100 predicted no faster than 2080 Ti", r.Model)
+		}
+		if r.Target != v100 && r.Predicted <= r.Source {
+			t.Errorf("%s: P4000 predicted no slower than 2080 Ti", r.Model)
+		}
+	}
+}
+
+// TestAblationStructure checks the ablation rows: the full model replays
+// near-perfectly and every ablation is strictly worse for the model it
+// targets.
+func TestAblationStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep skipped in -short mode")
+	}
+	rows, err := RunAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		byKey[r.Model+"/"+r.Variant] = r
+	}
+	for _, m := range []string{"ResNet-50", "BERT-Large"} {
+		full := byKey[m+"/full model"]
+		if full.Err < -0.005 || full.Err > 0.005 {
+			t.Errorf("%s: full model replay error %.2f%%", m, 100*full.Err)
+		}
+	}
+	if r := byKey["BERT-Large/no CPU gaps"]; r.Err > -0.05 {
+		t.Errorf("dropping gaps on BERT should underestimate heavily, got %.1f%%", 100*r.Err)
+	}
+	if r := byKey["ResNet-50/no sync decomposition"]; r.Err < 0.10 {
+		t.Errorf("keeping full sync durations should overestimate heavily, got %.1f%%", 100*r.Err)
+	}
+	if r := byKey["BERT-Large/GPU-only model"]; r.Err > -0.05 {
+		t.Errorf("GPU-only modeling should underestimate BERT, got %.1f%%", 100*r.Err)
+	}
+}
+
+// TestTable1AllTenRun checks every §5 optimization model executes and the
+// memory-footprint techniques predict overheads, not gains.
+func TestTable1AllTenRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 sweep skipped in -short mode")
+	}
+	rows, err := RunTable1Coverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("table1 rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Optimization {
+		case "vDNN (Alg 10)", "Gist (Alg 11)":
+			if r.Delta >= 0 {
+				t.Errorf("%s should predict an overhead", r.Optimization)
+			}
+		case "AMP (Alg 3)", "Recon. batchnorm (Alg 5)":
+			if r.Delta <= 0 {
+				t.Errorf("%s should predict a speedup", r.Optimization)
+			}
+		}
+	}
+}

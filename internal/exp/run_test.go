@@ -1,0 +1,28 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunAllExperiments runs every experiment end to end and prints the
+// tables (go test -v): the fastest way to eyeball paper-vs-measured shape.
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			for _, tb := range tables {
+				if err := tb.Format(os.Stdout); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

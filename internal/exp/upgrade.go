@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/framework"
+	"daydream/internal/whatif"
+	"daydream/internal/xpu"
+)
+
+// UpgradeRow is one (model, source→target device) validation point for
+// the device-upgrade what-if.
+type UpgradeRow struct {
+	// Model and Target label the row.
+	Model, Target string
+	// Source is the profiled device's iteration time.
+	Source time.Duration
+	// GroundTruth is the measured iteration time on the target device.
+	GroundTruth time.Duration
+	// Predicted is the what-if prediction from the source profile.
+	Predicted time.Duration
+	// Err is |Predicted − GroundTruth| / GroundTruth.
+	Err float64
+}
+
+// RunUpgrade validates the device-upgrade extension: predict V100 and
+// P4000 iteration times from 2080 Ti profiles and compare against actual
+// engine runs on those devices — the "would a faster GPU help?" question
+// from the paper's introduction, answered without access to the target
+// hardware.
+func RunUpgrade() ([]UpgradeRow, error) {
+	targets := []*xpu.Device{xpu.V100(), xpu.P4000()}
+	var rows []UpgradeRow
+	for _, name := range []string{"resnet50", "gnmt", "bert-base"} {
+		m := model(name)
+		_, g, err := Profile(framework.Config{Model: m})
+		if err != nil {
+			return nil, err
+		}
+		src, err := g.Clone().PredictIteration()
+		if err != nil {
+			return nil, err
+		}
+		for _, target := range targets {
+			c := g.Clone()
+			if err := whatif.DeviceUpgrade(c, xpu.RTX2080Ti(), target); err != nil {
+				return nil, err
+			}
+			pred, err := c.PredictIteration()
+			if err != nil {
+				return nil, err
+			}
+			gt, err := framework.Run(framework.Config{Model: m, Device: target})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, UpgradeRow{
+				Model:       m.Name,
+				Target:      target.Name,
+				Source:      src,
+				GroundTruth: gt.IterationTime,
+				Predicted:   pred,
+				Err:         relErr(pred, gt.IterationTime),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Upgrade renders the device-upgrade validation.
+func Upgrade() ([]*Table, error) {
+	rows, err := RunUpgrade()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "upgrade",
+		Title:  "Device-upgrade what-if (extension): predicted from 2080 Ti profiles vs measured on the target",
+		Header: []string{"Model", "Target device", "2080Ti (ms)", "Measured (ms)", "Predicted (ms)", "Pred. error"},
+		Notes: []string{
+			"answers the introduction's \"would upgrading the GPU help?\" from an existing profile",
+			"near-zero errors are partly a substrate artifact: engine and what-if share the roofline model, so only size-dependent saturation, kernel floors and jitter differ; on real hardware per-kernel efficiency shifts would widen them",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Model, r.Target, ms(r.Source), ms(r.GroundTruth), ms(r.Predicted),
+			fmt.Sprintf("%.1f%%", 100*r.Err),
+		})
+	}
+	return []*Table{t}, nil
+}

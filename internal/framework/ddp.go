@@ -1,0 +1,43 @@
+package framework
+
+import (
+	"time"
+
+	"daydream/internal/xpu"
+)
+
+// scheduleNCCL places the pending bucket all-reduces on the NCCL channel in
+// ready order, applying the interference model: an NCCL primitive is both a
+// communication primitive and a GPU kernel (paper §6.5). A ring kernel
+// co-scheduled while compute kernels still occupy the device contends for
+// SMs and memory bandwidth for its whole lifetime — and because the ring
+// is a synchronous pipeline across all workers, a slowdown on any worker
+// stretches the entire primitive. The sync-before-comm mitigation launches
+// the primitive onto a drained device, leaving only a small residual
+// co-scheduling cost; run exclusively, only the kernel-scheduling overhead
+// above the wire formula remains (Figure 9's "Optimal" vs "Theoretical").
+func (m *machine) scheduleNCCL(pending []pendingComm, bwdComputeEnd time.Duration) {
+	if len(pending) == 0 {
+		return
+	}
+	topo := m.cfg.Cluster.Topology
+	ch := m.chans[ncclChannel]
+	for _, p := range pending {
+		theo := topo.AllReduceTime(p.bytes)
+		excl := time.Duration(float64(theo) * (1 + exclusiveOverhead) *
+			xpu.Jitter("ncclAllReduce", m.nextSalt(), 0.03))
+		alpha := interferenceWithSync
+		if !m.cfg.Cluster.SyncBeforeComm && p.ready < bwdComputeEnd {
+			alpha = interferenceBaseline
+		}
+		dur := time.Duration(float64(excl) * (1 + alpha))
+		start := maxDur(ch, p.ready)
+		m.recordComm("ncclAllReduce", ncclChannel, p.bucket, p.bytes, start, dur, theo, excl)
+		ch = start + dur
+		m.bucketCommEnd[p.bucket] = ch
+	}
+	m.chans[ncclChannel] = ch
+	if ch > m.lastCommEnd {
+		m.lastCommEnd = ch
+	}
+}

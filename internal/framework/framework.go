@@ -1,0 +1,268 @@
+// Package framework is this reproduction's substitute for the real
+// PyTorch/MXNet/Caffe + CUDA + NCCL stack: a deterministic discrete-event
+// executor that "runs" DNN training iterations on the virtual hardware of
+// internal/xpu and emits CUPTI-shaped traces (internal/trace).
+//
+// Crucially, the engine implements the paper's evaluated optimizations for
+// real within the virtual machine model — mixed precision with per-kernel
+// roofline speedups, the fused Adam optimizer, reconstructed batchnorm with
+// its re-implementation overheads, NCCL all-reduce with GPU interference,
+// and an MXNet-style parameter server with server-side processing costs.
+// Daydream's predictions (internal/whatif) are computed from *baseline*
+// traces using only the paper's published transformation rules, so the
+// prediction errors reported by internal/exp are emergent, not assumed.
+package framework
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/comm"
+	"daydream/internal/dnn"
+	"daydream/internal/trace"
+	"daydream/internal/xpu"
+)
+
+// Dialect selects which framework's execution behaviour to emulate. The
+// differences that matter to Daydream are the dispatch overheads and the
+// communication mechanism (NCCL buckets vs parameter server).
+type Dialect int
+
+// Framework dialects.
+const (
+	// PyTorch uses NCCL all-reduce with gradient buckets and has
+	// Python-level dispatch overheads.
+	PyTorch Dialect = iota
+	// MXNet uses the parameter-server architecture (push/pull); this is
+	// the dialect of the P3 experiments.
+	MXNet
+	// Caffe is a C++ framework with lower dispatch overheads; this is
+	// the dialect of the reconstructed-batchnorm experiment.
+	Caffe
+)
+
+// String returns the framework name in lower case.
+func (d Dialect) String() string {
+	switch d {
+	case MXNet:
+		return "mxnet"
+	case Caffe:
+		return "caffe"
+	}
+	return "pytorch"
+}
+
+// Optimizer selects the weight-update implementation.
+type Optimizer int
+
+// Optimizer implementations.
+const (
+	// OptSGD is SGD with momentum: a few elementwise kernels per tensor.
+	OptSGD Optimizer = iota
+	// OptAdam is the stock unfused Adam: ~13 elementwise kernels per
+	// parameter tensor, each with full framework dispatch overhead.
+	OptAdam
+	// OptFusedAdam is Apex's FusedAdam: a handful of multi-tensor fused
+	// kernels for the entire update.
+	OptFusedAdam
+)
+
+// String returns the optimizer name.
+func (o Optimizer) String() string {
+	switch o {
+	case OptAdam:
+		return "adam"
+	case OptFusedAdam:
+		return "fused_adam"
+	}
+	return "sgd"
+}
+
+// Backend selects the distributed communication mechanism.
+type Backend int
+
+// Communication backends.
+const (
+	// BackendNCCL is PyTorch DDP: bucketed ring all-reduce.
+	BackendNCCL Backend = iota
+	// BackendPS is the MXNet parameter server: per-layer push/pull.
+	BackendPS
+)
+
+// Cluster configures distributed training. A nil Cluster (or one whose
+// topology has a single GPU) means single-worker training.
+type Cluster struct {
+	// Topology is the machines × GPUs layout and link bandwidths.
+	Topology comm.Topology
+	// Backend selects NCCL all-reduce or parameter server.
+	Backend Backend
+	// SyncBeforeComm inserts a CUDA synchronization before every NCCL
+	// call — the mitigation the paper discovers in §6.5.
+	SyncBeforeComm bool
+	// P3 enables priority-based parameter propagation (slicing plus
+	// priority scheduling) on the PS backend.
+	P3 bool
+	// P3SliceBytes is the gradient slice size for P3.
+	P3SliceBytes int64
+	// ServerBandwidth is the PS server's processing rate in bytes/s; it
+	// models the server-side CPU cost that makes communication tasks
+	// "increasingly bottlenecked by non-network resources" at high
+	// bandwidth (paper §6.6). Zero selects a default.
+	ServerBandwidth float64
+	// ServerLatency is the fixed per-request server overhead.
+	ServerLatency time.Duration
+}
+
+// enabled reports whether the cluster actually distributes training.
+func (c *Cluster) enabled() bool {
+	return c != nil && c.Topology.TotalGPUs() > 1
+}
+
+// Config configures one training run.
+type Config struct {
+	// Model is the workload. Required.
+	Model *dnn.Model
+	// Device is the accelerator model; defaults to an RTX 2080 Ti.
+	Device *xpu.Device
+	// Host is the CPU model; defaults to the paper's EPYC 7601.
+	Host *xpu.Host
+	// Dialect is the framework to emulate; defaults to PyTorch.
+	Dialect Dialect
+	// Precision is fp32 or fp16 (AMP); defaults to fp32.
+	Precision xpu.Precision
+	// Optimizer is the weight-update implementation. Defaults to the
+	// model's native optimizer (SGD or unfused Adam).
+	Optimizer Optimizer
+	// OptimizerSet marks Optimizer as explicitly chosen.
+	OptimizerSet bool
+	// ReconBatchnorm applies the reconstructed-batchnorm optimization
+	// of Jung et al. for real, including its re-implementation
+	// overheads (extra allocations/copies, §6.4).
+	ReconBatchnorm bool
+	// ConcurrentKernels executes side-branch layers (e.g. ResNet's
+	// downsample shortcuts) on a second CUDA stream, concurrently with
+	// the main path — the multi-stream behaviour the paper's §7.5
+	// leaves to future work. Traces then contain two streams; replaying
+	// them is slightly optimistic because the dataflow join is not a
+	// CUPTI-visible dependency.
+	ConcurrentKernels bool
+	// Cluster configures distributed training; nil for single worker.
+	Cluster *Cluster
+	// BucketBytes overrides the DDP gradient bucket capacity.
+	BucketBytes int64
+	// Seed perturbs the deterministic jitter, modeling a different
+	// "run" of the same configuration.
+	Seed uint64
+	// CollectTrace requests a full trace of the measured iteration.
+	CollectTrace bool
+}
+
+// CommRecord reports the timing of one communication primitive in the
+// measured iteration, in the four variants Figure 9 compares.
+type CommRecord struct {
+	// Name is the primitive ("ncclAllReduce", "push", "pull").
+	Name string
+	// Bucket is the gradient bucket (or layer index for PS).
+	Bucket int
+	// Bytes is the payload.
+	Bytes int64
+	// Theoretical is the analytic formula time (NCCL-tests formula).
+	Theoretical time.Duration
+	// Exclusive is the time when run with the GPU otherwise idle
+	// (Figure 9's "Optimal").
+	Exclusive time.Duration
+	// Actual is the time observed in this run, including any
+	// interference with concurrently executing compute kernels.
+	Actual time.Duration
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	// IterationTime is the steady-state time of one training iteration.
+	IterationTime time.Duration
+	// Trace is the measured iteration's trace (nil unless
+	// Config.CollectTrace).
+	Trace *trace.Trace
+	// Comm lists the communication primitives of the measured
+	// iteration, in launch order.
+	Comm []CommRecord
+}
+
+// applyDefaults fills zero-value fields and validates the configuration.
+func (c *Config) applyDefaults() error {
+	if c.Model == nil {
+		return fmt.Errorf("framework: Config.Model is required")
+	}
+	if c.Device == nil {
+		c.Device = xpu.RTX2080Ti()
+	}
+	if c.Host == nil {
+		c.Host = xpu.EPYC7601()
+	}
+	if !c.OptimizerSet {
+		if c.Model.Optimizer == dnn.Adam {
+			c.Optimizer = OptAdam
+		} else {
+			c.Optimizer = OptSGD
+		}
+		c.OptimizerSet = true
+	}
+	if c.Optimizer == OptFusedAdam && c.Model.Optimizer != dnn.Adam {
+		return fmt.Errorf("framework: FusedAdam requires an Adam-trained model, got %s", c.Model.Name)
+	}
+	if c.BucketBytes == 0 {
+		c.BucketBytes = comm.DefaultBucketBytes
+	}
+	if c.Cluster != nil {
+		if c.Cluster.ServerBandwidth == 0 {
+			c.Cluster.ServerBandwidth = 1.0e9
+		}
+		if c.Cluster.ServerLatency == 0 {
+			c.Cluster.ServerLatency = 200 * time.Microsecond
+		}
+		if c.Cluster.P3 && c.Cluster.P3SliceBytes == 0 {
+			c.Cluster.P3SliceBytes = 800 << 10 // 800 KB, close to P3's 50k-float slices
+		}
+	}
+	return nil
+}
+
+// Run executes the configured training workload: a few warm-up iterations
+// followed by one measured (and optionally traced) iteration. It returns
+// the steady-state iteration time, per-primitive communication records and
+// the trace.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	m := newMachine(&cfg)
+	const iterations = 4
+	measured := iterations - 2 // record the second-to-last iteration
+	var (
+		measuredStart time.Duration
+		nextStart     time.Duration
+	)
+	for it := 0; it < iterations; it++ {
+		if it == measured {
+			measuredStart = m.cpu
+			m.startRecording()
+		}
+		if it == measured+1 {
+			nextStart = m.cpu
+			m.stopRecording()
+		}
+		m.runIteration(it)
+	}
+	iterTime := nextStart - measuredStart
+	res := &Result{
+		IterationTime: iterTime,
+		Comm:          m.commRecords,
+	}
+	if cfg.CollectTrace {
+		res.Trace = m.buildTrace(measuredStart, iterTime)
+		if err := res.Trace.Validate(); err != nil {
+			return nil, fmt.Errorf("framework: emitted invalid trace: %w", err)
+		}
+	}
+	return res, nil
+}

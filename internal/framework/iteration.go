@@ -1,0 +1,195 @@
+package framework
+
+import (
+	"time"
+
+	"daydream/internal/dnn"
+	"daydream/internal/trace"
+	"daydream/internal/xpu"
+)
+
+// runIteration executes one training iteration: batch wait + prefetch of
+// the next batch, input transfer, forward, loss retrieval, backward with
+// communication hooks, weight update, and the end-of-iteration
+// synchronization.
+func (m *machine) runIteration(it int) {
+	model := m.cfg.Model
+
+	// Wait for this iteration's mini-batch, then kick off the loader for
+	// the next one.
+	if ready, ok := m.batchReady[it]; ok && ready > m.cpu {
+		m.cpu = ready
+	}
+	m.scheduleDataLoad(it + 1)
+	m.opGap()
+	m.memcpyH2D(model.InputBytes())
+
+	m.bucketCommEnd = make(map[int]time.Duration)
+
+	// Forward.
+	psMode := m.cfg.Cluster.enabled() && m.cfg.Cluster.Backend == BackendPS
+	for _, l := range model.Layers {
+		if psMode && l.HasParams() {
+			// MXNet's dependency engine blocks the forward op of a
+			// layer until its parameters have been pulled back
+			// from the servers.
+			if pd, ok := m.pullDone[l.Index]; ok && pd > m.cpu {
+				m.cpu = pd
+			}
+		}
+		m.runLayerPhase(l, trace.Forward, m.layerKernels(l, trace.Forward), 0)
+	}
+
+	// Loss retrieval: a device-to-host copy that drains the stream
+	// (the "loss.item()" pattern).
+	m.opGap()
+	m.memcpyD2H(8)
+
+	// Backward, with communication launched wait-free per layer/bucket.
+	var pending []pendingComm
+	ncclMode := m.cfg.Cluster.enabled() && m.cfg.Cluster.Backend == BackendNCCL
+	bucketLeft := make(map[int]int)
+	if ncclMode {
+		for _, b := range m.buckets {
+			bucketLeft[b.ID] = len(b.Layers)
+		}
+	}
+	for i := len(model.Layers) - 1; i >= 0; i-- {
+		l := model.Layers[i]
+		end := m.runLayerPhase(l, trace.Backward, m.layerKernels(l, trace.Backward), 0)
+		switch {
+		case ncclMode && l.HasParams():
+			id := m.bucketOf[l.Index]
+			bucketLeft[id]--
+			if bucketLeft[id] == 0 {
+				if m.cfg.Cluster.SyncBeforeComm {
+					m.streamSync()
+				}
+				m.gap(m.host.HostCall(m.host.DispatchGap, "ddp.hook", m.nextSalt()))
+				pending = append(pending, pendingComm{
+					name:   "ncclAllReduce",
+					bucket: id,
+					bytes:  m.buckets[id].Bytes,
+					ready:  end,
+				})
+			}
+		case psMode && l.HasParams():
+			pending = append(pending, m.psPushes(l.Index, l.GradBytes(), end)...)
+		}
+	}
+	bwdComputeEnd := m.gpuIdleAt()
+	if ncclMode {
+		m.scheduleNCCL(pending, bwdComputeEnd)
+	} else if psMode {
+		m.schedulePS(pending)
+	}
+
+	// Weight update.
+	m.runWeightUpdate()
+
+	// End of iteration: drain the device (and, under DDP, the
+	// communication backend).
+	m.opGap()
+	m.deviceSync("cudaDeviceSynchronize", ncclMode)
+}
+
+// bwdCPUFactor scales a layer's CPU dispatch cost in the backward pass:
+// autograd re-dispatches roughly every forward op plus bookkeeping.
+const bwdCPUFactor = 1.6
+
+// runLayerPhase executes one phase of one layer: the per-operator
+// framework dispatch gaps (scaled by the layer's operator count and, for
+// backward, the autograd factor), then a dispatch gap + launch per kernel,
+// bracketed by the instrumentation span. minStart constrains the layer's
+// kernels (cross-resource dependencies). It returns the completion time of
+// the layer's last kernel (the CPU clock if the layer launches nothing).
+func (m *machine) runLayerPhase(l *dnn.Layer, phase trace.Phase, ks []xpu.Kernel, minStart time.Duration) time.Duration {
+	ops := l.CPUOps()
+	if phase == trace.Backward {
+		ops = int(float64(ops)*bwdCPUFactor + 0.5)
+	}
+	for i := 0; i < ops; i++ {
+		m.opGap()
+	}
+	m.onBranch = m.cfg.ConcurrentKernels && l.Branch
+	start := m.cpu
+	end := m.cpu
+	for i := range ks {
+		m.dispatchGap()
+		end = m.launchKernel(&ks[i], minStart)
+	}
+	m.onBranch = false
+	if m.cfg.ReconBatchnorm && l.Kind == dnn.BatchNorm && phase == trace.Forward {
+		// The reconstructed batchnorm implementation allocates
+		// scratch buffers and copies statistics around — the
+		// overheads the paper's §6.4 ground truth pays but the
+		// prediction does not model.
+		m.cudaMalloc("cudaMalloc")
+		m.memcpyH2D(4096)
+	}
+	m.span(l.Name, l.Index, phase, start, m.cpu)
+	return end
+}
+
+// layerKernels returns the kernels a layer phase launches, with the
+// reconstructed-batchnorm ground-truth rewrite applied when enabled:
+// ReLU kernels disappear (fused into neighbours), batchnorm kernels load
+// half the data but run on a less-tuned implementation, and convolutions
+// pay a small fused-epilogue cost.
+func (m *machine) layerKernels(l *dnn.Layer, phase trace.Phase) []xpu.Kernel {
+	var ks []xpu.Kernel
+	if phase == trace.Forward {
+		ks = l.ForwardKernels()
+	} else {
+		ks = l.BackwardKernels()
+	}
+	if !m.cfg.ReconBatchnorm {
+		return ks
+	}
+	switch l.Kind {
+	case dnn.ReLU:
+		return nil
+	case dnn.BatchNorm:
+		out := make([]xpu.Kernel, len(ks))
+		for i, k := range ks {
+			k.Name = "recon_" + k.EffectiveName()
+			k.Bytes *= 0.5 * reconBNInefficiency
+			k.FLOPs *= reconBNInefficiency
+			out[i] = k
+		}
+		return out
+	case dnn.Conv:
+		out := make([]xpu.Kernel, len(ks))
+		for i, k := range ks {
+			k.FLOPs *= reconConvEpilogue
+			k.Bytes *= reconConvEpilogue
+			out[i] = k
+		}
+		return out
+	}
+	return ks
+}
+
+// Reconstructed-batchnorm ground-truth calibration: the re-implemented
+// batchnorm kernels are less tuned than cuDNN's, and the fused convolution
+// epilogues cost a little extra — together these are why the measured
+// speedup (~7%) falls short of the idealized prediction (§6.4).
+const (
+	reconBNInefficiency = 1.75
+	reconConvEpilogue   = 1.05
+)
+
+// scheduleDataLoad starts the loader thread preparing iteration k's batch.
+func (m *machine) scheduleDataLoad(k int) {
+	bytes := m.cfg.Model.InputBytes()
+	sec := float64(bytes)/dataLoadBandwidth + 1e-3
+	dur := time.Duration(sec * float64(time.Second) * xpu.Jitter("dataload", m.nextSalt(), 0.08))
+	start := maxDur(m.loader, m.cpu)
+	m.record(trace.Activity{
+		Name: "dataloader.next_batch", Kind: trace.KindDataLoad,
+		Start: start, Duration: dur,
+		Thread: loaderThread, Bytes: bytes,
+	})
+	m.loader = start + dur
+	m.batchReady[k] = m.loader
+}

@@ -1,0 +1,368 @@
+package framework
+
+import (
+	"time"
+
+	"daydream/internal/comm"
+	"daydream/internal/trace"
+	"daydream/internal/xpu"
+)
+
+// Thread and stream identifiers used by the emulated frameworks. One main
+// compute thread plus one data-loading thread mirrors the paper's
+// observation that "once a mini-batch has been prepared by data loading
+// threads, only one or two CPU threads are involved in the control flow".
+const (
+	mainThread    = 1
+	loaderThread  = 2
+	computeStream = 7
+	// branchStream carries side-branch kernels when the concurrent-
+	// kernels mode is enabled (paper §7.5).
+	branchStream = 8
+	ncclChannel  = "nccl"
+	psSendChan   = "ps.send"
+	psRecvChan   = "ps.recv"
+	psServerChan = "ps.server"
+)
+
+// Interference calibration: how much slower a NCCL primitive runs when it
+// overlaps compute kernels (paper Fig. 9 measures ground truth ≈ 34% above
+// theoretical), how much the sync mitigation leaves (≈ sync runs 22.8%
+// faster than baseline), and the kernel-scheduling overhead a primitive
+// pays even when the GPU is otherwise idle ("Optimal" ≈ just above
+// "Theoretical").
+const (
+	interferenceBaseline = 0.30
+	interferenceWithSync = 0.05
+	exclusiveOverhead    = 0.045
+	dataLoadBandwidth    = 1.6e9 // bytes/s of the preprocessing pipeline
+)
+
+// pendingComm is a communication primitive waiting to be scheduled on a
+// channel.
+type pendingComm struct {
+	name     string
+	bucket   int
+	bytes    int64
+	ready    time.Duration // when the payload is available (GPU side)
+	priority int           // larger = more urgent (P3)
+	layer    int           // producing layer index (PS)
+}
+
+// machine is the virtual execution state of one worker (rank 0; workers
+// are symmetric).
+type machine struct {
+	cfg  *Config
+	dev  *xpu.Device
+	host *xpu.Host
+
+	cpu         time.Duration // main-thread clock
+	loader      time.Duration // loader-thread clock
+	stream      time.Duration // compute-stream FIFO tail (end of last kernel)
+	branch      time.Duration // branch-stream FIFO tail (concurrent mode)
+	chans       map[string]time.Duration
+	lastCommEnd time.Duration
+	// onBranch routes the current layer's kernels to the branch stream;
+	// pendingJoin gates the next main-stream kernel on the branch's
+	// completion (the dataflow join the trace cannot express).
+	onBranch    bool
+	pendingJoin time.Duration
+
+	// batchReady[k] is when the loader finished preparing iteration k's
+	// mini-batch.
+	batchReady map[int]time.Duration
+	// pullDone[layerIndex] is when the PS pull for a layer's parameters
+	// completed (used by the next iteration's forward pass).
+	pullDone map[int]time.Duration
+
+	// grads and buckets are the per-layer gradient metadata.
+	grads   []trace.GradientInfo
+	buckets []comm.Bucket
+	// bucketOf maps a layer index to its bucket ID (NCCL backend).
+	bucketOf map[int]int
+	// bucketCommEnd[bucketID] is when the bucket's all-reduce finished
+	// in the current iteration.
+	bucketCommEnd map[int]time.Duration
+
+	commRecords []CommRecord
+
+	recording bool
+	acts      []trace.Activity
+	spans     []trace.LayerSpan
+	nextID    int
+	nextCorr  uint64
+	salt      uint64
+}
+
+func newMachine(cfg *Config) *machine {
+	m := &machine{
+		cfg:        cfg,
+		dev:        cfg.Device,
+		host:       cfg.Host,
+		chans:      make(map[string]time.Duration),
+		batchReady: make(map[int]time.Duration),
+		pullDone:   make(map[int]time.Duration),
+		salt:       cfg.Seed,
+	}
+	m.initGradients()
+	return m
+}
+
+// initGradients computes the per-layer gradient metadata and, for the NCCL
+// backend, the DDP bucket assignment the instrumented framework would
+// report.
+func (m *machine) initGradients() {
+	for _, l := range m.cfg.Model.Layers {
+		m.grads = append(m.grads, trace.GradientInfo{
+			Layer:    l.Name,
+			Index:    l.Index,
+			Bytes:    l.GradBytes(),
+			Bucket:   -1,
+			ActBytes: l.ActBytes,
+			Kind:     l.Kind.String(),
+		})
+	}
+	if m.cfg.Cluster.enabled() && m.cfg.Cluster.Backend == BackendNCCL {
+		m.buckets = comm.AssignBuckets(m.grads, m.cfg.BucketBytes)
+		m.bucketOf = make(map[int]int)
+		for _, b := range m.buckets {
+			for _, li := range b.Layers {
+				m.bucketOf[li] = b.ID
+			}
+		}
+	}
+}
+
+func (m *machine) startRecording() { m.recording = true }
+func (m *machine) stopRecording()  { m.recording = false }
+
+// nextSalt returns a fresh jitter salt.
+func (m *machine) nextSalt() uint64 {
+	m.salt++
+	return m.salt
+}
+
+// record appends an activity if recording is enabled, assigning its ID.
+func (m *machine) record(a trace.Activity) {
+	if !m.recording {
+		return
+	}
+	a.ID = m.nextID
+	m.nextID++
+	m.acts = append(m.acts, a)
+}
+
+// gap advances the main-thread clock without emitting an activity —
+// framework time CUPTI cannot see, which Daydream later recovers as
+// inter-task gaps.
+func (m *machine) gap(d time.Duration) { m.cpu += d }
+
+// dispatchGap advances the clock by the host's intra-operator dispatch
+// overhead.
+func (m *machine) dispatchGap() {
+	m.gap(m.host.HostCall(m.host.DispatchGap, "dispatch", m.nextSalt()))
+}
+
+// opGap advances the clock by the host's between-operator overhead, scaled
+// by dialect (Caffe's C++ core dispatches faster than Python frontends).
+func (m *machine) opGap() {
+	base := m.host.OpGap
+	switch m.cfg.Dialect {
+	case Caffe:
+		base = base / 2
+	case MXNet:
+		base = base * 4 / 5
+	}
+	m.gap(m.host.HostCall(base, "op", m.nextSalt()))
+}
+
+// launchKernel emits a cudaLaunchKernel on the main thread and the
+// correlated kernel on the compute stream (or, in concurrent mode while a
+// side branch is active, the branch stream). minStart constrains the
+// kernel's earliest start beyond stream order (used for cross-resource
+// dependencies such as "weight update waits for its bucket's all-reduce").
+// It returns the kernel's completion time.
+func (m *machine) launchKernel(k *xpu.Kernel, minStart time.Duration) time.Duration {
+	m.nextCorr++
+	corr := m.nextCorr
+	launchDur := m.host.HostCall(m.host.LaunchCall, "cudaLaunchKernel", m.nextSalt())
+	m.record(trace.Activity{
+		Name: "cudaLaunchKernel", Kind: trace.KindLaunch,
+		Start: m.cpu, Duration: launchDur,
+		Thread: mainThread, Correlation: corr,
+	})
+	m.cpu += launchDur
+	kDur := m.dev.KernelCost(k, m.cfg.Precision, m.nextSalt())
+	streamID, clock := computeStream, &m.stream
+	if m.onBranch {
+		streamID, clock = branchStream, &m.branch
+	} else if m.pendingJoin > 0 {
+		// First main-stream kernel after a branch: the dataflow
+		// joins here (e.g. the residual add consumes the shortcut).
+		if m.pendingJoin > minStart {
+			minStart = m.pendingJoin
+		}
+		m.pendingJoin = 0
+	}
+	kStart := maxDur(*clock, m.cpu, minStart)
+	m.record(trace.Activity{
+		Name: k.EffectiveName(), Kind: trace.KindKernel,
+		Start: kStart, Duration: kDur,
+		Stream: streamID, Correlation: corr,
+	})
+	*clock = kStart + kDur
+	if m.onBranch {
+		m.pendingJoin = m.branch
+	}
+	return *clock
+}
+
+// gpuIdleAt returns when all GPU streams drain.
+func (m *machine) gpuIdleAt() time.Duration { return maxDur(m.stream, m.branch) }
+
+// memcpyH2D emits an asynchronous host-to-device copy: the API call on the
+// CPU and the correlated transfer on the stream.
+func (m *machine) memcpyH2D(bytes int64) {
+	m.nextCorr++
+	corr := m.nextCorr
+	apiDur := m.host.HostCall(m.host.MemcpyCall, "cudaMemcpyAsync", m.nextSalt())
+	m.record(trace.Activity{
+		Name: "cudaMemcpyAsync", Kind: trace.KindMemcpyAPI,
+		Start: m.cpu, Duration: apiDur,
+		Thread: mainThread, Correlation: corr, Bytes: bytes, Dir: trace.MemcpyH2D,
+	})
+	m.cpu += apiDur
+	dur := m.dev.MemcpyCost(bytes, m.nextSalt())
+	start := maxDur(m.stream, m.cpu)
+	m.record(trace.Activity{
+		Name: "memcpy_HtoD", Kind: trace.KindMemcpy,
+		Start: start, Duration: dur,
+		Stream: computeStream, Correlation: corr, Bytes: bytes, Dir: trace.MemcpyH2D,
+	})
+	m.stream = start + dur
+}
+
+// memcpyD2H emits a device-to-host copy. Per the paper's observation
+// (§4.2.2), even cudaMemcpyAsyncDtoH blocks the CPU until all previously
+// launched kernels on the stream complete, so the API call's duration
+// covers the wait.
+func (m *machine) memcpyD2H(bytes int64) {
+	m.nextCorr++
+	corr := m.nextCorr
+	apiStart := m.cpu
+	dur := m.dev.MemcpyCost(bytes, m.nextSalt())
+	gpuStart := maxDur(m.gpuIdleAt(), apiStart)
+	gpuEnd := gpuStart + dur
+	m.record(trace.Activity{
+		Name: "memcpy_DtoH", Kind: trace.KindMemcpy,
+		Start: gpuStart, Duration: dur,
+		Stream: computeStream, Correlation: corr, Bytes: bytes, Dir: trace.MemcpyD2H,
+	})
+	m.stream = gpuEnd
+	apiDur := gpuEnd - apiStart + m.host.HostCall(m.host.MemcpyCall, "cudaMemcpyAsyncDtoH", m.nextSalt())
+	m.record(trace.Activity{
+		Name: "cudaMemcpyAsync", Kind: trace.KindMemcpyAPI,
+		Start: apiStart, Duration: apiDur,
+		Thread: mainThread, Correlation: corr, Bytes: bytes, Dir: trace.MemcpyD2H,
+	})
+	m.cpu = apiStart + apiDur
+}
+
+// deviceSync emits a cudaDeviceSynchronize: the CPU blocks until every
+// GPU stream (and any outstanding communication) drains.
+func (m *machine) deviceSync(name string, waitComm bool) {
+	start := m.cpu
+	waitUntil := m.gpuIdleAt()
+	if waitComm && m.lastCommEnd > waitUntil {
+		waitUntil = m.lastCommEnd
+	}
+	base := m.host.HostCall(m.host.SyncCallBase, name, m.nextSalt())
+	end := maxDur(start+base, waitUntil+base)
+	m.record(trace.Activity{
+		Name: name, Kind: trace.KindSync,
+		Start: start, Duration: end - start,
+		Thread: mainThread,
+	})
+	m.cpu = end
+}
+
+// streamSync emits a cudaStreamSynchronize that waits only for the compute
+// stream.
+func (m *machine) streamSync() { m.deviceSync("cudaStreamSynchronize", false) }
+
+// cudaMalloc emits an allocation API call (used by the reconstructed-
+// batchnorm ground truth, whose re-implementation allocates scratch
+// buffers).
+func (m *machine) cudaMalloc(name string) {
+	dur := m.host.HostCall(m.host.MallocCall, name, m.nextSalt())
+	m.record(trace.Activity{
+		Name: name, Kind: trace.KindMalloc,
+		Start: m.cpu, Duration: dur, Thread: mainThread,
+	})
+	m.cpu += dur
+}
+
+// span records a layer phase span if recording.
+func (m *machine) span(name string, index int, phase trace.Phase, start, end time.Duration) {
+	if !m.recording {
+		return
+	}
+	m.spans = append(m.spans, trace.LayerSpan{
+		Layer: name, Index: index, Phase: phase,
+		Thread: mainThread, Start: start, End: end,
+	})
+}
+
+// recordComm appends a communication activity and its record.
+func (m *machine) recordComm(name, channel string, bucket int, bytes int64, start, dur, theoretical, exclusive time.Duration) {
+	m.record(trace.Activity{
+		Name: name, Kind: trace.KindComm,
+		Start: start, Duration: dur,
+		Channel: channel, Bytes: bytes,
+	})
+	if m.recording {
+		m.commRecords = append(m.commRecords, CommRecord{
+			Name: name, Bucket: bucket, Bytes: bytes,
+			Theoretical: theoretical, Exclusive: exclusive, Actual: dur,
+		})
+	}
+}
+
+// buildTrace packages the recorded activities into a Trace rebased to the
+// measured iteration's start.
+func (m *machine) buildTrace(base time.Duration, iterTime time.Duration) *trace.Trace {
+	t := &trace.Trace{
+		Model:         m.cfg.Model.Name,
+		Framework:     m.cfg.Dialect.String(),
+		Device:        m.dev.Name,
+		BatchSize:     m.cfg.Model.BatchSize,
+		Precision:     m.cfg.Precision.String(),
+		IterationTime: iterTime,
+		Activities:    m.acts,
+		LayerSpans:    m.spans,
+		Gradients:     append([]trace.GradientInfo(nil), m.grads...),
+	}
+	for i := range t.Activities {
+		t.Activities[i].Start -= base
+		if t.Activities[i].Start < 0 {
+			t.Activities[i].Start = 0
+		}
+	}
+	for i := range t.LayerSpans {
+		t.LayerSpans[i].Start -= base
+		t.LayerSpans[i].End -= base
+	}
+	t.SortByStart()
+	return t
+}
+
+// maxDur returns the maximum of its arguments.
+func maxDur(ds ...time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,151 @@
+package framework
+
+import (
+	"time"
+
+	"daydream/internal/dnn"
+	"daydream/internal/trace"
+	"daydream/internal/xpu"
+)
+
+// Weight-update calibration. Unfused optimizers dispatch every elementwise
+// operation through the framework's Python/C++ front end, which is why the
+// paper finds "the CUDA launch calls on the CPU become the main bottleneck"
+// for BERT (§6.3).
+const (
+	// adamKernelsPerTensor is the number of elementwise kernels the
+	// stock Adam implementation launches per parameter tensor per step
+	// (exp-avg update, exp-avg-sq update, bias corrections, denom,
+	// addcdiv, ...). With BERT-Base's ~200 parameter tensors this yields
+	// the ~2.6 K weight-update kernels the paper counts.
+	adamKernelsPerTensor = 13
+	// adamDispatch is the per-kernel Python dispatch overhead inside the
+	// optimizer loop.
+	adamDispatch = 32 * time.Microsecond
+	// adamBytesFactor is each Adam elementwise kernel's DRAM traffic in
+	// units of the tensor size.
+	adamBytesFactor = 1.0
+	// sgdKernelsPerTensor is the kernels-per-tensor count of SGD with
+	// momentum.
+	sgdKernelsPerTensor = 3
+	// sgdDispatch is SGD's per-kernel dispatch overhead.
+	sgdDispatch = 10 * time.Microsecond
+	// sgdBytesFactor is each SGD kernel's traffic in tensor sizes.
+	sgdBytesFactor = 2.5
+	// fusedBytesFactor is the fused optimizer's total traffic in units
+	// of total parameter bytes (read p/g/m/v, write p/m/v).
+	fusedBytesFactor = 7
+)
+
+// runWeightUpdate executes the optimizer step. Under the NCCL backend each
+// layer's update waits for its gradient bucket's all-reduce.
+func (m *machine) runWeightUpdate() {
+	if m.cfg.Precision == xpu.FP16 && m.cfg.Optimizer != OptFusedAdam {
+		m.runAMPUnscale()
+	}
+	switch m.cfg.Optimizer {
+	case OptFusedAdam:
+		m.runFusedAdam()
+	case OptAdam:
+		m.runUnfusedUpdate(adamKernelsPerTensor, adamDispatch, adamBytesFactor, xpu.ClassOptimizer)
+	default:
+		m.runUnfusedUpdate(sgdKernelsPerTensor, sgdDispatch, sgdBytesFactor, xpu.ClassOptimizer)
+	}
+}
+
+// runUnfusedUpdate launches kernelsPerTensor elementwise kernels per
+// parameter tensor, each behind a framework dispatch, mirroring stock
+// PyTorch optimizers. Embedding tables receive sparse gradients, so their
+// update traffic is bounded by the rows actually touched this iteration.
+func (m *machine) runUnfusedUpdate(kernelsPerTensor int, dispatch time.Duration, bytesFactor float64, class xpu.Class) {
+	m.opGap()
+	for _, l := range m.cfg.Model.Layers {
+		if !l.HasParams() {
+			continue
+		}
+		minStart := m.commWaitFor(l.Index)
+		start := m.cpu
+		for _, tensor := range l.Tensors {
+			bytes := float64(tensor) * 4 * bytesFactor
+			if l.Kind == dnn.Embedding && l.ActBytes > 0 && float64(l.ActBytes) < bytes {
+				bytes = float64(l.ActBytes) * bytesFactor
+			}
+			for k := 0; k < kernelsPerTensor; k++ {
+				m.gap(m.host.HostCall(dispatch, "optimizer.dispatch", m.nextSalt()))
+				kern := xpu.Kernel{Class: class, Bytes: bytes}
+				m.launchKernel(&kern, minStart)
+			}
+		}
+		m.span(l.Name, l.Index, trace.WeightUpdate, start, m.cpu)
+	}
+}
+
+// runFusedAdam launches Apex's multi-tensor fused update: the entire
+// optimizer step collapses into one GPU kernel behind one launch.
+func (m *machine) runFusedAdam() {
+	m.opGap()
+	minStart := m.allCommDone()
+	start := m.cpu
+	totalBytes := float64(m.cfg.Model.ParamCount()) * 4 * fusedBytesFactor
+	m.gap(m.host.HostCall(adamDispatch, "fused_adam.dispatch", m.nextSalt()))
+	kern := xpu.Kernel{Class: xpu.ClassFusedOptimizer, Bytes: totalBytes}
+	m.launchKernel(&kern, minStart)
+	m.span("optimizer.fused_adam", len(m.cfg.Model.Layers), trace.WeightUpdate, start, m.cpu)
+}
+
+// runAMPUnscale models Apex AMP's loss-scale bookkeeping before an unfused
+// optimizer step: one unscale kernel per parameter tensor, a global
+// finite-check reduction, and the blocking device-to-host copy of the
+// overflow flag. This is the (small) CPU-side cost AMP adds, keeping the
+// Figure-6 observation that "CPU runtime barely changes".
+func (m *machine) runAMPUnscale() {
+	m.opGap()
+	start := m.cpu
+	for _, l := range m.cfg.Model.Layers {
+		if !l.HasParams() {
+			continue
+		}
+		minStart := m.commWaitFor(l.Index)
+		for _, tensor := range l.Tensors {
+			m.dispatchGap()
+			kern := xpu.Kernel{
+				Name:  "elementwise_kernel_amp_unscale",
+				Class: xpu.ClassElementwise,
+				Bytes: float64(tensor) * 4 * 2,
+			}
+			m.launchKernel(&kern, minStart)
+		}
+	}
+	m.dispatchGap()
+	check := xpu.Kernel{Name: "reduce_kernel_amp_finite_check", Class: xpu.ClassReduce, Bytes: 1 << 20}
+	m.launchKernel(&check, 0)
+	// The overflow flag is read back asynchronously (the loss scaler
+	// consumes it next iteration), so only scale-management CPU work is
+	// paid here.
+	m.gap(m.host.HostCall(m.host.DispatchGap, "amp.loss_scaler", m.nextSalt()))
+	m.span("amp.unscale", len(m.cfg.Model.Layers)+1, trace.WeightUpdate, start, m.cpu)
+}
+
+// commWaitFor returns the earliest time layer li's weight update may start.
+// PyTorch DDP blocks the end of backward() on *every* bucket's all-reduce
+// before the optimizer runs, so the constraint is the completion of all
+// communication, not just the layer's own bucket — the same dependency
+// shape Algorithm 6 gives the prediction.
+func (m *machine) commWaitFor(li int) time.Duration {
+	if m.bucketOf == nil {
+		return 0
+	}
+	return m.allCommDone()
+}
+
+// allCommDone returns the completion time of the last communication
+// primitive of the current iteration.
+func (m *machine) allCommDone() time.Duration {
+	var end time.Duration
+	for _, e := range m.bucketCommEnd {
+		if e > end {
+			end = e
+		}
+	}
+	return end
+}

@@ -1,0 +1,156 @@
+package framework
+
+import (
+	"sort"
+	"time"
+
+	"daydream/internal/comm"
+	"daydream/internal/xpu"
+)
+
+// psPushes converts one layer's freshly computed gradient into pending
+// push requests. Without P3 the whole tensor is one request; with P3 it is
+// cut into fixed-size slices tagged with the layer's forward position so
+// that parameters needed earliest in the next forward pass win the
+// network first (priority-based parameter propagation).
+func (m *machine) psPushes(layerIndex int, gradBytes int64, ready time.Duration) []pendingComm {
+	sliceBytes := gradBytes
+	if m.cfg.Cluster.P3 {
+		sliceBytes = m.cfg.Cluster.P3SliceBytes
+	}
+	var out []pendingComm
+	for _, sz := range comm.Slices(gradBytes, sliceBytes) {
+		out = append(out, pendingComm{
+			name:     "push",
+			bucket:   layerIndex,
+			layer:    layerIndex,
+			bytes:    sz,
+			ready:    ready,
+			priority: -layerIndex, // earlier layers are needed sooner
+		})
+	}
+	return out
+}
+
+// schedulePS runs the parameter-server transfer schedule: pushes on the
+// worker's send channel, server-side processing, pulls on the receive
+// channel. The baseline serves requests in ready (FIFO) order; P3 picks
+// the highest-priority ready slice. Server processing cost is the
+// ground-truth-only effect that makes communication "increasingly
+// bottlenecked by non-network resources" at high bandwidth (§6.6).
+func (m *machine) schedulePS(pending []pendingComm) {
+	if len(pending) == 0 {
+		return
+	}
+	cl := m.cfg.Cluster
+	topo := cl.Topology
+	bw := topo.NICBandwidth
+	n := float64(topo.TotalGPUs())
+	servers := float64(topo.Machines)
+	lat := topo.StepLatency
+	prioritize := cl.P3
+
+	type request struct {
+		pendingComm
+		serverDone time.Duration
+	}
+
+	// Push phase on the send channel. The server pool is a *serial*
+	// shared resource: aggregating a request occupies server CPU
+	// proportional to its size (scaled by how many workers feed how
+	// many servers), so at high network bandwidth the servers — not the
+	// wire — pace the pulls. Daydream's predictor knows only gradient
+	// sizes and network bandwidth, which is exactly why it overestimates
+	// P3's gains in that regime (§6.6).
+	reqs := make([]request, 0, len(pending))
+	send := m.chans[psSendChan]
+	server := m.chans[psServerChan]
+	remaining := append([]pendingComm(nil), pending...)
+	for len(remaining) > 0 {
+		i := pickRequest(remaining, send, prioritize)
+		p := remaining[i]
+		remaining = append(remaining[:i], remaining[i+1:]...)
+		start := maxDur(send, p.ready)
+		dur := comm.TransferTime(p.bytes, bw, lat)
+		dur = time.Duration(float64(dur) * xpu.Jitter("ps.push", m.nextSalt(), 0.05))
+		m.recordComm("push", psSendChan, p.layer, p.bytes, start, dur, comm.TransferTime(p.bytes, bw, lat), dur)
+		send = start + dur
+		serverProc := time.Duration(float64(p.bytes) * (n / servers) / cl.ServerBandwidth * float64(time.Second))
+		serverStart := maxDur(server, send)
+		server = serverStart + serverProc
+		reqs = append(reqs, request{pendingComm: p, serverDone: server + cl.ServerLatency})
+	}
+	m.chans[psSendChan] = send
+	m.chans[psServerChan] = server
+
+	// Pull phase on the receive channel.
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].serverDone < reqs[j].serverDone })
+	recv := m.chans[psRecvChan]
+	pulls := make([]pendingComm, len(reqs))
+	for i, r := range reqs {
+		pulls[i] = r.pendingComm
+		pulls[i].ready = r.serverDone
+	}
+	newPullDone := make(map[int]time.Duration)
+	for len(pulls) > 0 {
+		i := pickRequest(pulls, recv, prioritize)
+		p := pulls[i]
+		pulls = append(pulls[:i], pulls[i+1:]...)
+		start := maxDur(recv, p.ready)
+		dur := comm.TransferTime(p.bytes, bw, lat)
+		dur = time.Duration(float64(dur) * xpu.Jitter("ps.pull", m.nextSalt(), 0.05))
+		m.recordComm("pull", psRecvChan, p.layer, p.bytes, start, dur, comm.TransferTime(p.bytes, bw, lat), dur)
+		recv = start + dur
+		if e := recv; e > newPullDone[p.layer] {
+			newPullDone[p.layer] = e
+		}
+	}
+	m.chans[psRecvChan] = recv
+	for li, e := range newPullDone {
+		m.pullDone[li] = e
+		if e > m.lastCommEnd {
+			m.lastCommEnd = e
+		}
+	}
+}
+
+// pickRequest selects the next request to serve on a channel whose clock
+// is now. FIFO mode returns the first request (the list is already in
+// arrival order); priority mode returns the highest-priority request that
+// is ready at the channel's next idle time, falling back to the earliest
+// ready one.
+func pickRequest(reqs []pendingComm, now time.Duration, prioritize bool) int {
+	if !prioritize {
+		return 0
+	}
+	// The channel becomes free at max(now, earliest ready).
+	earliest := reqs[0].ready
+	for _, r := range reqs[1:] {
+		if r.ready < earliest {
+			earliest = r.ready
+		}
+	}
+	free := now
+	if earliest > free {
+		free = earliest
+	}
+	best := -1
+	for i, r := range reqs {
+		if r.ready > free {
+			continue
+		}
+		if best == -1 || r.priority > reqs[best].priority {
+			best = i
+		}
+	}
+	if best == -1 {
+		// Nothing ready yet: take the earliest arrival.
+		best = 0
+		for i, r := range reqs {
+			if r.ready < reqs[best].ready {
+				best = i
+			}
+		}
+	}
+	return best
+}

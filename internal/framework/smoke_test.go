@@ -1,0 +1,35 @@
+package framework
+
+import (
+	"testing"
+
+	"daydream/internal/dnn"
+	"daydream/internal/xpu"
+)
+
+// TestSmokeIterationTimes prints the baseline iteration time of every zoo
+// model so calibration against the paper's reported magnitudes can be
+// checked by eye (go test -v).
+func TestSmokeIterationTimes(t *testing.T) {
+	for _, name := range dnn.Names() {
+		model, err := dnn.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{Model: model, CollectTrace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fp16, err := Run(Config{Model: model, Precision: xpu.FP16})
+		if err != nil {
+			t.Fatalf("%s fp16: %v", name, err)
+		}
+		t.Logf("%-12s fp32=%8.1fms fp16=%8.1fms speedup=%.2fx activities=%d params=%.1fM",
+			name,
+			float64(res.IterationTime.Microseconds())/1000,
+			float64(fp16.IterationTime.Microseconds())/1000,
+			float64(res.IterationTime)/float64(fp16.IterationTime),
+			len(res.Trace.Activities),
+			float64(model.ParamCount())/1e6)
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := validTrace()
+	tr.Activities = append(tr.Activities, Activity{
+		ID: 3, Name: "ncclAllReduce", Kind: KindComm, Channel: "nccl",
+		Start: 20, Duration: 30, Bytes: 1 << 20,
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+		OtherData   map[string]string        `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var complete, meta int
+	tids := map[float64]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			complete++
+			tids[e["tid"].(float64)] = true
+		case "M":
+			meta++
+		}
+	}
+	// 3 activities + 1 comm + 1 layer span.
+	if complete != 5 {
+		t.Errorf("complete events = %d, want 5", complete)
+	}
+	if meta == 0 {
+		t.Error("no thread-name metadata")
+	}
+	// Kernel and comm land on synthetic tracks.
+	if !tids[float64(chromeStreamBase+7)] {
+		t.Error("kernel not on a stream track")
+	}
+	if !tids[float64(chromeChanBase)] {
+		t.Error("comm not on a channel track")
+	}
+	if !tids[float64(chromeSpanBase)] {
+		t.Error("layer span track missing")
+	}
+	if doc.OtherData["model"] != "m" {
+		t.Error("metadata lost")
+	}
+}

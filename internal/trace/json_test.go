@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := validTrace()
+	tr.Model = "ResNet-50"
+	tr.Gradients = []GradientInfo{{Layer: "l0", Index: 0, Bytes: 4096, Bucket: 2, ActBytes: 99, Kind: "conv"}}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != tr.Model {
+		t.Errorf("model = %q, want %q", got.Model, tr.Model)
+	}
+	if len(got.Activities) != len(tr.Activities) {
+		t.Fatalf("activities = %d, want %d", len(got.Activities), len(tr.Activities))
+	}
+	for i := range got.Activities {
+		if got.Activities[i] != tr.Activities[i] {
+			t.Errorf("activity %d = %+v, want %+v", i, got.Activities[i], tr.Activities[i])
+		}
+	}
+	if len(got.Gradients) != 1 || got.Gradients[0] != tr.Gradients[0] {
+		t.Errorf("gradients = %+v", got.Gradients)
+	}
+	if len(got.LayerSpans) != 1 || got.LayerSpans[0] != tr.LayerSpans[0] {
+		t.Errorf("spans = %+v", got.LayerSpans)
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadJSONInvalidTrace(t *testing.T) {
+	bad := validTrace()
+	bad.Activities[0].Start = -1
+	var buf bytes.Buffer
+	if err := bad.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(&buf); err == nil {
+		t.Fatal("invalid trace accepted on read")
+	}
+}

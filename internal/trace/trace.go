@@ -1,0 +1,337 @@
+// Package trace defines the CUPTI-shaped activity records that Daydream
+// consumes. A Trace is the result of profiling one training iteration: a
+// flat list of timestamped activities (CUDA runtime API calls, GPU kernels,
+// memory copies, synchronizations, data-loading and communication tasks)
+// plus the lightweight framework instrumentation the paper adds on top of
+// CUPTI — per-layer phase spans and gradient/bucket metadata.
+//
+// Real Daydream obtains these records from CUPTI and from small patches to
+// PyTorch/MXNet/Caffe. This reproduction obtains them from the synthetic
+// training executor in internal/framework, which emits exactly the same
+// shape of data: names, start/duration timestamps, CPU thread IDs, GPU
+// stream IDs, and CUDA correlation IDs.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind classifies an activity record, mirroring the CUPTI activity kinds
+// Daydream cares about plus the two task types the paper adds (data loading
+// and communication).
+type Kind int
+
+const (
+	// KindCPUOp is a framework-level CPU operation: operator dispatch,
+	// Python-to-C++ boundary work, optimizer bookkeeping. CUPTI does not
+	// report these directly; the paper captures their effect as inter-task
+	// gaps, but the synthetic tracer also reports the portions it can see.
+	KindCPUOp Kind = iota
+	// KindLaunch is a cudaLaunchKernel runtime API call on a CPU thread.
+	KindLaunch
+	// KindMemcpyAPI is a cudaMemcpy/cudaMemcpyAsync call on a CPU thread.
+	KindMemcpyAPI
+	// KindSync is a CUDA synchronization API call (cudaDeviceSynchronize,
+	// cudaStreamSynchronize) on a CPU thread. It completes only after the
+	// GPU work launched before it completes.
+	KindSync
+	// KindMalloc is a cudaMalloc/cudaFree style allocation API call.
+	KindMalloc
+	// KindKernel is a GPU kernel execution on a CUDA stream.
+	KindKernel
+	// KindMemcpy is the GPU-side execution of a memory copy on a stream.
+	KindMemcpy
+	// KindDataLoad is a data-loading task: one mini-batch moved from
+	// disk/flash into host memory by a loader thread.
+	KindDataLoad
+	// KindComm is a communication primitive: an all-reduce, push, pull,
+	// reduce-scatter or all-gather executing on a communication channel.
+	KindComm
+)
+
+var kindNames = [...]string{
+	KindCPUOp:     "cpu_op",
+	KindLaunch:    "cuda_launch",
+	KindMemcpyAPI: "memcpy_api",
+	KindSync:      "cuda_sync",
+	KindMalloc:    "cuda_malloc",
+	KindKernel:    "kernel",
+	KindMemcpy:    "memcpy",
+	KindDataLoad:  "data_load",
+	KindComm:      "comm",
+}
+
+// String returns the stable lower-case name of the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// OnCPU reports whether activities of this kind occupy a CPU thread.
+func (k Kind) OnCPU() bool {
+	switch k {
+	case KindCPUOp, KindLaunch, KindMemcpyAPI, KindSync, KindMalloc, KindDataLoad:
+		return true
+	}
+	return false
+}
+
+// OnGPU reports whether activities of this kind occupy a GPU stream.
+func (k Kind) OnGPU() bool {
+	return k == KindKernel || k == KindMemcpy
+}
+
+// OnChannel reports whether activities of this kind occupy a communication
+// channel.
+func (k Kind) OnChannel() bool { return k == KindComm }
+
+// MemcpyDir describes the direction of a memory copy.
+type MemcpyDir int
+
+// Memory copy directions.
+const (
+	MemcpyNone MemcpyDir = iota
+	MemcpyH2D            // host to device
+	MemcpyD2H            // device to host
+	MemcpyD2D            // device to device
+)
+
+// String returns the conventional CUDA abbreviation for the direction.
+func (d MemcpyDir) String() string {
+	switch d {
+	case MemcpyH2D:
+		return "HtoD"
+	case MemcpyD2H:
+		return "DtoH"
+	case MemcpyD2D:
+		return "DtoD"
+	}
+	return "none"
+}
+
+// Phase identifies which of the three per-iteration phases a layer span
+// belongs to.
+type Phase int
+
+// Training phases of one iteration.
+const (
+	Forward Phase = iota
+	Backward
+	WeightUpdate
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case Forward:
+		return "forward"
+	case Backward:
+		return "backward"
+	case WeightUpdate:
+		return "weight_update"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Activity is one CUPTI-shaped trace record. Exactly one of the location
+// fields is meaningful, depending on Kind: Thread for CPU-side records,
+// Stream for GPU-side records, Channel for communication records.
+type Activity struct {
+	// ID is a unique, monotonically increasing record identifier.
+	ID int `json:"id"`
+	// Name is the API or kernel name, e.g. "cudaLaunchKernel",
+	// "volta_sgemm_128x64_nn", "elementwise_kernel", "ncclAllReduce".
+	Name string `json:"name"`
+	// Kind classifies the record.
+	Kind Kind `json:"kind"`
+	// Start is the offset of the record from the start of the iteration.
+	Start time.Duration `json:"start"`
+	// Duration is how long the activity occupied its execution thread.
+	Duration time.Duration `json:"duration"`
+	// Thread is the CPU thread ID for CPU-side records.
+	Thread int `json:"thread"`
+	// Stream is the CUDA stream ID for GPU-side records.
+	Stream int `json:"stream"`
+	// Channel is the communication channel name for KindComm records
+	// (e.g. "nccl", "ps.send", "ps.recv").
+	Channel string `json:"channel,omitempty"`
+	// Correlation links a runtime API call (cudaLaunchKernel,
+	// cudaMemcpyAsync) to the GPU-side activity it triggered. Zero means
+	// no correlation. CUPTI provides exactly this field.
+	Correlation uint64 `json:"correlation,omitempty"`
+	// Bytes is the payload size for memory copies, communication
+	// primitives and data loads.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Dir is the memory copy direction, if applicable.
+	Dir MemcpyDir `json:"dir,omitempty"`
+}
+
+// End returns Start+Duration.
+func (a *Activity) End() time.Duration { return a.Start + a.Duration }
+
+// LayerSpan is one record of the framework instrumentation described in
+// paper §4.3: the wall-clock interval during which the framework's CPU
+// thread was inside the forward/backward/weight-update method of one layer.
+// Daydream's synchronization-free mapping brackets CUDA launch calls with
+// these spans and propagates the layer to GPU kernels via correlation IDs.
+type LayerSpan struct {
+	// Layer is the framework-level layer name, e.g. "layer3.2.conv1".
+	Layer string `json:"layer"`
+	// Index is the topological index of the layer in the model.
+	Index int `json:"index"`
+	// Phase is the training phase this span covers.
+	Phase Phase `json:"phase"`
+	// Thread is the CPU thread the span was recorded on.
+	Thread int `json:"thread"`
+	// Start and End delimit the span.
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+}
+
+// GradientInfo is the per-layer gradient metadata the paper collects with
+// extra framework instrumentation (§4.1 phase 1): the size of the gradient
+// each layer produces and, for PyTorch-style frameworks, which DDP bucket
+// the gradient is grouped into.
+type GradientInfo struct {
+	// Layer is the layer name the gradient belongs to.
+	Layer string `json:"layer"`
+	// Index is the topological index of the layer.
+	Index int `json:"index"`
+	// Bytes is the gradient payload size.
+	Bytes int64 `json:"bytes"`
+	// Bucket is the DDP gradient bucket this layer's gradient is grouped
+	// into; -1 if the framework does not bucket.
+	Bucket int `json:"bucket"`
+	// ActBytes is the layer's output activation size, used by
+	// memory-footprint what-ifs (vDNN, Gist).
+	ActBytes int64 `json:"act_bytes,omitempty"`
+	// Kind is the framework-level operator type name ("conv",
+	// "batchnorm", "relu", ...), part of the per-layer metadata the
+	// instrumentation reports.
+	Kind string `json:"op_kind,omitempty"`
+}
+
+// Trace is the complete profiling result for one training iteration.
+type Trace struct {
+	// Model is the DNN model name, e.g. "ResNet-50".
+	Model string `json:"model"`
+	// Framework identifies the framework dialect that produced the trace
+	// ("pytorch", "mxnet", "caffe").
+	Framework string `json:"framework"`
+	// Device is the accelerator the trace was collected on.
+	Device string `json:"device"`
+	// BatchSize is the per-worker mini-batch size.
+	BatchSize int `json:"batch_size"`
+	// Precision records the numeric precision of the run ("fp32","fp16").
+	Precision string `json:"precision"`
+	// IterationTime is the measured wall-clock time of the iteration.
+	IterationTime time.Duration `json:"iteration_time"`
+	// Activities are the CUPTI-shaped records, in no particular order.
+	Activities []Activity `json:"activities"`
+	// LayerSpans is the per-layer instrumentation.
+	LayerSpans []LayerSpan `json:"layer_spans"`
+	// Gradients is the per-layer gradient metadata.
+	Gradients []GradientInfo `json:"gradients"`
+}
+
+// SortByStart orders activities by start time, breaking ties by ID. Most
+// consumers want this ordering; the tracer already emits it, but traces
+// loaded from disk may not be sorted.
+func (t *Trace) SortByStart() {
+	sort.SliceStable(t.Activities, func(i, j int) bool {
+		ai, aj := &t.Activities[i], &t.Activities[j]
+		if ai.Start != aj.Start {
+			return ai.Start < aj.Start
+		}
+		return ai.ID < aj.ID
+	})
+}
+
+// CPUThreads returns the sorted set of CPU thread IDs present in the trace.
+func (t *Trace) CPUThreads() []int {
+	return t.locations(func(a *Activity) (int, bool) {
+		return a.Thread, a.Kind.OnCPU()
+	})
+}
+
+// Streams returns the sorted set of GPU stream IDs present in the trace.
+func (t *Trace) Streams() []int {
+	return t.locations(func(a *Activity) (int, bool) {
+		return a.Stream, a.Kind.OnGPU()
+	})
+}
+
+func (t *Trace) locations(f func(*Activity) (int, bool)) []int {
+	seen := make(map[int]bool)
+	for i := range t.Activities {
+		if id, ok := f(&t.Activities[i]); ok {
+			seen[id] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Validate checks structural invariants of the trace: non-negative times,
+// unique IDs, correlation IDs pairing exactly one API call with exactly one
+// GPU activity, and layer spans with non-inverted intervals. It returns the
+// first violation found.
+func (t *Trace) Validate() error {
+	ids := make(map[int]bool, len(t.Activities))
+	api := make(map[uint64]int) // correlation -> count of CPU-side records
+	gpu := make(map[uint64]int) // correlation -> count of GPU-side records
+	for i := range t.Activities {
+		a := &t.Activities[i]
+		if a.Start < 0 || a.Duration < 0 {
+			return fmt.Errorf("trace: activity %d (%s) has negative time", a.ID, a.Name)
+		}
+		if ids[a.ID] {
+			return fmt.Errorf("trace: duplicate activity ID %d", a.ID)
+		}
+		ids[a.ID] = true
+		if a.Correlation != 0 {
+			switch {
+			case a.Kind.OnCPU():
+				api[a.Correlation]++
+			case a.Kind.OnGPU():
+				gpu[a.Correlation]++
+			default:
+				return fmt.Errorf("trace: activity %d (%s) of kind %s carries a correlation ID", a.ID, a.Name, a.Kind)
+			}
+		}
+	}
+	for c, n := range api {
+		if n != 1 || gpu[c] != 1 {
+			return fmt.Errorf("trace: correlation %d pairs %d API records with %d GPU records; want 1 and 1", c, n, gpu[c])
+		}
+	}
+	for c, n := range gpu {
+		if api[c] != 1 {
+			return fmt.Errorf("trace: correlation %d pairs %d API records with %d GPU records; want 1 and 1", c, api[c], n)
+		}
+	}
+	for i := range t.LayerSpans {
+		s := &t.LayerSpans[i]
+		if s.End < s.Start {
+			return fmt.Errorf("trace: layer span %q %s has End < Start", s.Layer, s.Phase)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := *t
+	c.Activities = append([]Activity(nil), t.Activities...)
+	c.LayerSpans = append([]LayerSpan(nil), t.LayerSpans...)
+	c.Gradients = append([]GradientInfo(nil), t.Gradients...)
+	return &c
+}

@@ -1,0 +1,20 @@
+package whatif
+
+import "daydream/internal/core"
+
+// AMP models automatic mixed precision (Micikevicius et al., implemented
+// by NVIDIA Apex) exactly as the paper's Algorithm 3: every GPU task whose
+// name marks it compute-intensive ("sgemm"/"scudnn") shrinks 3× — the
+// empirical tensor-core ceiling the paper cites [57] — and every other GPU
+// task shrinks 2×, because halving the transferred bits halves a
+// memory-bound kernel's time. CPU tasks are untouched, which is why AMP's
+// end-to-end gains are far below 3× on CPU-bound models (paper §6.2).
+func AMP(g *core.Graph) {
+	for _, u := range g.Select(core.OnGPUPred) {
+		if core.NameContains("sgemm")(u) || core.NameContains("scudnn")(u) {
+			u.Duration /= 3
+		} else {
+			u.Duration /= 2
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package whatif
+
+import (
+	"strings"
+
+	"daydream/internal/core"
+)
+
+// ReconBatchnormOptions configures ReconBatchnorm.
+type ReconBatchnormOptions struct {
+	// IsReLU and IsBatchNorm classify layers by name. Defaults match
+	// the model zoo's naming ("relu", "bn"/"batchnorm" substrings).
+	IsReLU      func(layer string) bool
+	IsBatchNorm func(layer string) bool
+}
+
+func (o *ReconBatchnormOptions) defaults(g *core.Graph) {
+	kinds := make(map[string]string)
+	for _, gr := range g.Meta.Gradients {
+		kinds[gr.Layer] = gr.Kind
+	}
+	if o.IsReLU == nil {
+		o.IsReLU = func(layer string) bool {
+			if k, ok := kinds[layer]; ok && k != "" {
+				return k == "relu"
+			}
+			return strings.Contains(layer, "relu")
+		}
+	}
+	if o.IsBatchNorm == nil {
+		o.IsBatchNorm = func(layer string) bool {
+			if k, ok := kinds[layer]; ok && k != "" {
+				return k == "batchnorm"
+			}
+			return strings.Contains(layer, "bn") || strings.Contains(layer, "batchnorm")
+		}
+	}
+}
+
+// ReconBatchnorm models the batchnorm-restructuring optimization of Jung
+// et al. per the paper's §5.1 and Algorithm 5: activation (ReLU) GPU
+// kernels disappear — they are memory-bound kernels now fused with the
+// neighbouring compute-intensive convolutions — and batch-normalization
+// GPU kernels shrink 2× because the split sub-layers halve the input data
+// they load from GPU memory. As §6.4 discusses, this idealized model does
+// not know the re-implementation's new memory copies and allocations, so
+// it overestimates the real gain.
+func ReconBatchnorm(g *core.Graph, opts ReconBatchnormOptions) error {
+	if err := requireLayers(g, "ReconBatchnorm"); err != nil {
+		return err
+	}
+	opts.defaults(g)
+	for _, u := range g.Select(core.OnGPUPred) {
+		if !u.HasLayer {
+			continue
+		}
+		switch {
+		case opts.IsReLU(u.Layer):
+			g.Remove(u)
+		case opts.IsBatchNorm(u.Layer):
+			u.Duration /= 2
+		}
+	}
+	return nil
+}

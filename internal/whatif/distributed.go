@@ -1,0 +1,73 @@
+package whatif
+
+import (
+	"fmt"
+
+	"daydream/internal/comm"
+	"daydream/internal/core"
+	"daydream/internal/trace"
+)
+
+// DistributedOptions configures the distributed-training what-if.
+type DistributedOptions struct {
+	// Topology is the target cluster (machines × GPUs, bandwidths).
+	Topology comm.Topology
+	// BucketBytes caps gradient buckets when the trace metadata carries
+	// no bucket assignment; zero selects the DDP default (25 MB).
+	BucketBytes int64
+}
+
+// Distributed predicts data-parallel training performance from a
+// single-GPU profile, per the paper's §5.1 and Algorithm 6: one
+// ncclAllReduce task is inserted per gradient bucket on the communication
+// channel, depending on the last backward GPU task of the bucket's layers
+// and feeding the earliest weight-update node. Durations come from the
+// analytic ring all-reduce formula — the paper's predictor knows the
+// gradient sizes, primitive type and network bandwidth, nothing more.
+func Distributed(g *core.Graph, opts DistributedOptions) error {
+	n := opts.Topology.TotalGPUs()
+	if n <= 1 {
+		return nil // single worker: the baseline graph is the answer
+	}
+	if err := requireLayers(g, "Distributed"); err != nil {
+		return err
+	}
+	buckets := comm.BucketsFromTrace(g.Meta.Gradients)
+	if len(buckets) == 0 {
+		grads := append([]trace.GradientInfo(nil), g.Meta.Gradients...)
+		buckets = comm.AssignBuckets(grads, opts.BucketBytes)
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("whatif: Distributed: model has no gradients")
+	}
+	wu := earliestWUTask(g)
+	if wu == nil {
+		return fmt.Errorf("whatif: Distributed: no weight-update tasks in graph")
+	}
+	ch := core.Channel("nccl")
+	for _, b := range buckets {
+		task := g.NewTask("ncclAllReduce", trace.KindComm, ch, opts.Topology.AllReduceTime(b.Bytes))
+		task.Bytes = b.Bytes
+		// NCCL calls on one communicator serialize in launch order.
+		g.AppendTask(task)
+		// The all-reduce starts when the bucket's last gradient is
+		// computed …
+		deps := 0
+		for _, li := range b.Layers {
+			if u := lastBwdGPUTask(g, li); u != nil {
+				if err := g.AddDependency(u, task, core.DepComm); err != nil {
+					return err
+				}
+				deps++
+			}
+		}
+		if deps == 0 {
+			return fmt.Errorf("whatif: Distributed: bucket %d has no backward tasks", b.ID)
+		}
+		// … and the weight update waits for every bucket.
+		if err := g.AddDependency(task, wu, core.DepComm); err != nil {
+			return err
+		}
+	}
+	return nil
+}

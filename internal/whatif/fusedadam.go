@@ -1,0 +1,53 @@
+package whatif
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/trace"
+)
+
+// FusedAdam models Apex's fused Adam optimizer per the paper's §5.1 and
+// Algorithm 4: all weight-update-phase tasks are removed — eliminating the
+// thousands of CUDA launches that bottleneck the CPU — and one fused GPU
+// kernel is inserted whose duration is estimated as the sum of the removed
+// kernels' durations. The estimate is deliberately the paper's (it cannot
+// know the fused implementation's true memory traffic), which is one of
+// the places prediction error comes from.
+func FusedAdam(g *core.Graph) error {
+	if err := requireLayers(g, "FusedAdam"); err != nil {
+		return err
+	}
+	wuGPU := g.Select(core.And(core.OnGPUPred, core.InPhase(trace.WeightUpdate)))
+	if len(wuGPU) == 0 {
+		return fmt.Errorf("whatif: FusedAdam: no weight-update GPU tasks found")
+	}
+	var sum time.Duration
+	for _, u := range wuGPU {
+		sum += u.Duration
+	}
+	// The fused kernel replaces the first weight-update kernel; its CPU
+	// launch is kept as the single remaining launch call.
+	first := wuGPU[0]
+	for _, u := range wuGPU {
+		if u.TracedStart < first.TracedStart {
+			first = u
+		}
+	}
+	first.Duration = sum
+	first.Name = "multi_tensor_apply_kernel_adam"
+	for _, u := range wuGPU {
+		if u == first {
+			continue
+		}
+		// Remove the launch that triggered the kernel, then the
+		// kernel itself: FusedAdam's win is precisely these CPU
+		// tasks disappearing.
+		if peer := u.Peer(); peer != nil && peer.OnCPU() {
+			g.Remove(peer)
+		}
+		g.Remove(u)
+	}
+	return nil
+}

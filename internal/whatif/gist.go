@@ -1,0 +1,103 @@
+package whatif
+
+import (
+	"fmt"
+
+	"daydream/internal/core"
+	"daydream/internal/trace"
+)
+
+// GistOptions configures the Gist what-if.
+type GistOptions struct {
+	// Lossy additionally inserts the Delayed Precision Reduction (DPR)
+	// kernels of Gist's lossy mode around non-ReLU activations.
+	Lossy bool
+	// EncodeLayer reports whether a layer's activations are encoded;
+	// the default selects ReLU outputs (Gist's lossless SSDC/binarize
+	// targets ReLU→pool and ReLU→conv patterns).
+	EncodeLayer func(gr trace.GradientInfo) bool
+}
+
+func (o *GistOptions) defaults() {
+	if o.EncodeLayer == nil {
+		o.EncodeLayer = func(gr trace.GradientInfo) bool { return gr.Kind == "relu" }
+	}
+}
+
+// Gist models the memory-footprint optimization of Jain et al. per the
+// paper's §5.2 and Algorithm 11: encode kernels (with their CPU launch
+// calls) are inserted after the forward pass of each targeted activation,
+// and decode kernels before its backward pass. The inserted kernels'
+// durations are estimated from the existing element-wise kernels in the
+// profile, exactly as the paper suggests ("the duration of the inserted
+// encoding/decoding kernels can be estimated using existing element-wise
+// kernels"). Simulating the result quantifies Gist's runtime overhead.
+func Gist(g *core.Graph, opts GistOptions) error {
+	if err := requireLayers(g, "Gist"); err != nil {
+		return err
+	}
+	opts.defaults()
+	ew := g.Select(core.And(core.OnGPUPred, core.NameContains("elementwise")))
+	est := core.MeanDuration(ew)
+	if est == 0 {
+		return fmt.Errorf("whatif: Gist: no element-wise kernels to estimate from")
+	}
+	grads := gradientsByIndex(g)
+	inserted := 0
+	for _, li := range sortedLayerIndices(grads) {
+		gr := grads[li]
+		isTarget := opts.EncodeLayer(gr)
+		if !isTarget && !(opts.Lossy && gr.Kind != "relu" && gr.ActBytes > 0) {
+			continue
+		}
+		fwdLast := lastFwdGPUTask(g, li)
+		bwdFirst := firstBwdGPUTask(g, li)
+		if fwdLast == nil || bwdFirst == nil {
+			continue
+		}
+		name := "gist_ssdc_encode"
+		if !isTarget {
+			name = "gist_dpr_encode"
+		}
+		encLaunch := fwdLast.Peer()
+		if encLaunch == nil {
+			continue
+		}
+		if _, _, err := g.InsertKernel(core.KernelInsertion{
+			Name:        name,
+			Duration:    est,
+			LaunchAfter: encLaunch,
+			KernelAfter: fwdLast,
+			Layer:       gr.Layer,
+			LayerIndex:  li,
+			Phase:       trace.Forward,
+		}); err != nil {
+			return err
+		}
+		decAnchor := bwdFirst.Peer()
+		if decAnchor == nil || decAnchor.SeqPrev() == nil {
+			continue
+		}
+		if _, _, err := g.InsertKernel(core.KernelInsertion{
+			Name:        "gist_decode",
+			Duration:    est,
+			LaunchAfter: decAnchor.SeqPrev(),
+			KernelAfter: prevOnStream(bwdFirst),
+			Stream:      bwdFirst.Thread,
+			Layer:       gr.Layer,
+			LayerIndex:  li,
+			Phase:       trace.Backward,
+		}); err != nil {
+			return err
+		}
+		// The decode must precede the consumer's backward kernel.
+		inserted++
+	}
+	if inserted == 0 {
+		return fmt.Errorf("whatif: Gist: no target activations found")
+	}
+	return nil
+}
+
+// prevOnStream returns the GPU task preceding t on its stream, or nil.
+func prevOnStream(t *core.Task) *core.Task { return t.SeqPrev() }

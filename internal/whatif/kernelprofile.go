@@ -1,0 +1,52 @@
+package whatif
+
+import (
+	"sort"
+	"time"
+
+	"daydream/internal/core"
+)
+
+// KernelProfile carries externally measured kernel durations, keyed by a
+// substring of the kernel name. This implements the paper's §7.4
+// workflow: "Developers can profile their individual kernels, and then
+// input the profiling results into Daydream to accurately estimate the
+// overall runtime" — saving the engineering effort of porting a new
+// kernel implementation into the framework before knowing whether it
+// pays off.
+type KernelProfile map[string]time.Duration
+
+// ApplyKernelProfile overwrites the duration of every GPU task whose name
+// contains a profile key, and returns how many tasks were updated. When
+// several keys match one task, the longest key wins (most specific).
+func ApplyKernelProfile(g *core.Graph, profile KernelProfile) int {
+	if len(profile) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(profile))
+	for k := range profile {
+		keys = append(keys, k)
+	}
+	// Longest first, so the most specific pattern wins.
+	sort.Slice(keys, func(i, j int) bool { return len(keys[i]) > len(keys[j]) })
+	updated := 0
+	for _, u := range g.Select(core.OnGPUPred) {
+		for _, k := range keys {
+			if core.NameContains(k)(u) {
+				u.Duration = profile[k]
+				updated++
+				break
+			}
+		}
+	}
+	return updated
+}
+
+// ScaleByName multiplies the durations of GPU tasks whose name contains
+// the substring — the generic COZ-style "what if task T were N× faster"
+// question the paper's related work poses, expressed with the primitives.
+func ScaleByName(g *core.Graph, sub string, factor float64) int {
+	tasks := g.Select(core.And(core.OnGPUPred, core.NameContains(sub)))
+	core.Scale(tasks, factor)
+	return len(tasks)
+}

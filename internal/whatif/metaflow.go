@@ -1,0 +1,68 @@
+package whatif
+
+import (
+	"fmt"
+
+	"daydream/internal/core"
+)
+
+// RemoveLayer models a MetaFlow/TASO-style graph substitution that
+// eliminates a layer (paper Algorithm 9, Remove_layer): every GPU task
+// mapped to the layer is removed from the dependency graph.
+func RemoveLayer(g *core.Graph, layer string) error {
+	if err := requireLayers(g, "RemoveLayer"); err != nil {
+		return err
+	}
+	victims := g.Select(core.And(core.OnGPUPred, core.InLayer(layer)))
+	if len(victims) == 0 {
+		return fmt.Errorf("whatif: RemoveLayer: no GPU tasks mapped to layer %q", layer)
+	}
+	for _, u := range victims {
+		g.Remove(u)
+	}
+	return nil
+}
+
+// ScaleLayer models a substitution that reshapes a layer (paper
+// Algorithm 9, Scale_layer): the layer's GPU task durations are multiplied
+// by s, e.g. an enlarged convolution kernel inferred from profiling the
+// substituted dimensions.
+func ScaleLayer(g *core.Graph, layer string, s float64) error {
+	if err := requireLayers(g, "ScaleLayer"); err != nil {
+		return err
+	}
+	tasks := g.Select(core.And(core.OnGPUPred, core.InLayer(layer)))
+	if len(tasks) == 0 {
+		return fmt.Errorf("whatif: ScaleLayer: no GPU tasks mapped to layer %q", layer)
+	}
+	core.Scale(tasks, s)
+	return nil
+}
+
+// Substitution is one MetaFlow rewrite step: layers to remove and layers
+// to rescale.
+type Substitution struct {
+	// Remove lists layers eliminated by the substitution.
+	Remove []string
+	// Scale maps surviving layers to duration factors.
+	Scale map[string]float64
+}
+
+// MetaFlow applies a sequence of substitutions, turning Daydream into the
+// "more precise cost model" for MetaFlow's backtracking search that the
+// appendix describes.
+func MetaFlow(g *core.Graph, subs []Substitution) error {
+	for _, s := range subs {
+		for _, l := range s.Remove {
+			if err := RemoveLayer(g, l); err != nil {
+				return err
+			}
+		}
+		for l, f := range s.Scale {
+			if err := ScaleLayer(g, l, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package whatif
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/comm"
+	"daydream/internal/core"
+	"daydream/internal/trace"
+)
+
+// P3Options configures the priority-based parameter propagation what-if.
+type P3Options struct {
+	// Topology is the parameter-server cluster.
+	Topology comm.Topology
+	// SliceBytes is the gradient slice size; zero disables slicing and
+	// priorities, which models the plain (FIFO) MXNet parameter server —
+	// the "Baseline" of Figure 10.
+	SliceBytes int64
+	// Rounds is how many consecutive iterations to chain for the
+	// steady-state measurement; the default (and minimum) is 2.
+	Rounds int
+}
+
+// P3Result carries the transformed multi-iteration graph and how to read
+// an iteration time out of it.
+type P3Result struct {
+	// Graph is the repeated, transformed graph to simulate.
+	Graph *core.Graph
+	// Rounds is the number of chained iterations.
+	Rounds int
+}
+
+// IterationTime extracts the steady-state iteration time from a
+// simulation of the transformed graph: the distance between the last two
+// rounds' completion frontiers.
+func (r *P3Result) IterationTime(res *core.SimResult) time.Duration {
+	last := core.RoundSpan(r.Graph, res, r.Rounds-1)
+	prev := core.RoundSpan(r.Graph, res, r.Rounds-2)
+	return last - prev
+}
+
+// P3 models MXNet parameter-server training — optionally with
+// priority-based parameter propagation (Jayarajan et al.) — from a
+// single-worker profile, per the paper's §5.1 and Algorithm 7. The
+// baseline iteration graph is replicated so that a layer's push/pull
+// (issued during backward) gates the *next* iteration's forward pass of
+// the same layer:
+//
+//	bwd(layer, round r) → push slices → pull slices → fwd(layer, round r+1)
+//
+// With SliceBytes > 0, gradients are cut into slices whose priority favors
+// layers needed earliest in the next forward pass; the simulator's
+// scheduler resolves channel contention by priority, modeling P3's
+// preemptive transfers. Push tasks ride the "ps.send" channel and pull
+// tasks "ps.recv" (Algorithm 7's comm.send / comm.receive).
+func P3(g *core.Graph, opts P3Options) (*P3Result, error) {
+	if opts.Topology.TotalGPUs() <= 1 {
+		return nil, fmt.Errorf("whatif: P3 requires a multi-worker topology")
+	}
+	if err := requireLayers(g, "P3"); err != nil {
+		return nil, err
+	}
+	rounds := opts.Rounds
+	if rounds < 2 {
+		rounds = 2
+	}
+	rep, err := g.Repeat(rounds)
+	if err != nil {
+		return nil, err
+	}
+	grads := gradientsByIndex(rep)
+	layers := sortedLayerIndices(grads)
+	bw := opts.Topology.NICBandwidth
+	lat := opts.Topology.StepLatency
+	send := core.Channel("ps.send")
+	recv := core.Channel("ps.recv")
+
+	for r := 0; r < rounds; r++ {
+		for _, li := range layers {
+			gr := grads[li]
+			if gr.Bytes == 0 {
+				continue
+			}
+			u := lastBwdGPUTaskInRound(rep, li, r)
+			if u == nil {
+				continue
+			}
+			var v *core.Task
+			if r+1 < rounds {
+				v = firstFwdGPUTask(rep, li, r+1)
+			}
+			sliceBytes := gr.Bytes
+			priority := 0
+			if opts.SliceBytes > 0 {
+				sliceBytes = opts.SliceBytes
+				// Parameters needed earliest in the next forward
+				// pass win the network first.
+				priority = -li
+			}
+			for _, sz := range comm.Slices(gr.Bytes, sliceBytes) {
+				push := rep.NewTask(fmt.Sprintf("push %s", gr.Layer), trace.KindComm, send, comm.TransferTime(sz, bw, lat))
+				push.Bytes = sz
+				push.Priority = priority
+				push.Round = r
+				pull := rep.NewTask(fmt.Sprintf("pull %s", gr.Layer), trace.KindComm, recv, comm.TransferTime(sz, bw, lat))
+				pull.Bytes = sz
+				pull.Priority = priority
+				pull.Round = r
+				if err := rep.AddDependency(u, push, core.DepComm); err != nil {
+					return nil, err
+				}
+				if err := rep.AddDependency(push, pull, core.DepComm); err != nil {
+					return nil, err
+				}
+				if v != nil {
+					if err := rep.AddDependency(pull, v, core.DepComm); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return &P3Result{Graph: rep, Rounds: rounds}, nil
+}
+
+// lastBwdGPUTaskInRound is lastBwdGPUTask restricted to one round.
+func lastBwdGPUTaskInRound(g *core.Graph, layerIndex, round int) *core.Task {
+	var best *core.Task
+	for _, t := range g.Tasks() {
+		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Backward ||
+			t.LayerIndex != layerIndex || t.Round != round {
+			continue
+		}
+		if best == nil || t.TracedStart > best.TracedStart {
+			best = t
+		}
+	}
+	return best
+}

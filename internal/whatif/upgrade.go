@@ -1,0 +1,43 @@
+package whatif
+
+import (
+	"fmt"
+
+	"daydream/internal/core"
+	"daydream/internal/trace"
+	"daydream/internal/xpu"
+)
+
+// DeviceUpgrade answers "would a faster GPU help?" (one of the paper's
+// introductory what-if questions) from an existing profile: compute-bound
+// kernels — identified by the same name convention Algorithm 3 uses —
+// scale by the devices' arithmetic-throughput ratio, every other GPU task
+// by the memory-bandwidth ratio, and host↔device copies by the PCIe
+// ratio. CPU tasks are untouched, so the prediction exposes where an
+// upgrade would merely shift the bottleneck to the host — the same
+// insight as the paper's AMP analysis (§6.2).
+func DeviceUpgrade(g *core.Graph, from, to *xpu.Device) error {
+	if from == nil || to == nil {
+		return fmt.Errorf("whatif: DeviceUpgrade: both devices are required")
+	}
+	if from.FP32FLOPS <= 0 || from.MemBandwidth <= 0 || from.PCIeBandwidth <= 0 {
+		return fmt.Errorf("whatif: DeviceUpgrade: source device %q has incomplete specs", from.Name)
+	}
+	computeRatio := from.FP32FLOPS / to.FP32FLOPS
+	memRatio := from.MemBandwidth / to.MemBandwidth
+	pcieRatio := from.PCIeBandwidth / to.PCIeBandwidth
+	for _, u := range g.Select(core.OnGPUPred) {
+		switch {
+		case u.Kind == trace.KindMemcpy:
+			u.Duration = scaleDuration(u.Duration, pcieRatio)
+		case core.NameContains("sgemm")(u) || core.NameContains("scudnn")(u):
+			u.Duration = scaleDuration(u.Duration, computeRatio)
+		default:
+			u.Duration = scaleDuration(u.Duration, memRatio)
+		}
+		if u.Duration < to.KernelFloor {
+			u.Duration = to.KernelFloor
+		}
+	}
+	return nil
+}

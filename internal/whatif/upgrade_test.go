@@ -1,0 +1,117 @@
+package whatif_test
+
+import (
+	"testing"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/dnn"
+	"daydream/internal/framework"
+	"daydream/internal/whatif"
+	"daydream/internal/xpu"
+)
+
+// TestDeviceUpgradePredictsMeasured validates the device-upgrade what-if
+// against the engine: predict V100 performance from a 2080 Ti profile and
+// compare with an actual V100 run.
+func TestDeviceUpgradePredictsMeasured(t *testing.T) {
+	m, _ := dnn.ByName("resnet50")
+	base, err := framework.Run(framework.Config{Model: m, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.Build(base.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := whatif.DeviceUpgrade(g, xpu.RTX2080Ti(), xpu.V100()); err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := g.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := framework.Run(framework.Config{Model: m, Device: xpu.V100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := float64(predicted-gt.IterationTime) / float64(gt.IterationTime)
+	if rel < -0.15 || rel > 0.15 {
+		t.Fatalf("upgrade prediction %v vs measured %v (%.1f%%)", predicted, gt.IterationTime, 100*rel)
+	}
+}
+
+func TestDeviceUpgradeDowngradeSlows(t *testing.T) {
+	g := profile(t, "resnet50", framework.PyTorch)
+	base := predict(t, g.Clone())
+	c := g.Clone()
+	if err := whatif.DeviceUpgrade(c, xpu.RTX2080Ti(), xpu.P4000()); err != nil {
+		t.Fatal(err)
+	}
+	if down := predict(t, c); down <= base {
+		t.Fatalf("downgrading to P4000 predicted faster (%v vs %v)", down, base)
+	}
+}
+
+func TestDeviceUpgradeErrors(t *testing.T) {
+	g := profile(t, "resnet50", framework.PyTorch)
+	if err := whatif.DeviceUpgrade(g, nil, xpu.V100()); err == nil {
+		t.Error("nil source device accepted")
+	}
+	if err := whatif.DeviceUpgrade(g, &xpu.Device{}, xpu.V100()); err == nil {
+		t.Error("incomplete source device accepted")
+	}
+}
+
+func TestApplyKernelProfile(t *testing.T) {
+	g := profile(t, "resnet50", framework.PyTorch)
+	fixed := 123 * time.Microsecond
+	n := whatif.ApplyKernelProfile(g, whatif.KernelProfile{"scudnn_winograd": fixed})
+	if n == 0 {
+		t.Fatal("no kernels matched")
+	}
+	for _, u := range g.Select(core.NameContains("scudnn_winograd")) {
+		if u.Duration != fixed {
+			t.Fatalf("kernel %v not updated", u)
+		}
+	}
+}
+
+func TestApplyKernelProfileSpecificity(t *testing.T) {
+	g := profile(t, "resnet50", framework.PyTorch)
+	short := 10 * time.Microsecond
+	long := 99 * time.Microsecond
+	whatif.ApplyKernelProfile(g, whatif.KernelProfile{
+		"scudnn":          short,
+		"scudnn_winograd": long, // more specific: must win for winograd kernels
+	})
+	for _, u := range g.Select(core.NameContains("scudnn_winograd")) {
+		if u.Duration != long {
+			t.Fatal("longer (more specific) key did not win")
+		}
+	}
+	for _, u := range g.Select(core.NameContains("scudnn_128x128_dgrad")) {
+		if u.Duration != short {
+			t.Fatal("shorter key did not apply to non-winograd kernels")
+		}
+	}
+}
+
+func TestApplyKernelProfileEmpty(t *testing.T) {
+	g := profile(t, "resnet50", framework.PyTorch)
+	if whatif.ApplyKernelProfile(g, nil) != 0 {
+		t.Fatal("empty profile updated tasks")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	g := profile(t, "resnet50", framework.PyTorch)
+	base := predict(t, g.Clone())
+	c := g.Clone()
+	if n := whatif.ScaleByName(c, "sgemm", 0.5); n == 0 {
+		t.Fatal("no GEMMs scaled")
+	}
+	if sped := predict(t, c); sped >= base {
+		t.Fatal("halving GEMMs predicted no gain")
+	}
+}

@@ -1,0 +1,146 @@
+package whatif
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/trace"
+)
+
+// VDNNOptions configures the vDNN what-if.
+type VDNNOptions struct {
+	// PCIeBandwidth is the host↔device copy bandwidth in bytes/s.
+	PCIeBandwidth float64
+	// PrefetchDistance is how many layers ahead of a layer's backward
+	// pass its activations are prefetched: the re-fetch of layer l's
+	// feature maps is released once backward reaches layer
+	// l+PrefetchDistance (backward visits layers in descending order),
+	// which is the role of the original paper's findPrefetchLayer
+	// policy. Larger distances hide more PCIe latency but hold more
+	// memory.
+	PrefetchDistance int
+	// OffloadLayer reports whether a layer's activations are offloaded;
+	// the default models vDNN_conv (convolutional feature maps only).
+	OffloadLayer func(gr trace.GradientInfo) bool
+}
+
+func (o *VDNNOptions) defaults() {
+	if o.PCIeBandwidth == 0 {
+		o.PCIeBandwidth = 12e9
+	}
+	if o.PrefetchDistance == 0 {
+		o.PrefetchDistance = 3
+	}
+	if o.OffloadLayer == nil {
+		o.OffloadLayer = func(gr trace.GradientInfo) bool { return gr.Kind == "conv" }
+	}
+}
+
+// VDNN models virtualized DNN (Rhu et al.) per the paper's §5.2 and
+// Algorithm 10: for every offloaded layer, a device-to-host copy of its
+// output feature map is inserted after its forward pass (on a dedicated
+// copy stream, as vDNN uses a separate memory stream), and a host-to-device
+// prefetch is inserted before its backward pass. Prefetches are gated on
+// backward progress PrefetchDistance layers ahead, modeling the delayed
+// prefetching policy the appendix implements with a Schedule override.
+// Simulating the transformed graph exposes vDNN's performance overhead:
+// PCIe traffic and late prefetches stall the backward pass.
+func VDNN(g *core.Graph, opts VDNNOptions) error {
+	if err := requireLayers(g, "VDNN"); err != nil {
+		return err
+	}
+	opts.defaults()
+	grads := gradientsByIndex(g)
+	layers := sortedLayerIndices(grads)
+	copyStream := core.Channel("pcie.copy") // dedicated memcpy engine
+	maxIdx := 0
+	for _, li := range layers {
+		if li > maxIdx {
+			maxIdx = li
+		}
+	}
+	inserted := 0
+	for _, li := range layers {
+		gr := grads[li]
+		if !opts.OffloadLayer(gr) || gr.ActBytes == 0 {
+			continue
+		}
+		fwdLast := lastFwdGPUTask(g, li)
+		bwdFirst := firstBwdGPUTask(g, li)
+		if fwdLast == nil || bwdFirst == nil {
+			continue
+		}
+		copyDur := time.Duration(float64(gr.ActBytes) / opts.PCIeBandwidth * float64(time.Second))
+
+		// Copies are not threaded into a fixed channel sequence: the
+		// copy engine serves them in simulation order (offloads
+		// arrive during forward, prefetches during backward).
+		offload := g.NewTask(fmt.Sprintf("vdnn_offload %s", gr.Layer), trace.KindComm, copyStream, copyDur)
+		offload.Bytes = gr.ActBytes
+		if err := g.AddDependency(fwdLast, offload, core.DepCustom); err != nil {
+			return err
+		}
+
+		prefetch := g.NewTask(fmt.Sprintf("vdnn_prefetch %s", gr.Layer), trace.KindComm, copyStream, copyDur)
+		prefetch.Bytes = gr.ActBytes
+		// The prefetch may not begin before the offload completed …
+		if err := g.AddDependency(offload, prefetch, core.DepCustom); err != nil {
+			return err
+		}
+		// … nor before backward has progressed close enough (delayed
+		// prefetching policy) …
+		if trigger := firstBwdGPUTask(g, gateIndex(li, opts.PrefetchDistance, maxIdx)); trigger != nil && trigger != bwdFirst {
+			if err := g.AddDependency(trigger, prefetch, core.DepCustom); err != nil {
+				return err
+			}
+		}
+		// … and the layer's backward pass needs the prefetched data.
+		if err := g.AddDependency(prefetch, bwdFirst, core.DepCustom); err != nil {
+			return err
+		}
+		inserted++
+	}
+	if inserted == 0 {
+		return fmt.Errorf("whatif: VDNN: no offloadable layers with activation metadata")
+	}
+	return nil
+}
+
+// gateIndex picks the layer whose backward pass releases a prefetch:
+// distance layers above li, clamped to the model.
+func gateIndex(li, distance, maxIdx int) int {
+	g := li + distance
+	if g > maxIdx {
+		g = maxIdx
+	}
+	return g
+}
+
+// lastFwdGPUTask returns the layer's last forward GPU task.
+func lastFwdGPUTask(g *core.Graph, layerIndex int) *core.Task {
+	var best *core.Task
+	for _, t := range g.Tasks() {
+		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Forward || t.LayerIndex != layerIndex {
+			continue
+		}
+		if best == nil || t.TracedStart > best.TracedStart {
+			best = t
+		}
+	}
+	return best
+}
+
+// firstBwdGPUTask returns the layer's first backward GPU task.
+func firstBwdGPUTask(g *core.Graph, layerIndex int) *core.Task {
+	var best *core.Task
+	for _, t := range g.Tasks() {
+		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Backward || t.LayerIndex != layerIndex {
+			continue
+		}
+		if best == nil || t.TracedStart < best.TracedStart {
+			best = t
+		}
+	}
+	return best
+}

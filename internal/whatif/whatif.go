@@ -1,0 +1,95 @@
+// Package whatif implements the paper's optimization models (§5 and the
+// appendix): each function transforms a baseline kernel-level dependency
+// graph using only the core package's primitives — Select, Scale, Insert,
+// Remove and Schedule overrides — exactly as Algorithms 3–12 describe.
+// Nothing in this package consults the ground-truth engine; prediction
+// errors measured by internal/exp are therefore genuine.
+package whatif
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/trace"
+)
+
+// lastBwdGPUTask returns the backward-phase GPU task of the given layer
+// index that finishes last in the traced schedule, or nil.
+func lastBwdGPUTask(g *core.Graph, layerIndex int) *core.Task {
+	var best *core.Task
+	for _, t := range g.Tasks() {
+		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Backward || t.LayerIndex != layerIndex {
+			continue
+		}
+		if best == nil || t.TracedStart > best.TracedStart {
+			best = t
+		}
+	}
+	return best
+}
+
+// firstFwdGPUTask returns the forward-phase GPU task of the given layer
+// index (in the given round) that starts first, or nil.
+func firstFwdGPUTask(g *core.Graph, layerIndex, round int) *core.Task {
+	var best *core.Task
+	for _, t := range g.Tasks() {
+		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Forward ||
+			t.LayerIndex != layerIndex || t.Round != round {
+			continue
+		}
+		if best == nil || t.TracedStart < best.TracedStart {
+			best = t
+		}
+	}
+	return best
+}
+
+// earliestWUTask returns the earliest task of the weight-update phase
+// (Algorithm 6's "WU ← the earliest node in the weight update phase").
+func earliestWUTask(g *core.Graph) *core.Task {
+	var best *core.Task
+	for _, t := range g.Tasks() {
+		if !t.HasLayer || t.Phase != trace.WeightUpdate {
+			continue
+		}
+		if best == nil || t.TracedStart < best.TracedStart {
+			best = t
+		}
+	}
+	return best
+}
+
+// gradientsByIndex indexes the graph's gradient metadata by layer index.
+func gradientsByIndex(g *core.Graph) map[int]trace.GradientInfo {
+	out := make(map[int]trace.GradientInfo, len(g.Meta.Gradients))
+	for _, gr := range g.Meta.Gradients {
+		out[gr.Index] = gr
+	}
+	return out
+}
+
+// sortedLayerIndices returns the layer indices with gradients, ascending.
+func sortedLayerIndices(grads map[int]trace.GradientInfo) []int {
+	out := make([]int, 0, len(grads))
+	for i := range grads {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// requireLayers verifies the graph carries a layer mapping, which most
+// transformations need.
+func requireLayers(g *core.Graph, who string) error {
+	if core.MappedFraction(g) == 0 {
+		return fmt.Errorf("whatif: %s requires a task-to-layer mapping (call core.MapLayers first)", who)
+	}
+	return nil
+}
+
+// scaleDuration multiplies a duration by a factor.
+func scaleDuration(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
+}

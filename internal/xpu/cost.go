@@ -1,0 +1,110 @@
+package xpu
+
+import "time"
+
+// profilerResolution quantizes reported durations, mimicking CUPTI's
+// microsecond-scale timestamping.
+const profilerResolution = 100e-9 // 100 ns
+
+// efficiency returns the fraction of the relevant peak (FLOPS or bandwidth)
+// a kernel of the given class achieves. These factors are the calibration
+// knobs of the substrate; they were chosen so that iteration times and AMP
+// speedups land in the ranges the paper reports for the same models and
+// batch sizes (e.g. end-to-end AMP speedups "generally less than 2×").
+//
+// Compute-bound efficiency saturates with kernel size: small GEMMs (an
+// LSTM's recurrent steps, BERT's per-head products at small batch) cannot
+// fill the machine, and tensor cores need even larger tiles to pay off —
+// which is why mixed precision barely accelerates them.
+func efficiency(c Class, p Precision, flops float64) float64 {
+	switch {
+	case c.computeBound():
+		if p == FP16 {
+			return 0.44 * saturate(flops, 0.55e9)
+		}
+		return 0.58 * saturate(flops, 0.3e9)
+	case c == ClassEmbedding:
+		return 0.35 // scattered access pattern
+	case c.fp32Accum():
+		return 0.62
+	default:
+		return 0.74 // streaming elementwise kernels
+	}
+}
+
+// saturate returns flops/(flops+knee): ~0 for tiny kernels, →1 for large.
+func saturate(flops, knee float64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	return flops / (flops + knee)
+}
+
+// fp16Traffic returns the DRAM traffic multiplier under mixed precision:
+// pure fp16 tensors halve traffic; kernels keeping fp32 accumulators or
+// master copies save less.
+func fp16Traffic(c Class) float64 {
+	if c.fp32Accum() {
+		return 0.56
+	}
+	return 0.5
+}
+
+// KernelCost returns the execution duration of k on d at precision p.
+// salt varies the deterministic jitter between invocations of identically
+// shaped kernels.
+//
+// The model is a roofline: duration = max(flops/achievable_flops,
+// bytes/achievable_bw), floored at the device's minimum kernel time,
+// quantized at profiler resolution, with ±JitterAmp noise.
+func (d *Device) KernelCost(k *Kernel, p Precision, salt uint64) time.Duration {
+	flops := k.FLOPs
+	bytes := k.Bytes
+	peak := d.FP32FLOPS
+	if p == FP16 {
+		bytes *= fp16Traffic(k.Class)
+		if k.Class.computeBound() && k.TensorCore {
+			if d.HasTensorCores() {
+				peak = d.FP16FLOPS
+			} else {
+				peak = 2 * d.FP32FLOPS // packed half2 math
+			}
+		}
+	}
+	eff := efficiency(k.Class, p, flops)
+	var sec float64
+	if cb := k.Class.computeBound(); cb && flops > 0 {
+		sec = flops / (peak * eff)
+		if mem := bytes / d.MemBandwidth; mem > sec {
+			sec = mem
+		}
+	} else {
+		sec = bytes / (d.MemBandwidth * eff)
+		if flops > 0 {
+			if cmp := flops / (d.FP32FLOPS * 0.25); cmp > sec {
+				sec = cmp // ALU-heavy pointwise kernels (exp, tanh)
+			}
+		}
+	}
+	sec *= Jitter(k.EffectiveName(), salt, d.JitterAmp)
+	sec = roundUp(sec, profilerResolution)
+	dur := time.Duration(sec * float64(time.Second))
+	if dur < d.KernelFloor {
+		dur = d.KernelFloor
+	}
+	return dur
+}
+
+// MemcpyCost returns the device-side duration of copying n bytes over PCIe.
+func (d *Device) MemcpyCost(n int64, salt uint64) time.Duration {
+	sec := float64(n)/d.PCIeBandwidth + 4e-6 // DMA setup latency
+	sec *= Jitter("memcpy", salt, d.JitterAmp)
+	return time.Duration(roundUp(sec, profilerResolution) * float64(time.Second))
+}
+
+// HostCall returns the duration of the named CUDA runtime call on the host,
+// with deterministic jitter.
+func (h *Host) HostCall(base time.Duration, name string, salt uint64) time.Duration {
+	sec := base.Seconds() * Jitter(name, salt, h.JitterAmp)
+	return time.Duration(roundUp(sec, profilerResolution) * float64(time.Second))
+}

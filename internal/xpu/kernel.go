@@ -1,0 +1,109 @@
+package xpu
+
+import "fmt"
+
+// Class is a coarse taxonomy of GPU kernels by their dominant resource.
+// It drives the cost model's efficiency assumptions and the kernel naming
+// scheme; the names are what Daydream's Select-by-keyword operates on
+// (paper §4.4: "kernels with sgemm string in names are compute-bound
+// matrix-multiplications").
+type Class int
+
+// Kernel classes.
+const (
+	// ClassGEMM is a dense matrix multiplication (cuBLAS sgemm and
+	// friends) — compute-bound.
+	ClassGEMM Class = iota
+	// ClassConv is a cuDNN convolution kernel — compute-bound.
+	ClassConv
+	// ClassElementwise is a pointwise arithmetic kernel — memory-bound
+	// and typically shorter than its launch call.
+	ClassElementwise
+	// ClassBatchNorm is a batch-normalization kernel — memory-bound.
+	ClassBatchNorm
+	// ClassPool is a pooling kernel — memory-bound.
+	ClassPool
+	// ClassSoftmax is a softmax/log-softmax kernel — memory-bound with
+	// fp32 accumulation.
+	ClassSoftmax
+	// ClassReduce is a reduction (sum/mean/norm) kernel — memory-bound
+	// with fp32 accumulation.
+	ClassReduce
+	// ClassEmbedding is an embedding gather/scatter kernel.
+	ClassEmbedding
+	// ClassLayerNorm is a layer-normalization kernel.
+	ClassLayerNorm
+	// ClassDropout is a dropout mask kernel.
+	ClassDropout
+	// ClassOptimizer is an optimizer update elementwise kernel.
+	ClassOptimizer
+	// ClassFusedOptimizer is a multi-tensor fused optimizer kernel
+	// (FusedAdam).
+	ClassFusedOptimizer
+	// ClassMemset is a buffer zeroing kernel.
+	ClassMemset
+)
+
+// computeBound reports whether the class is limited by arithmetic
+// throughput rather than memory bandwidth.
+func (c Class) computeBound() bool { return c == ClassGEMM || c == ClassConv }
+
+// fp32Accum reports whether fp16 execution of this class keeps fp32
+// accumulators/masters, which limits its mixed-precision traffic savings.
+func (c Class) fp32Accum() bool {
+	switch c {
+	case ClassSoftmax, ClassReduce, ClassLayerNorm, ClassBatchNorm:
+		return true
+	}
+	return false
+}
+
+// Kernel describes one GPU kernel invocation analytically: how much
+// arithmetic it performs and how much memory traffic it generates at fp32.
+// The cost model turns this into a duration for a given device/precision.
+type Kernel struct {
+	// Name is the trace-visible kernel name. If empty, a conventional
+	// CUDA-library-style name is synthesized from Class.
+	Name string
+	// Class categorizes the kernel.
+	Class Class
+	// FLOPs is the arithmetic work of the invocation.
+	FLOPs float64
+	// Bytes is the DRAM traffic of the invocation at fp32.
+	Bytes float64
+	// TensorCore marks kernels that can use tensor cores under mixed
+	// precision.
+	TensorCore bool
+}
+
+// conventional kernel names per class, fp32 variants. The substrings are
+// chosen so that the paper's Select-by-keyword rules work verbatim:
+// "sgemm" and "scudnn" mark compute-bound kernels (Algorithm 3),
+// "elementwise"/"PointwiseApply" mark pointwise ones.
+var classNames = map[Class]string{
+	ClassGEMM:           "volta_sgemm_128x64_nn",
+	ClassConv:           "scudnn_winograd_128x128_ldg1_ldg4",
+	ClassElementwise:    "elementwise_kernel",
+	ClassBatchNorm:      "bn_fw_tr_1C11_kernel_NCHW",
+	ClassPool:           "pooling_fw_4d_kernel",
+	ClassSoftmax:        "softmax_warp_forward",
+	ClassReduce:         "reduce_kernel",
+	ClassEmbedding:      "indexSelectLargeIndex",
+	ClassLayerNorm:      "layer_norm_kernel",
+	ClassDropout:        "fused_dropout_kernel",
+	ClassOptimizer:      "elementwise_kernel_PointwiseApply",
+	ClassFusedOptimizer: "multi_tensor_apply_kernel_adam",
+	ClassMemset:         "memset_kernel",
+}
+
+// EffectiveName returns Name, or the conventional name for the class when
+// Name is empty.
+func (k *Kernel) EffectiveName() string {
+	if k.Name != "" {
+		return k.Name
+	}
+	if n, ok := classNames[k.Class]; ok {
+		return n
+	}
+	return fmt.Sprintf("kernel_class_%d", int(k.Class))
+}

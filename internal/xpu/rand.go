@@ -1,0 +1,58 @@
+// Package xpu models the hardware Daydream's traces come from: a GPU-like
+// accelerator with streams, a roofline kernel cost model, and a host CPU
+// with CUDA-runtime call overheads. It replaces the physical 2080 Ti / P4000
+// machines of the paper. All quantities are deterministic functions of
+// (device, kernel descriptor, invocation salt), so traces are reproducible
+// run to run — a property the tests rely on.
+package xpu
+
+import "math"
+
+// splitmix64 is the SplitMix64 mixing function; it turns any 64-bit value
+// into a well-distributed 64-bit hash. Used instead of math/rand so that
+// every kernel duration is a pure function of its inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString folds a string into a 64-bit seed (FNV-1a).
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// unitNoise returns a deterministic value in [0,1) derived from the seed.
+func unitNoise(seed uint64) float64 {
+	return float64(splitmix64(seed)>>11) / float64(1<<53)
+}
+
+// Jitter returns a multiplicative noise factor in [1-amp, 1+amp], a pure
+// function of the (name, salt) pair. It models run-to-run kernel duration
+// variance without sacrificing determinism.
+func Jitter(name string, salt uint64, amp float64) float64 {
+	if amp <= 0 {
+		return 1
+	}
+	u := unitNoise(splitmix64(hashString(name)) ^ salt)
+	return 1 + amp*(2*u-1)
+}
+
+// roundUp quantizes a positive seconds value to the given resolution in
+// seconds; real profilers report with finite (µs-scale) resolution.
+func roundUp(sec, res float64) float64 {
+	if res <= 0 {
+		return sec
+	}
+	return math.Ceil(sec/res) * res
+}
