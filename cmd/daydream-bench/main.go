@@ -7,26 +7,48 @@
 //	daydream-bench            # run everything, in paper order
 //	daydream-bench -list      # list experiment IDs
 //	daydream-bench -run fig8  # run experiments whose ID contains "fig8"
+//	daydream-bench -micro     # pipeline micro-benchmarks → BENCH.json
+//
+// With -micro, the pipeline stages (trace collection, graph construction,
+// simulation, clone, AMP transform, and a Figure-8-sized 76-scenario
+// concurrent sweep) are measured with testing.Benchmark and written as
+// machine-readable JSON (ns/op, bytes/op, allocs/op), so the performance
+// trajectory is tracked across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"daydream"
+	"daydream/internal/core"
 	"daydream/internal/exp"
+	"daydream/internal/sweep"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "only run experiments whose ID contains this substring")
+	micro := flag.Bool("micro", false, "run pipeline micro-benchmarks and write them as JSON")
+	benchJSON := flag.String("benchjson", "BENCH.json", "output path for -micro results")
 	flag.Parse()
 
 	if *list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *micro {
+		if err := runMicro(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "daydream-bench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -54,4 +76,149 @@ func main() {
 		fmt.Fprintf(os.Stderr, "daydream-bench: no experiment matches -run %q (try -list)\n", *run)
 		os.Exit(1)
 	}
+}
+
+// microResult is one benchmark line of BENCH.json.
+type microResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchFile is the BENCH.json schema.
+type benchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workload   string        `json:"workload"`
+	Benchmarks []microResult `json:"benchmarks"`
+}
+
+// runMicro measures the pipeline stages on the largest workload and the
+// Figure-8-sized sweep, then writes the JSON report.
+func runMicro(path string) error {
+	const workload = "bert-large"
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: workload})
+	if err != nil {
+		return err
+	}
+	g, err := daydream.BuildGraph(tr)
+	if err != nil {
+		return err
+	}
+	fig8Scenarios, err := fig8SizedScenarios()
+	if err != nil {
+		return err
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"CollectTrace", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := daydream.Collect(daydream.CollectConfig{Model: workload}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BuildGraph", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := daydream.BuildGraph(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Simulate", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.PredictIteration(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SimulateScratch", func(b *testing.B) {
+			scratch := core.NewSimScratch()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.PredictIteration(core.WithScratch(scratch)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Clone", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Clone()
+			}
+		}},
+		{"AMPTransform", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := g.Clone()
+				daydream.AMP(c)
+			}
+		}},
+		{"Fig8Sweep76", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(nil, fig8Scenarios); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	out := benchFile{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   workload,
+	}
+	for _, bb := range benches {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bb.fn(b)
+		})
+		mr := microResult{
+			Name:        bb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		out.Benchmarks = append(out.Benchmarks, mr)
+		fmt.Printf("%-16s %12.0f ns/op %12d B/op %8d allocs/op\n",
+			mr.Name, mr.NsPerOp, mr.BytesPerOp, mr.AllocsPerOp)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// fig8SizedScenarios builds the full Figure-8 prediction grid — 4 models
+// × 19 distributed configurations = 76 scenarios over per-model profiles.
+func fig8SizedScenarios() ([]sweep.Scenario, error) {
+	var scenarios []sweep.Scenario
+	for _, zoo := range []string{"resnet50", "gnmt", "bert-base", "bert-large"} {
+		tr, err := daydream.Collect(daydream.CollectConfig{Model: zoo})
+		if err != nil {
+			return nil, err
+		}
+		g, err := daydream.BuildGraph(tr)
+		if err != nil {
+			return nil, err
+		}
+		for _, topo := range exp.Fig8Grid() {
+			sc := exp.Fig8Scenario(g, topo)
+			sc.Name = zoo + " " + sc.Name
+			scenarios = append(scenarios, sc)
+		}
+	}
+	return scenarios, nil
 }

@@ -10,12 +10,15 @@
 //	daydream breakdown -trace trace.json
 //	daydream predict   -trace trace.json -opt amp|fusedadam|reconbn|distributed|p3 \
 //	                   [-machines 4 -gpus 2 -gbps 10] [-slice 819200]
+//	daydream sweep     -trace trace.json [-workers 8] [-gbps 10,20,40]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"daydream"
@@ -40,6 +43,8 @@ func main() {
 		err = cmdBreakdown(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
 	case "diagnose":
@@ -66,6 +71,7 @@ commands:
   simulate   replay the trace through Algorithm 1 (fidelity check)
   breakdown  decompose the iteration into CPU-only/GPU-only/parallel time
   predict    apply a what-if optimization and predict the iteration time
+  sweep      predict every optimization and a distributed grid concurrently
   export     convert a trace to Chrome Trace Event JSON (chrome://tracing)
   diagnose   attribute the critical path by resource and training phase`)
 }
@@ -229,6 +235,68 @@ func cmdPredict(args []string) error {
 	fmt.Printf("baseline iteration:  %v\n", tr.IterationTime)
 	fmt.Printf("predicted with %s: %v (%.1f%% change)\n",
 		*opt, predicted, 100*(1-float64(predicted)/float64(tr.IterationTime)))
+	return nil
+}
+
+// cmdSweep answers a whole battery of what-if questions from one trace
+// in a single concurrent sweep: every single-GPU optimization plus a
+// distributed grid over machine counts and network bandwidths.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	path := fs.String("trace", "trace.json", "trace file")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	gbpsList := fs.String("gbps", "10,20,40", "comma-separated bandwidths for the distributed grid")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, g, err := loadGraph(*path)
+	if err != nil {
+		return err
+	}
+
+	scenarios := []daydream.Scenario{
+		{Name: "baseline (replay)"},
+		{Name: "amp", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
+			daydream.AMP(c)
+			return c, nil
+		}},
+		{Name: "fusedadam", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
+			return c, daydream.FusedAdam(c)
+		}},
+		{Name: "reconbn", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
+			return c, daydream.ReconBatchnorm(c)
+		}},
+	}
+	for _, gbpsStr := range strings.Split(*gbpsList, ",") {
+		gbps, err := strconv.ParseFloat(strings.TrimSpace(gbpsStr), 64)
+		if err != nil {
+			return fmt.Errorf("bad -gbps element %q: %v", gbpsStr, err)
+		}
+		for _, cfg := range []struct{ machines, gpus int }{
+			{2, 1}, {4, 1}, {2, 2}, {4, 2},
+		} {
+			topo := daydream.NewTopology(cfg.machines, cfg.gpus, gbps)
+			scenarios = append(scenarios, daydream.Scenario{
+				Name: fmt.Sprintf("distributed %dx%d @%.0fGbps", cfg.machines, cfg.gpus, gbps),
+				Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
+					return c, daydream.Distributed(c, topo)
+				},
+			})
+		}
+	}
+
+	start := time.Now()
+	results, err := daydream.Sweep(g, scenarios, daydream.SweepWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced iteration: %v — %d scenarios in %v\n\n",
+		tr.IterationTime, len(scenarios), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%-28s %14s %10s\n", "scenario", "predicted", "change")
+	for _, r := range results {
+		fmt.Printf("%-28s %14v %+9.1f%%\n",
+			r.Name, r.Value, 100*(float64(r.Value)/float64(tr.IterationTime)-1))
+	}
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"daydream/internal/core"
 	"daydream/internal/dnn"
 	"daydream/internal/framework"
+	"daydream/internal/sweep"
 	"daydream/internal/trace"
 	"daydream/internal/whatif"
 	"daydream/internal/xpu"
@@ -41,7 +42,43 @@ type (
 	Device = xpu.Device
 	// Breakdown is the CPU/GPU runtime decomposition of a trace.
 	Breakdown = trace.Breakdown
+	// Scenario is one what-if question in a concurrent sweep.
+	Scenario = sweep.Scenario
+	// SweepResult is one scenario's outcome.
+	SweepResult = sweep.Result
+	// SweepOption configures Sweep (worker count, result retention).
+	SweepOption = sweep.Option
+	// SimScratch is the reusable per-simulation working set.
+	SimScratch = core.SimScratch
 )
+
+// Sweep answers many what-if questions from one shared baseline graph
+// concurrently: each scenario gets a private clone, is transformed and
+// simulated on a worker pool, and results come back in scenario order —
+// bit-identical to the equivalent sequential loop. Scenarios may carry
+// their own Base graph for model × config grids.
+//
+//	results, err := daydream.Sweep(g, []daydream.Scenario{
+//	    {Name: "amp", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
+//	        daydream.AMP(c); return c, nil
+//	    }},
+//	    {Name: "4x2 @10Gbps", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
+//	        return c, daydream.Distributed(c, daydream.NewTopology(4, 2, 10))
+//	    }},
+//	})
+func Sweep(baseline *Graph, scenarios []Scenario, opts ...SweepOption) ([]SweepResult, error) {
+	return sweep.Run(baseline, scenarios, opts...)
+}
+
+// SweepWorkers caps the sweep worker pool; values below 1 select
+// GOMAXPROCS.
+func SweepWorkers(n int) SweepOption { return sweep.Workers(n) }
+
+// SweepKeepGraphs retains each scenario's transformed graph.
+func SweepKeepGraphs() SweepOption { return sweep.KeepGraphs() }
+
+// SweepKeepSims retains each scenario's simulation result.
+func SweepKeepSims() SweepOption { return sweep.KeepSims() }
 
 // CollectConfig configures trace collection on the synthetic substrate.
 type CollectConfig struct {
@@ -269,7 +306,8 @@ func Diagnose(g *Graph) (byResource, byPhase []PathAttribution, err error) {
 // Compare runs a what-if transformation on a clone of the baseline graph
 // and reports (baseline, predicted) iteration times.
 func Compare(g *Graph, transform func(*Graph) error) (baseline, predicted time.Duration, err error) {
-	baseline, err = g.Clone().PredictIteration()
+	// PredictIteration does not mutate, so the baseline needs no clone.
+	baseline, err = g.PredictIteration()
 	if err != nil {
 		return 0, 0, err
 	}

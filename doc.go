@@ -28,7 +28,24 @@
 //	t, _ := pred.PredictIteration()
 //	fmt.Printf("AMP would change %v to %v\n", tr.IterationTime, t)
 //
+// Because a single profile answers arbitrarily many what-if questions,
+// the package is built to make each additional question cheap. The
+// dependency graph uses dense slice-indexed storage (task IDs are array
+// indices, adjacency is CSR-style on the tasks), so Clone is a
+// near-memcpy and Simulate runs a binary-heap frontier over flat arrays.
+// Sweep fans a whole scenario grid out over a worker pool sharing one
+// immutable baseline:
+//
+//	results, _ := daydream.Sweep(g, []daydream.Scenario{
+//	    {Name: "amp", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
+//	        daydream.AMP(c); return c, nil
+//	    }},
+//	    {Name: "4x2 @10Gbps", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
+//	        return c, daydream.Distributed(c, daydream.NewTopology(4, 2, 10))
+//	    }},
+//	})
+//
 // See the examples/ directory for complete programs, and cmd/daydream-bench
 // for the harness that regenerates every table and figure of the paper's
-// evaluation.
+// evaluation (its -micro mode writes pipeline benchmarks to BENCH.json).
 package daydream

@@ -1,0 +1,3 @@
+module daydream
+
+go 1.24

@@ -11,16 +11,21 @@ import (
 // Graph is the kernel-granularity dependency graph. Tasks live on
 // execution threads (CPU threads, GPU streams, communication channels);
 // edges carry one of the paper's five dependency kinds.
+//
+// Storage is dense: task IDs are indices into a slice (a removed task
+// leaves a nil hole), and adjacency lives on the tasks themselves as
+// parallel children/childKinds slices. This makes Clone a near-memcpy
+// and Simulate array-indexed — the properties the concurrent what-if
+// sweep subsystem (internal/sweep) builds on.
 type Graph struct {
 	// Meta carries workload metadata copied from the source trace,
 	// needed by what-if transformations (gradient sizes, bucketing).
 	Meta Metadata
 
-	tasks   map[int]*Task
-	order   []int // task IDs in creation order
+	tasks   []*Task // indexed by Task.ID; nil = removed
+	live    int     // number of non-nil tasks
+	edges   int     // number of dependency edges
 	threads map[ThreadID]*seqList
-	kinds   map[[2]int]DepKind
-	nextID  int
 }
 
 // Metadata is the non-timeline information a what-if analysis needs.
@@ -44,27 +49,37 @@ type seqList struct {
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{
-		tasks:   make(map[int]*Task),
-		threads: make(map[ThreadID]*seqList),
-		kinds:   make(map[[2]int]DepKind),
-	}
+	return &Graph{threads: make(map[ThreadID]*seqList)}
 }
 
 // NumTasks returns the number of tasks.
-func (g *Graph) NumTasks() int { return len(g.tasks) }
+func (g *Graph) NumTasks() int { return g.live }
 
 // NumEdges returns the number of dependency edges.
-func (g *Graph) NumEdges() int { return len(g.kinds) }
+func (g *Graph) NumEdges() int { return g.edges }
+
+// IDSpan returns the exclusive upper bound of task IDs ever allocated,
+// including removed ones. SimResult.Start has this length.
+func (g *Graph) IDSpan() int { return len(g.tasks) }
 
 // Task returns the task with the given ID, or nil.
-func (g *Graph) Task(id int) *Task { return g.tasks[id] }
+func (g *Graph) Task(id int) *Task {
+	if id < 0 || id >= len(g.tasks) {
+		return nil
+	}
+	return g.tasks[id]
+}
+
+// contains reports whether t is a live member of this graph.
+func (g *Graph) containsTask(t *Task) bool {
+	return t != nil && t.ID >= 0 && t.ID < len(g.tasks) && g.tasks[t.ID] == t
+}
 
 // Tasks returns all tasks in creation order. The returned slice is fresh.
 func (g *Graph) Tasks() []*Task {
-	out := make([]*Task, 0, len(g.tasks))
-	for _, id := range g.order {
-		if t, ok := g.tasks[id]; ok {
+	out := make([]*Task, 0, g.live)
+	for _, t := range g.tasks {
+		if t != nil {
 			out = append(out, t)
 		}
 	}
@@ -106,16 +121,15 @@ func (g *Graph) ThreadTasks(tid ThreadID) []*Task {
 // thread; use AppendTask, InsertAfter or InsertBefore.
 func (g *Graph) NewTask(name string, kind trace.Kind, thread ThreadID, dur time.Duration) *Task {
 	t := &Task{
-		ID:         g.nextID,
+		ID:         len(g.tasks),
 		Name:       name,
 		Kind:       kind,
 		Thread:     thread,
 		Duration:   dur,
 		LayerIndex: -1,
 	}
-	g.nextID++
-	g.tasks[t.ID] = t
-	g.order = append(g.order, t.ID)
+	g.tasks = append(g.tasks, t)
+	g.live++
 	return t
 }
 
@@ -149,7 +163,7 @@ func (g *Graph) InsertAfter(prev, t *Task) error {
 	if prev == nil {
 		return fmt.Errorf("core: InsertAfter: nil anchor")
 	}
-	if g.tasks[prev.ID] != prev {
+	if !g.containsTask(prev) {
 		return fmt.Errorf("core: InsertAfter: anchor %v not in graph", prev)
 	}
 	t.Thread = prev.Thread
@@ -199,30 +213,55 @@ func (g *Graph) AddDependency(from, to *Task, kind DepKind) error {
 	return nil
 }
 
+// hasEdge reports whether the edge from → to exists, scanning whichever
+// endpoint has the smaller adjacency list.
+func hasEdge(from, to *Task) bool {
+	if len(from.children) <= len(to.parents) {
+		for _, c := range from.children {
+			if c == to {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range to.parents {
+		if p == from {
+			return true
+		}
+	}
+	return false
+}
+
 func (g *Graph) addEdge(from, to *Task, kind DepKind) {
-	key := [2]int{from.ID, to.ID}
-	if _, dup := g.kinds[key]; dup {
+	if hasEdge(from, to) {
 		return
 	}
-	g.kinds[key] = kind
 	from.children = append(from.children, to)
+	from.childKinds = append(from.childKinds, kind)
 	to.parents = append(to.parents, from)
+	g.edges++
 }
 
 func (g *Graph) removeEdge(from, to *Task) {
-	key := [2]int{from.ID, to.ID}
-	if _, ok := g.kinds[key]; !ok {
-		return
+	for i, c := range from.children {
+		if c == to {
+			from.children = append(from.children[:i], from.children[i+1:]...)
+			from.childKinds = append(from.childKinds[:i], from.childKinds[i+1:]...)
+			to.parents = removeTask(to.parents, from)
+			g.edges--
+			return
+		}
 	}
-	delete(g.kinds, key)
-	from.children = removeTask(from.children, to)
-	to.parents = removeTask(to.parents, from)
 }
 
 // EdgeKind returns the kind of the edge from → to, if present.
 func (g *Graph) EdgeKind(from, to *Task) (DepKind, bool) {
-	k, ok := g.kinds[[2]int{from.ID, to.ID}]
-	return k, ok
+	for i, c := range from.children {
+		if c == to {
+			return from.childKinds[i], true
+		}
+	}
+	return 0, false
 }
 
 func removeTask(s []*Task, t *Task) []*Task {
@@ -249,8 +288,14 @@ func (g *Graph) Correlate(api, gpu *Task) error {
 // sequence is spliced around it, and every non-sequence ordering
 // constraint through the task is preserved by reconnecting its remaining
 // parents to its remaining children.
+//
+// To avoid the O(parents×children) DepCustom edge blow-up of a naive
+// reconnection, only the bipartite core is materialized: a parent already
+// ordered before another parent, or a child already ordered after another
+// child, is skipped — the ordering it needs is implied by the edges the
+// remaining maximal parents and minimal children receive.
 func (g *Graph) Remove(t *Task) {
-	if g.tasks[t.ID] != t {
+	if !g.containsTask(t) {
 		return
 	}
 	// Splice the thread sequence.
@@ -279,9 +324,45 @@ func (g *Graph) Remove(t *Task) {
 	if prev != nil && next != nil {
 		g.addEdge(prev, next, DepSequence)
 	}
-	// Preserve transitive ordering through the removed task.
-	for _, p := range parents {
+	// Preserve transitive ordering through the removed task: connect the
+	// maximal parents (not ordered before a sibling parent) to the
+	// minimal children (not ordered after a sibling child). Every other
+	// parent/child pair is reachable through these edges plus the edges
+	// already present among the siblings.
+	maxParents := parents
+	if len(parents) > 1 {
+		maxParents = make([]*Task, 0, len(parents))
+		for _, p := range parents {
+			implied := false
+			for _, q := range parents {
+				if q != p && hasEdge(p, q) {
+					implied = true
+					break
+				}
+			}
+			if !implied {
+				maxParents = append(maxParents, p)
+			}
+		}
+	}
+	minChildren := children
+	if len(children) > 1 {
+		minChildren = make([]*Task, 0, len(children))
 		for _, c := range children {
+			implied := false
+			for _, d := range children {
+				if d != c && hasEdge(d, c) {
+					implied = true
+					break
+				}
+			}
+			if !implied {
+				minChildren = append(minChildren, c)
+			}
+		}
+	}
+	for _, p := range maxParents {
+		for _, c := range minChildren {
 			if p == c {
 				continue
 			}
@@ -294,15 +375,16 @@ func (g *Graph) Remove(t *Task) {
 	if t.peer != nil && t.peer.peer == t {
 		t.peer.peer = nil
 	}
-	delete(g.tasks, t.ID)
+	g.tasks[t.ID] = nil
+	g.live--
 }
 
 // Select returns the tasks matching the predicate, in creation order
 // (the paper's Select primitive).
 func (g *Graph) Select(pred func(*Task) bool) []*Task {
 	var out []*Task
-	for _, id := range g.order {
-		if t, ok := g.tasks[id]; ok && pred(t) {
+	for _, t := range g.tasks {
+		if t != nil && pred(t) {
 			out = append(out, t)
 		}
 	}
@@ -336,9 +418,12 @@ func (g *Graph) Validate() error {
 		}
 	}
 	// Kahn's algorithm for cycle detection.
-	ref := make(map[int]int, len(g.tasks))
+	ref := make([]int, len(g.tasks))
 	var frontier []*Task
 	for _, t := range g.tasks {
+		if t == nil {
+			continue
+		}
 		ref[t.ID] = len(t.parents)
 		if len(t.parents) == 0 {
 			frontier = append(frontier, t)
@@ -356,52 +441,67 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
-	if seen != len(g.tasks) {
-		return fmt.Errorf("core: dependency graph has a cycle (%d of %d tasks reachable)", seen, len(g.tasks))
+	if seen != g.live {
+		return fmt.Errorf("core: dependency graph has a cycle (%d of %d tasks reachable)", seen, g.live)
 	}
 	return nil
 }
 
 // Clone returns a deep copy of the graph; transformations on the copy do
 // not affect the original. Task IDs are preserved.
+//
+// The copy allocates one contiguous task arena plus three shared
+// adjacency arrays sized by the edge count, so cloning is a handful of
+// allocations and mostly memcpy regardless of graph size. Each task's
+// adjacency slices are capacity-clipped into the shared arrays, so a
+// later append on the clone copies out instead of corrupting a sibling.
+// Clone does not mutate the receiver and is safe to call concurrently
+// from multiple goroutines as long as nothing mutates the graph.
 func (g *Graph) Clone() *Graph {
-	c := NewGraph()
-	c.Meta = g.Meta
-	c.Meta.Gradients = append([]trace.GradientInfo(nil), g.Meta.Gradients...)
-	c.nextID = g.nextID
-	c.order = append([]int(nil), g.order...)
-	for id, t := range g.tasks {
-		nt := *t
-		nt.parents, nt.children = nil, nil
-		nt.seqPrev, nt.seqNext, nt.peer = nil, nil, nil
-		c.tasks[id] = &nt
+	c := &Graph{
+		Meta:    g.Meta,
+		live:    g.live,
+		edges:   g.edges,
+		threads: make(map[ThreadID]*seqList, len(g.threads)),
 	}
-	for key, kind := range g.kinds {
-		c.kinds[key] = kind
-		from, to := c.tasks[key[0]], c.tasks[key[1]]
-		from.children = append(from.children, to)
-		to.parents = append(to.parents, from)
+	c.Meta.Gradients = append([]trace.GradientInfo(nil), g.Meta.Gradients...)
+	arena := make([]Task, len(g.tasks))
+	c.tasks = make([]*Task, len(g.tasks))
+	parentsBuf := make([]*Task, 0, g.edges)
+	childrenBuf := make([]*Task, 0, g.edges)
+	kindsBuf := make([]DepKind, 0, g.edges)
+	remap := func(t *Task) *Task {
+		if t == nil {
+			return nil
+		}
+		return &arena[t.ID]
+	}
+	for id, t := range g.tasks {
+		if t == nil {
+			continue
+		}
+		nt := &arena[id]
+		*nt = *t
+		nt.seqPrev = remap(t.seqPrev)
+		nt.seqNext = remap(t.seqNext)
+		nt.peer = remap(t.peer)
+		lo := len(parentsBuf)
+		for _, p := range t.parents {
+			parentsBuf = append(parentsBuf, remap(p))
+		}
+		nt.parents = parentsBuf[lo:len(parentsBuf):len(parentsBuf)]
+		lo = len(childrenBuf)
+		for _, ch := range t.children {
+			childrenBuf = append(childrenBuf, remap(ch))
+		}
+		nt.children = childrenBuf[lo:len(childrenBuf):len(childrenBuf)]
+		lo = len(kindsBuf)
+		kindsBuf = append(kindsBuf, t.childKinds...)
+		nt.childKinds = kindsBuf[lo:len(kindsBuf):len(kindsBuf)]
+		c.tasks[id] = nt
 	}
 	for tid, l := range g.threads {
-		nl := &seqList{}
-		var prev *Task
-		for t := l.head; t != nil; t = t.seqNext {
-			nt := c.tasks[t.ID]
-			nt.seqPrev = prev
-			if prev != nil {
-				prev.seqNext = nt
-			} else {
-				nl.head = nt
-			}
-			prev = nt
-		}
-		nl.tail = prev
-		c.threads[tid] = nl
-	}
-	for id, t := range g.tasks {
-		if t.peer != nil {
-			c.tasks[id].peer = c.tasks[t.peer.ID]
-		}
+		c.threads[tid] = &seqList{head: remap(l.head), tail: remap(l.tail)}
 	}
 	return c
 }

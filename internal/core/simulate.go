@@ -41,8 +41,9 @@ type SimResult struct {
 	// Makespan is the time from simulation start to the completion of
 	// the last task (gaps included).
 	Makespan time.Duration
-	// Start maps task ID to simulated start time.
-	Start map[int]time.Duration
+	// Start is indexed by task ID and holds each task's simulated start
+	// time. Its length is the graph's ID span (removed IDs stay zero).
+	Start []time.Duration
 	// ThreadEnd maps each thread to its final progress.
 	ThreadEnd map[ThreadID]time.Duration
 }
@@ -52,9 +53,97 @@ func (r *SimResult) Finish(t *Task) time.Duration {
 	return r.Start[t.ID] + t.Duration
 }
 
+// SimScratch holds the reusable per-simulation working set: the
+// reference-count and earliest-start arrays plus the frontier storage.
+// A scratch may be reused across any number of sequential simulations of
+// graphs of any size (it grows as needed), which removes almost all
+// per-simulation allocation — the property the sweep worker pool relies
+// on. A scratch must not be shared by concurrent simulations.
+type SimScratch struct {
+	ref      []int
+	earliest []time.Duration
+	heap     []heapEntry
+	frontier []*Task
+}
+
+// NewSimScratch returns an empty scratch, ready for WithScratch.
+func NewSimScratch() *SimScratch { return &SimScratch{} }
+
+// ensure sizes the arrays for an ID span of n.
+func (s *SimScratch) ensure(n int) {
+	if cap(s.ref) < n {
+		s.ref = make([]int, n)
+		s.earliest = make([]time.Duration, n)
+	}
+	s.ref = s.ref[:n]
+	s.earliest = s.earliest[:n]
+	s.heap = s.heap[:0]
+	s.frontier = s.frontier[:0]
+}
+
+// heapEntry is one frontier task with the effective-start key it was
+// inserted (or re-inserted) with. Keys only grow as the simulation
+// progresses, so a popped entry whose key is stale is re-pushed with its
+// current effective start (lazy update); an entry whose key is current is
+// the true minimum under the (start, -priority, ID) order — exactly the
+// task EarliestStart's linear scan would have picked.
+type heapEntry struct {
+	key time.Duration
+	t   *Task
+}
+
+func heapLess(a, b heapEntry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.t.Priority != b.t.Priority {
+		return a.t.Priority > b.t.Priority
+	}
+	return a.t.ID < b.t.ID
+}
+
+func heapPush(h []heapEntry, e heapEntry) []heapEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func heapPop(h []heapEntry) (heapEntry, []heapEntry) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && heapLess(h[l], h[least]) {
+			least = l
+		}
+		if r < n && heapLess(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top, h
+}
+
 // simOptions collects Simulate options.
 type simOptions struct {
 	scheduler Scheduler
+	scratch   *SimScratch
 }
 
 // SimOption configures Simulate.
@@ -66,34 +155,111 @@ func WithScheduler(s Scheduler) SimOption {
 	return func(o *simOptions) { o.scheduler = s }
 }
 
+// WithScratch reuses a caller-owned working set across simulations,
+// eliminating per-simulation allocation of the frontier and bookkeeping
+// arrays. The scratch must not be used by two simulations concurrently.
+func WithScratch(s *SimScratch) SimOption {
+	return func(o *simOptions) { o.scratch = s }
+}
+
 // Simulate executes Algorithm 1 of the paper: a frontier-based replay that
 // dispatches each task to its execution thread once its dependencies
 // complete, advancing per-thread progress by duration plus gap, and
 // propagating earliest-start times along dependency edges.
+//
+// Under the default earliest-start policy the frontier is a binary heap
+// with lazily updated keys; a custom Scheduler sees the frontier as a
+// plain slice, preserving the overridable schedule() contract.
 func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
-	o := simOptions{scheduler: EarliestStart{}}
+	o := simOptions{}
 	for _, fn := range opts {
 		fn(&o)
 	}
+	scratch := o.scratch
+	if scratch == nil {
+		scratch = &SimScratch{}
+	}
+	n := len(g.tasks)
+	scratch.ensure(n)
 
 	res := &SimResult{
-		Start:     make(map[int]time.Duration, len(g.tasks)),
-		ThreadEnd: make(map[ThreadID]time.Duration),
+		Start:     make([]time.Duration, n),
+		ThreadEnd: make(map[ThreadID]time.Duration, len(g.threads)),
 	}
-	ref := make(map[int]int, len(g.tasks))
-	earliest := make(map[int]time.Duration, len(g.tasks))
-	var frontier []*Task
-	for _, id := range g.order {
-		t, ok := g.tasks[id]
-		if !ok {
+	ref, earliest := scratch.ref, scratch.earliest
+	for id, t := range g.tasks {
+		if t == nil {
 			continue
 		}
 		ref[id] = len(t.parents)
-		if ref[id] == 0 {
-			frontier = append(frontier, t)
+		earliest[id] = 0
+	}
+
+	if o.scheduler != nil {
+		if _, isDefault := o.scheduler.(EarliestStart); !isDefault {
+			return g.simulateScheduled(o.scheduler, scratch, res)
 		}
 	}
 
+	h := scratch.heap
+	for _, t := range g.tasks {
+		if t != nil && len(t.parents) == 0 {
+			h = heapPush(h, heapEntry{0, t})
+		}
+	}
+	executed := 0
+	for len(h) > 0 {
+		var e heapEntry
+		e, h = heapPop(h)
+		u := e.t
+		start := earliest[u.ID]
+		if p := res.ThreadEnd[u.Thread]; p > start {
+			start = p
+		}
+		if start > e.key {
+			// Stale key: thread progress moved past the insertion-time
+			// estimate. Re-insert with the current effective start.
+			h = heapPush(h, heapEntry{start, u})
+			continue
+		}
+		res.Start[u.ID] = start
+		end := start + u.Duration + u.Gap
+		res.ThreadEnd[u.Thread] = end
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		executed++
+		for _, c := range u.children {
+			if end > earliest[c.ID] {
+				earliest[c.ID] = end
+			}
+			ref[c.ID]--
+			if ref[c.ID] == 0 {
+				key := earliest[c.ID]
+				if p := res.ThreadEnd[c.Thread]; p > key {
+					key = p
+				}
+				h = heapPush(h, heapEntry{key, c})
+			}
+		}
+	}
+	scratch.heap = h[:0]
+	if executed != g.live {
+		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, g.live)
+	}
+	return res, nil
+}
+
+// simulateScheduled is the slice-frontier path for custom schedulers: the
+// scheduler inspects every frontier task, as in the seed engine.
+func (g *Graph) simulateScheduled(sched Scheduler, scratch *SimScratch, res *SimResult) (*SimResult, error) {
+	ref, earliest := scratch.ref, scratch.earliest
+	frontier := scratch.frontier
+	for _, t := range g.tasks {
+		if t != nil && len(t.parents) == 0 {
+			frontier = append(frontier, t)
+		}
+	}
 	effStart := func(t *Task) time.Duration {
 		es := earliest[t.ID]
 		if p := res.ThreadEnd[t.Thread]; p > es {
@@ -101,14 +267,12 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 		}
 		return es
 	}
-
 	executed := 0
 	for len(frontier) > 0 {
-		u := o.scheduler.Pick(frontier, effStart)
+		u := sched.Pick(frontier, effStart)
 		if u == nil {
 			return nil, fmt.Errorf("core: scheduler returned no task from a frontier of %d", len(frontier))
 		}
-		// Remove u from the frontier.
 		found := false
 		for i, t := range frontier {
 			if t == u {
@@ -139,8 +303,9 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 			}
 		}
 	}
-	if executed != len(g.tasks) {
-		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, len(g.tasks))
+	scratch.frontier = frontier[:0]
+	if executed != g.live {
+		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, g.live)
 	}
 	return res, nil
 }

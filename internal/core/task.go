@@ -149,11 +149,15 @@ type Task struct {
 	// Round is the iteration replica index after Graph.Repeat.
 	Round int
 
-	parents  []*Task
-	children []*Task
-	seqPrev  *Task
-	seqNext  *Task
-	peer     *Task // correlation peer (launch↔kernel)
+	// Adjacency is stored CSR-style on the task itself: children and
+	// childKinds are parallel slices, so the graph needs no edge map and
+	// Clone can rebuild all adjacency from two shared backing arrays.
+	parents    []*Task
+	children   []*Task
+	childKinds []DepKind
+	seqPrev    *Task
+	seqNext    *Task
+	peer       *Task // correlation peer (launch↔kernel)
 }
 
 // End is a convenience for TracedStart+Duration.

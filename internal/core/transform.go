@@ -164,12 +164,11 @@ func (g *Graph) Repeat(n int) (*Graph, error) {
 	out := NewGraph()
 	out.Meta = g.Meta
 	// idMap[r][oldID] = new task for round r.
-	idMap := make([]map[int]*Task, n)
+	idMap := make([][]*Task, n)
 	for r := 0; r < n; r++ {
-		idMap[r] = make(map[int]*Task, len(g.tasks))
-		for _, id := range g.order {
-			t, ok := g.tasks[id]
-			if !ok {
+		idMap[r] = make([]*Task, len(g.tasks))
+		for id, t := range g.tasks {
+			if t == nil {
 				continue
 			}
 			nt := out.NewTask(t.Name, t.Kind, t.Thread, t.Duration)
@@ -203,22 +202,19 @@ func (g *Graph) Repeat(n int) (*Graph, error) {
 				prev = nt
 			}
 		}
-		// Non-sequence edges within the round.
-		for key, kind := range g.kinds {
-			if kind == DepSequence {
-				continue
-			}
-			from, to := idMap[r][key[0]], idMap[r][key[1]]
-			if from == nil || to == nil {
-				continue
-			}
-			out.addEdge(from, to, kind)
-		}
-		// Correlation peers.
+		// Non-sequence edges within the round, and correlation peers.
 		for id, t := range g.tasks {
+			if t == nil {
+				continue
+			}
+			for i, c := range t.children {
+				if kind := t.childKinds[i]; kind != DepSequence {
+					out.addEdge(idMap[r][id], idMap[r][c.ID], kind)
+				}
+			}
 			if t.peer != nil {
-				if nt, np := idMap[r][id], idMap[r][t.peer.ID]; nt != nil && np != nil {
-					nt.peer = np
+				if np := idMap[r][t.peer.ID]; np != nil {
+					idMap[r][id].peer = np
 				}
 			}
 		}

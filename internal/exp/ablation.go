@@ -5,6 +5,7 @@ import (
 
 	"daydream/internal/core"
 	"daydream/internal/framework"
+	"daydream/internal/sweep"
 	"daydream/internal/trace"
 )
 
@@ -78,8 +79,11 @@ var ablationVariants = []struct {
 }
 
 // RunAblation measures replay error for each modeling ablation on the two
-// models with the most contrasting CPU/GPU balance.
+// models with the most contrasting CPU/GPU balance. The models × variants
+// grid runs through one sweep, each scenario carrying its model's profile
+// as Base.
 func RunAblation() ([]AblationRow, error) {
+	var scenarios []sweep.Scenario
 	var rows []AblationRow
 	for _, name := range []string{"resnet50", "bert-large"} {
 		m := model(name)
@@ -88,20 +92,28 @@ func RunAblation() ([]AblationRow, error) {
 			return nil, err
 		}
 		for _, v := range ablationVariants {
-			c := g.Clone()
-			v.apply(c)
-			sim, err := c.PredictIteration()
-			if err != nil {
-				return nil, err
-			}
 			rows = append(rows, AblationRow{
-				Model:     m.Name,
-				Variant:   v.name,
-				Traced:    res.IterationTime,
-				Simulated: sim,
-				Err:       float64(sim-res.IterationTime) / float64(res.IterationTime),
+				Model:   m.Name,
+				Variant: v.name,
+				Traced:  res.IterationTime,
+			})
+			scenarios = append(scenarios, sweep.Scenario{
+				Name: m.Name + "/" + v.name,
+				Base: g,
+				Transform: func(c *core.Graph) (*core.Graph, error) {
+					v.apply(c)
+					return c, nil
+				},
 			})
 		}
+	}
+	sims, err := sweep.Run(nil, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Simulated = sims[i].Value
+		rows[i].Err = float64(sims[i].Value-rows[i].Traced) / float64(rows[i].Traced)
 	}
 	return rows, nil
 }

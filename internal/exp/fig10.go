@@ -8,6 +8,7 @@ import (
 	"daydream/internal/core"
 	"daydream/internal/dnn"
 	"daydream/internal/framework"
+	"daydream/internal/sweep"
 	"daydream/internal/whatif"
 	"daydream/internal/xpu"
 )
@@ -45,7 +46,8 @@ func fig10Topology(gbps float64) comm.Topology {
 // RunFig10Model computes one Figure 10 subfigure. The P3 experiments use
 // smaller per-GPU batches than Table 2's defaults (the P3 paper's setup),
 // which keeps the compute/communication ratio in the regime where
-// prioritization matters.
+// prioritization matters. The bandwidth grid's Algorithm-7 predictions
+// fan out through one sweep over the shared single-worker profile.
 func RunFig10Model(label string, m *dnn.Model, bandwidths []float64) ([]P3Row, error) {
 	base := framework.Config{
 		Model:   m,
@@ -56,8 +58,16 @@ func RunFig10Model(label string, m *dnn.Model, bandwidths []float64) ([]P3Row, e
 	if err != nil {
 		return nil, err
 	}
-	var rows []P3Row
-	for _, bw := range bandwidths {
+	scenarios := make([]sweep.Scenario, len(bandwidths))
+	for i, bw := range bandwidths {
+		scenarios[i] = P3Scenario(g, fig10Topology(bw))
+	}
+	preds, err := sweep.Run(g, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]P3Row, 0, len(bandwidths))
+	for i, bw := range bandwidths {
 		topo := fig10Topology(bw)
 		run := func(p3 bool) (*framework.Result, error) {
 			cfg := base
@@ -76,37 +86,49 @@ func RunFig10Model(label string, m *dnn.Model, bandwidths []float64) ([]P3Row, e
 		if err != nil {
 			return nil, err
 		}
-		predicted, err := predictP3(g, topo)
-		if err != nil {
-			return nil, err
-		}
 		rows = append(rows, P3Row{
 			Model:       label,
 			Gbps:        bw,
 			Baseline:    baseline.IterationTime,
 			GroundTruth: gt.IterationTime,
-			Predicted:   predicted,
-			Err:         relErr(predicted, gt.IterationTime),
+			Predicted:   preds[i].Value,
+			Err:         relErr(preds[i].Value, gt.IterationTime),
 		})
 	}
 	return rows, nil
 }
 
-// predictP3 applies Algorithm 7 to the single-worker profile and extracts
-// the steady-state iteration time from a two-iteration simulation.
-func predictP3(g *core.Graph, topo comm.Topology) (time.Duration, error) {
-	res, err := whatif.P3(g.Clone(), whatif.P3Options{
-		Topology:   topo,
-		SliceBytes: 800 << 10,
-	})
-	if err != nil {
-		return 0, err
+// p3Rounds is the iteration count P3Scenario chains (whatif.P3's
+// default and minimum): enough for one steady-state round distance.
+const p3Rounds = 2
+
+// P3Scenario wraps Algorithm 7 as a sweep scenario: the transform
+// replaces the scenario's clone with the repeated, priority-annotated
+// graph, and the measure extracts the steady-state iteration time — the
+// distance between the last two rounds' completion frontiers — from the
+// simulation. The returned Scenario holds no shared state, so it is
+// reusable and safe across concurrent sweeps like any other.
+func P3Scenario(base *core.Graph, topo comm.Topology) sweep.Scenario {
+	return sweep.Scenario{
+		Name: fmt.Sprintf("p3 %s @%.0fGbps", topo.String(), topo.NICBandwidth/comm.Gbps(1)),
+		Base: base,
+		Transform: func(c *core.Graph) (*core.Graph, error) {
+			r, err := whatif.P3(c, whatif.P3Options{
+				Topology:   topo,
+				SliceBytes: 800 << 10,
+				Rounds:     p3Rounds,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return r.Graph, nil
+		},
+		Measure: func(rg *core.Graph, res *core.SimResult) (time.Duration, error) {
+			last := core.RoundSpan(rg, res, p3Rounds-1)
+			prev := core.RoundSpan(rg, res, p3Rounds-2)
+			return last - prev, nil
+		},
 	}
-	sim, err := res.Graph.Simulate()
-	if err != nil {
-		return 0, err
-	}
-	return res.IterationTime(sim), nil
 }
 
 // fig10Models lists the two subfigures with their bandwidth sweeps.

@@ -3,7 +3,9 @@ package exp
 import (
 	"time"
 
+	"daydream/internal/core"
 	"daydream/internal/framework"
+	"daydream/internal/sweep"
 	"daydream/internal/trace"
 	"daydream/internal/whatif"
 	"daydream/internal/xpu"
@@ -32,10 +34,13 @@ var ampModels = []struct{ label, zoo string }{
 }
 
 // RunFig5AMP computes Figure 5: baseline (fp32), ground truth with mixed
-// precision, and Daydream's prediction with Algorithm 3.
+// precision, and Daydream's prediction with Algorithm 3. The ground-truth
+// engine runs sequentially; the per-model predictions fan out through one
+// sweep, each scenario carrying its model's profile as Base.
 func RunFig5AMP() ([]AMPRow, error) {
-	var rows []AMPRow
-	for _, mm := range ampModels {
+	scenarios := make([]sweep.Scenario, len(ampModels))
+	rows := make([]AMPRow, len(ampModels))
+	for i, mm := range ampModels {
 		m := model(mm.zoo)
 		baseRes, g, err := Profile(framework.Config{Model: m})
 		if err != nil {
@@ -45,19 +50,27 @@ func RunFig5AMP() ([]AMPRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred := g.Clone()
-		whatif.AMP(pred)
-		predicted, err := pred.PredictIteration()
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AMPRow{
+		rows[i] = AMPRow{
 			Model:       mm.label,
 			Baseline:    baseRes.IterationTime,
 			GroundTruth: gt.IterationTime,
-			Predicted:   predicted,
-			Err:         relErr(predicted, gt.IterationTime),
-		})
+		}
+		scenarios[i] = sweep.Scenario{
+			Name: mm.label,
+			Base: g,
+			Transform: func(c *core.Graph) (*core.Graph, error) {
+				whatif.AMP(c)
+				return c, nil
+			},
+		}
+	}
+	preds, err := sweep.Run(nil, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Predicted = preds[i].Value
+		rows[i].Err = relErr(preds[i].Value, rows[i].GroundTruth)
 	}
 	return rows, nil
 }

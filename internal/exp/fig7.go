@@ -3,7 +3,9 @@ package exp
 import (
 	"time"
 
+	"daydream/internal/core"
 	"daydream/internal/framework"
+	"daydream/internal/sweep"
 	"daydream/internal/whatif"
 )
 
@@ -21,15 +23,18 @@ type FusedAdamRow struct {
 	Err float64
 }
 
-// RunFig7FusedAdam computes Figure 7 for the Adam-trained models.
+// RunFig7FusedAdam computes Figure 7 for the Adam-trained models: ground
+// truth sequentially, the per-model Algorithm-4 predictions through one
+// sweep.
 func RunFig7FusedAdam() ([]FusedAdamRow, error) {
 	models := []struct{ label, zoo string }{
 		{"BERT_Base", "bert-base"},
 		{"BERT_Large", "bert-large"},
 		{"Seq2Seq", "gnmt"},
 	}
-	var rows []FusedAdamRow
-	for _, mm := range models {
+	scenarios := make([]sweep.Scenario, len(models))
+	rows := make([]FusedAdamRow, len(models))
+	for i, mm := range models {
 		m := model(mm.zoo)
 		baseRes, g, err := Profile(framework.Config{Model: m})
 		if err != nil {
@@ -41,21 +46,26 @@ func RunFig7FusedAdam() ([]FusedAdamRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred := g.Clone()
-		if err := whatif.FusedAdam(pred); err != nil {
-			return nil, err
-		}
-		predicted, err := pred.PredictIteration()
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, FusedAdamRow{
+		rows[i] = FusedAdamRow{
 			Model:       mm.label,
 			Baseline:    baseRes.IterationTime,
 			GroundTruth: gt.IterationTime,
-			Predicted:   predicted,
-			Err:         relErr(predicted, gt.IterationTime),
-		})
+		}
+		scenarios[i] = sweep.Scenario{
+			Name: mm.label,
+			Base: g,
+			Transform: func(c *core.Graph) (*core.Graph, error) {
+				return c, whatif.FusedAdam(c)
+			},
+		}
+	}
+	preds, err := sweep.Run(nil, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Predicted = preds[i].Value
+		rows[i].Err = relErr(preds[i].Value, rows[i].GroundTruth)
 	}
 	return rows, nil
 }

@@ -7,6 +7,7 @@ import (
 	"daydream/internal/comm"
 	"daydream/internal/core"
 	"daydream/internal/framework"
+	"daydream/internal/sweep"
 	"daydream/internal/whatif"
 )
 
@@ -48,8 +49,46 @@ var fig8Configs = []struct{ machines, gpus int }{
 // fig8Bandwidths lists the evaluated network rates in Gbps.
 var fig8Bandwidths = []float64{10, 20, 40}
 
+// Fig8Grid returns the full configuration grid of one Figure 8
+// subfigure, in figure order.
+func Fig8Grid() []comm.Topology {
+	var grid []comm.Topology
+	for _, bw := range fig8Bandwidths {
+		for _, cfg := range fig8Configs {
+			if cfg.machines == 1 && cfg.gpus == 1 && bw != fig8Bandwidths[0] {
+				continue // the single-GPU baseline has no network
+			}
+			grid = append(grid, fig8Topology(cfg.machines, cfg.gpus, bw))
+		}
+	}
+	return grid
+}
+
+// Fig8Scenario wraps one grid point as a sweep scenario over the
+// single-GPU baseline graph: the single-GPU point replays the baseline,
+// every other point applies Algorithm 6 for its topology.
+func Fig8Scenario(base *core.Graph, topo comm.Topology) sweep.Scenario {
+	sc := sweep.Scenario{
+		Name: fmt.Sprintf("%s @%s", topo.String(), gbpsLabel(topo)),
+		Base: base,
+	}
+	if topo.TotalGPUs() > 1 {
+		sc.Transform = func(c *core.Graph) (*core.Graph, error) {
+			return c, whatif.Distributed(c, whatif.DistributedOptions{Topology: topo})
+		}
+	}
+	return sc
+}
+
+// gbpsLabel renders a topology's NIC rate the way the figure labels it.
+func gbpsLabel(topo comm.Topology) string {
+	return fmt.Sprintf("%.0fGbps", topo.NICBandwidth/comm.Gbps(1))
+}
+
 // RunFig8Model computes one Figure 8 subfigure: distributed predictions
-// for one model across all configurations.
+// for one model across all configurations. The ground-truth engine runs
+// each configuration sequentially; all 19 predictions fan out through
+// one concurrent sweep over the shared single-GPU profile.
 func RunFig8Model(label, zoo string) ([]DistRow, error) {
 	m := model(zoo)
 	// One single-GPU profile answers every configuration (§7.1:
@@ -58,54 +97,38 @@ func RunFig8Model(label, zoo string) ([]DistRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []DistRow
-	for _, bw := range fig8Bandwidths {
-		for _, cfg := range fig8Configs {
-			if cfg.machines == 1 && cfg.gpus == 1 && bw != fig8Bandwidths[0] {
-				continue // the single-GPU baseline has no network
-			}
-			topo := fig8Topology(cfg.machines, cfg.gpus, bw)
-			gt, err := framework.Run(framework.Config{
-				Model: m,
-				Cluster: &framework.Cluster{
-					Topology:       topo,
-					Backend:        framework.BackendNCCL,
-					SyncBeforeComm: true,
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			var predicted time.Duration
-			if topo.TotalGPUs() == 1 {
-				predicted, err = g.Clone().PredictIteration()
-			} else {
-				predicted, err = predictDistributed(g, topo)
-			}
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, DistRow{
-				Model:       label,
-				Topology:    topo,
-				GbpsLabel:   fmt.Sprintf("%.0fGbps", bw),
-				GroundTruth: gt.IterationTime,
-				Predicted:   predicted,
-				Err:         relErr(predicted, gt.IterationTime),
-			})
+	grid := Fig8Grid()
+	scenarios := make([]sweep.Scenario, len(grid))
+	for i, topo := range grid {
+		scenarios[i] = Fig8Scenario(g, topo)
+	}
+	preds, err := sweep.Run(g, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]DistRow, 0, len(grid))
+	for i, topo := range grid {
+		gt, err := framework.Run(framework.Config{
+			Model: m,
+			Cluster: &framework.Cluster{
+				Topology:       topo,
+				Backend:        framework.BackendNCCL,
+				SyncBeforeComm: true,
+			},
+		})
+		if err != nil {
+			return nil, err
 		}
+		rows = append(rows, DistRow{
+			Model:       label,
+			Topology:    topo,
+			GbpsLabel:   gbpsLabel(topo),
+			GroundTruth: gt.IterationTime,
+			Predicted:   preds[i].Value,
+			Err:         relErr(preds[i].Value, gt.IterationTime),
+		})
 	}
 	return rows, nil
-}
-
-// predictDistributed applies Algorithm 6 to a clone of the baseline graph
-// and simulates it.
-func predictDistributed(g *core.Graph, topo comm.Topology) (time.Duration, error) {
-	pred := g.Clone()
-	if err := whatif.Distributed(pred, whatif.DistributedOptions{Topology: topo}); err != nil {
-		return 0, err
-	}
-	return pred.PredictIteration()
 }
 
 // fig8Models lists the four subfigures.

@@ -1,0 +1,183 @@
+// Package sweep answers many what-if questions from one profiled
+// baseline concurrently — the scaling axis of Daydream's value
+// proposition (Algorithm 1, §4–5): once a trace is collected and its
+// dependency graph built, every additional prediction is a graph clone,
+// a transformation and a simulation, and those are independent across
+// scenarios.
+//
+// Run fans a scenario list out over a worker pool. The baseline graph is
+// shared immutably: Graph.Clone never mutates its receiver, so workers
+// clone concurrently without locking; each worker owns one reusable
+// core.SimScratch so steady-state simulation allocates almost nothing.
+// Results come back in scenario order regardless of worker count, and
+// every scenario is deterministic, so a sweep is bit-identical to the
+// equivalent sequential loop.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"daydream/internal/core"
+)
+
+// Scenario is one what-if question: a transformation of a private clone
+// of the baseline graph, an optional scheduling policy, and an optional
+// metric to extract from the simulation.
+type Scenario struct {
+	// Name labels the scenario in results.
+	Name string
+	// Base optionally overrides the sweep-wide baseline for this
+	// scenario — e.g. a per-model profile in a models × configs grid.
+	Base *core.Graph
+	// Transform mutates the scenario's private clone, or returns a
+	// different graph to simulate (e.g. a Repeat-expanded one). A nil
+	// Transform replays the baseline unchanged.
+	Transform func(g *core.Graph) (*core.Graph, error)
+	// SimOptions are extra simulation options (e.g. a custom scheduler).
+	SimOptions []core.SimOption
+	// Measure extracts the scenario's value from the simulation; nil
+	// means the makespan (the predicted iteration time).
+	Measure func(g *core.Graph, res *core.SimResult) (time.Duration, error)
+}
+
+// Result is one scenario's outcome, delivered in scenario order.
+type Result struct {
+	// Name echoes the scenario label.
+	Name string
+	// Value is the measured prediction (makespan unless the scenario
+	// set a Measure).
+	Value time.Duration
+	// Graph is the transformed graph, retained only under KeepGraphs.
+	Graph *core.Graph
+	// Sim is the simulation result, retained only under KeepSims.
+	Sim *core.SimResult
+	// Err is the scenario's failure, if any.
+	Err error
+}
+
+type config struct {
+	workers    int
+	keepGraphs bool
+	keepSims   bool
+}
+
+// Option configures a sweep.
+type Option func(*config)
+
+// Workers caps the worker pool; values below 1 select GOMAXPROCS.
+func Workers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// KeepGraphs retains each scenario's transformed graph in its Result.
+// Off by default: a large sweep would otherwise hold every clone alive.
+func KeepGraphs() Option {
+	return func(c *config) { c.keepGraphs = true }
+}
+
+// KeepSims retains each scenario's SimResult in its Result.
+func KeepSims() Option {
+	return func(c *config) { c.keepSims = true }
+}
+
+// Run executes every scenario against the shared baseline (or the
+// scenario's own Base) on a worker pool and returns the results in
+// scenario order. The returned error is the first scenario error in
+// scenario order, if any; per-scenario errors are also in the results.
+//
+// The baseline (and any scenario Base) must not be mutated while the
+// sweep runs; the sweep itself only clones them.
+func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]Result, len(scenarios))
+	if len(scenarios) == 0 {
+		return results, nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := core.NewSimScratch()
+			for i := range jobs {
+				results[i] = runOne(baseline, &scenarios[i], scratch, &cfg)
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("sweep: scenario %d (%s): %w", i, results[i].Name, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// runOne evaluates a single scenario with a worker-owned scratch.
+func runOne(baseline *core.Graph, sc *Scenario, scratch *core.SimScratch, cfg *config) Result {
+	r := Result{Name: sc.Name}
+	base := sc.Base
+	if base == nil {
+		base = baseline
+	}
+	if base == nil {
+		r.Err = fmt.Errorf("no baseline graph (neither sweep-wide nor scenario Base)")
+		return r
+	}
+	g := base.Clone()
+	if sc.Transform != nil {
+		var err error
+		g, err = sc.Transform(g)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		if g == nil {
+			r.Err = fmt.Errorf("transform returned a nil graph")
+			return r
+		}
+	}
+	simOpts := make([]core.SimOption, 0, len(sc.SimOptions)+1)
+	simOpts = append(simOpts, sc.SimOptions...)
+	simOpts = append(simOpts, core.WithScratch(scratch))
+	res, err := g.Simulate(simOpts...)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if sc.Measure != nil {
+		r.Value, r.Err = sc.Measure(g, res)
+		if r.Err != nil {
+			return r
+		}
+	} else {
+		r.Value = res.Makespan
+	}
+	if cfg.keepGraphs {
+		r.Graph = g
+	}
+	if cfg.keepSims {
+		r.Sim = res
+	}
+	return r
+}

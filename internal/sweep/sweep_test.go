@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/trace"
+)
+
+// testGraph builds a small two-thread graph: a CPU chain launching a GPU
+// chain, enough structure for transformations to bite.
+func testGraph(n int) *core.Graph {
+	g := core.NewGraph()
+	for i := 0; i < n; i++ {
+		launch := g.NewTask("cudaLaunchKernel", trace.KindLaunch, core.CPU(1), 2*time.Microsecond)
+		g.AppendTask(launch)
+		kern := g.NewTask(fmt.Sprintf("k%d", i), trace.KindKernel, core.Stream(7), 10*time.Microsecond)
+		g.AppendTask(kern)
+		if err := g.Correlate(launch, kern); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// scaleScenario shrinks every GPU kernel by the given factor.
+func scaleScenario(name string, factor float64) Scenario {
+	return Scenario{
+		Name: name,
+		Transform: func(g *core.Graph) (*core.Graph, error) {
+			core.Scale(g.Select(core.OnGPUPred), factor)
+			return g, nil
+		},
+	}
+}
+
+// sequential runs the same scenarios one by one without the pool.
+func sequential(t *testing.T, baseline *core.Graph, scenarios []Scenario) []time.Duration {
+	t.Helper()
+	out := make([]time.Duration, len(scenarios))
+	for i, sc := range scenarios {
+		base := sc.Base
+		if base == nil {
+			base = baseline
+		}
+		g := base.Clone()
+		var err error
+		if sc.Transform != nil {
+			g, err = sc.Transform(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := g.Simulate(sc.SimOptions...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Measure != nil {
+			out[i], err = sc.Measure(g, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			out[i] = res.Makespan
+		}
+	}
+	return out
+}
+
+func TestSweepMatchesSequential(t *testing.T) {
+	g := testGraph(40)
+	var scenarios []Scenario
+	for i := 0; i < 32; i++ {
+		scenarios = append(scenarios, scaleScenario(fmt.Sprintf("s%d", i), 1.0-float64(i)/64))
+	}
+	want := sequential(t, g, scenarios)
+	for _, workers := range []int{1, 2, 7, 64} {
+		results, err := Run(g, scenarios, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r.Name != scenarios[i].Name {
+				t.Fatalf("workers=%d: result %d is %q, want %q", workers, i, r.Name, scenarios[i].Name)
+			}
+			if r.Value != want[i] {
+				t.Fatalf("workers=%d: scenario %q = %v, sequential %v", workers, r.Name, r.Value, want[i])
+			}
+		}
+	}
+}
+
+func TestSweepPerScenarioBase(t *testing.T) {
+	a, b := testGraph(10), testGraph(30)
+	results, err := Run(nil, []Scenario{
+		{Name: "a", Base: a},
+		{Name: "b", Base: b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, _ := a.PredictIteration()
+	wantB, _ := b.PredictIteration()
+	if results[0].Value != wantA || results[1].Value != wantB {
+		t.Fatalf("per-scenario bases: got (%v, %v), want (%v, %v)",
+			results[0].Value, results[1].Value, wantA, wantB)
+	}
+}
+
+func TestSweepNoBaseline(t *testing.T) {
+	results, err := Run(nil, []Scenario{{Name: "orphan"}})
+	if err == nil {
+		t.Fatal("sweep with no baseline succeeded")
+	}
+	if results[0].Err == nil {
+		t.Fatal("orphan scenario has no error")
+	}
+}
+
+func TestSweepScenarioError(t *testing.T) {
+	g := testGraph(5)
+	boom := fmt.Errorf("boom")
+	results, err := Run(g, []Scenario{
+		scaleScenario("ok", 0.5),
+		{Name: "bad", Transform: func(*core.Graph) (*core.Graph, error) { return nil, boom }},
+		scaleScenario("also ok", 0.25),
+	})
+	if err == nil {
+		t.Fatal("sweep with failing scenario returned nil error")
+	}
+	if results[1].Err == nil || results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("error placement wrong: %+v", results)
+	}
+	if results[0].Value == 0 || results[2].Value == 0 {
+		t.Fatal("healthy scenarios did not run")
+	}
+}
+
+func TestSweepMeasureAndKeep(t *testing.T) {
+	g := testGraph(8)
+	results, err := Run(g, []Scenario{{
+		Name: "repeat",
+		Transform: func(c *core.Graph) (*core.Graph, error) {
+			return c.Repeat(3)
+		},
+		Measure: func(rg *core.Graph, res *core.SimResult) (time.Duration, error) {
+			return core.RoundSpan(rg, res, 2) - core.RoundSpan(rg, res, 1), nil
+		},
+	}}, KeepGraphs(), KeepSims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Graph == nil || r.Sim == nil {
+		t.Fatal("KeepGraphs/KeepSims did not retain")
+	}
+	if r.Graph.NumTasks() != 3*g.NumTasks() {
+		t.Fatalf("transformed graph has %d tasks, want %d", r.Graph.NumTasks(), 3*g.NumTasks())
+	}
+	if r.Value <= 0 {
+		t.Fatalf("steady-state round time = %v", r.Value)
+	}
+}
+
+// TestSweepSharedBaselineRace drives many concurrent sweeps over one
+// shared baseline. Run under -race (the CI does) this verifies that
+// concurrent Clone + Simulate over an immutable graph is data-race free.
+func TestSweepSharedBaselineRace(t *testing.T) {
+	g := testGraph(50)
+	var scenarios []Scenario
+	for i := 0; i < 16; i++ {
+		scenarios = append(scenarios, scaleScenario(fmt.Sprintf("s%d", i), 0.9))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Run(g, scenarios, Workers(4)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSweepEmpty(t *testing.T) {
+	results, err := Run(testGraph(1), nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty sweep: %v, %v", results, err)
+	}
+}
