@@ -11,9 +11,11 @@ package daydream_test
 // as a regeneration of the paper's evaluation.
 
 import (
+	"fmt"
 	"testing"
 
 	"daydream"
+	"daydream/internal/core"
 	"daydream/internal/exp"
 	"daydream/internal/framework"
 )
@@ -151,5 +153,109 @@ func BenchmarkAMPTransform(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := g.Clone()
 		daydream.AMP(c)
+	}
+}
+
+// benchGraph builds the bert-large fixture shared by the scenario-path
+// benchmarks.
+func benchGraph(b *testing.B) *daydream.Graph {
+	b.Helper()
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: "bert-large"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := daydream.BuildGraph(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkScenarioClonePath measures one duration-only scenario
+// (Algorithm-3 AMP on bert-large) the way the sweep's structural path
+// evaluates it: clone, mutate, simulate with a reusable scratch. This
+// is the baseline the overlay path is compared against.
+func BenchmarkScenarioClonePath(b *testing.B) {
+	g := benchGraph(b)
+	scratch := core.NewSimScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g.Clone()
+		daydream.AMP(c)
+		if _, err := c.Simulate(core.WithScratch(scratch)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioOverlayPath measures the same scenario through the
+// clone-free copy-on-write path: reset a worker-owned overlay, record
+// the Algorithm-3 deltas, simulate through them into a reusable result
+// buffer. The acceptance bar is ≥3× over BenchmarkScenarioClonePath.
+func BenchmarkScenarioOverlayPath(b *testing.B) {
+	g := benchGraph(b)
+	scratch := core.NewSimScratch()
+	o := daydream.NewOverlay(g)
+	buf := &daydream.SimResult{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Reset(g)
+		daydream.AMPOverlay(o)
+		if _, err := o.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSweepWorkers pins the sweep benchmarks' worker count so their
+// allocs/op (one scratch/overlay/result buffer per worker) do not vary
+// with the machine's GOMAXPROCS.
+const benchSweepWorkers = 4
+
+// BenchmarkSweepOverlay64 measures sweep throughput for 64 duration-only
+// scenarios on the clone-free path (scenarios/sec is ns/op⁻¹ × 64).
+func BenchmarkSweepOverlay64(b *testing.B) {
+	g := benchGraph(b)
+	scenarios := make([]daydream.Scenario, 64)
+	for i := range scenarios {
+		scenarios[i] = daydream.Scenario{
+			Name: fmt.Sprintf("amp%d", i),
+			ScaleTransform: func(o *daydream.Overlay) error {
+				daydream.AMPOverlay(o)
+				return nil
+			},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := daydream.Sweep(g, scenarios, daydream.SweepWorkers(benchSweepWorkers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepClone64 is BenchmarkSweepOverlay64 on the structural
+// clone path, for the trajectory comparison.
+func BenchmarkSweepClone64(b *testing.B) {
+	g := benchGraph(b)
+	scenarios := make([]daydream.Scenario, 64)
+	for i := range scenarios {
+		scenarios[i] = daydream.Scenario{
+			Name: fmt.Sprintf("amp%d", i),
+			Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
+				daydream.AMP(c)
+				return c, nil
+			},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := daydream.Sweep(g, scenarios, daydream.SweepWorkers(benchSweepWorkers)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

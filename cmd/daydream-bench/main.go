@@ -4,16 +4,21 @@
 //
 // Usage:
 //
-//	daydream-bench            # run everything, in paper order
-//	daydream-bench -list      # list experiment IDs
-//	daydream-bench -run fig8  # run experiments whose ID contains "fig8"
-//	daydream-bench -micro     # pipeline micro-benchmarks → BENCH.json
+//	daydream-bench                         # run everything, in paper order
+//	daydream-bench -list                   # list experiment IDs
+//	daydream-bench -run fig8               # run experiments whose ID contains "fig8"
+//	daydream-bench -micro                  # pipeline micro-benchmarks → BENCH.json
+//	daydream-bench -micro -against BENCH.json  # …and fail on >25% regression
 //
 // With -micro, the pipeline stages (trace collection, graph construction,
-// simulation, clone, AMP transform, and a Figure-8-sized 76-scenario
-// concurrent sweep) are measured with testing.Benchmark and written as
-// machine-readable JSON (ns/op, bytes/op, allocs/op), so the performance
-// trajectory is tracked across changes.
+// simulation, clone, AMP transform, clone-path and overlay-path scenario
+// evaluation, and Figure-8-sized concurrent sweeps) are measured with
+// testing.Benchmark and written as machine-readable JSON (ns/op,
+// bytes/op, allocs/op, and scenarios/sec for the sweep benchmarks), so
+// the performance trajectory is tracked across changes. With -against,
+// the fresh numbers are compared to a committed baseline file and the
+// run fails when any shared benchmark regresses beyond -tolerance
+// (default 25%) in ns/op or allocs/op — the CI trajectory gate.
 package main
 
 import (
@@ -37,6 +42,8 @@ func main() {
 	run := flag.String("run", "", "only run experiments whose ID contains this substring")
 	micro := flag.Bool("micro", false, "run pipeline micro-benchmarks and write them as JSON")
 	benchJSON := flag.String("benchjson", "BENCH.json", "output path for -micro results")
+	against := flag.String("against", "", "baseline BENCH.json to compare -micro results to (fails on regression)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression vs -against before failing")
 	flag.Parse()
 
 	if *list {
@@ -46,7 +53,7 @@ func main() {
 		return
 	}
 	if *micro {
-		if err := runMicro(*benchJSON); err != nil {
+		if err := runMicro(*benchJSON, *against, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "daydream-bench:", err)
 			os.Exit(1)
 		}
@@ -85,7 +92,14 @@ type microResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// ScenariosPerSec is sweep throughput, reported by the sweep
+	// benchmarks so the overlay win stays visible in the trajectory.
+	ScenariosPerSec float64 `json:"scenarios_per_sec,omitempty"`
 }
+
+// benchSweepWorkers pins the sweep benchmarks' worker count so their
+// allocs/op do not vary with the machine's GOMAXPROCS.
+const benchSweepWorkers = 4
 
 // benchFile is the BENCH.json schema.
 type benchFile struct {
@@ -95,9 +109,10 @@ type benchFile struct {
 	Benchmarks []microResult `json:"benchmarks"`
 }
 
-// runMicro measures the pipeline stages on the largest workload and the
-// Figure-8-sized sweep, then writes the JSON report.
-func runMicro(path string) error {
+// runMicro measures the pipeline stages on the largest workload plus
+// the scenario-evaluation paths and sweeps, writes the JSON report, and
+// (when against is set) gates on regressions vs the committed baseline.
+func runMicro(path, against string, tolerance float64) error {
 	const workload = "bert-large"
 	tr, err := daydream.Collect(daydream.CollectConfig{Model: workload})
 	if err != nil {
@@ -111,33 +126,44 @@ func runMicro(path string) error {
 	if err != nil {
 		return err
 	}
+	overlayScenarios := make([]sweep.Scenario, 64)
+	for i := range overlayScenarios {
+		overlayScenarios[i] = sweep.Scenario{
+			Name: fmt.Sprintf("amp%d", i),
+			ScaleTransform: func(o *core.Overlay) error {
+				daydream.AMPOverlay(o)
+				return nil
+			},
+		}
+	}
 
 	benches := []struct {
-		name string
-		fn   func(b *testing.B)
+		name      string
+		scenarios int // >0: sweep benchmark, reports scenarios/sec
+		fn        func(b *testing.B)
 	}{
-		{"CollectTrace", func(b *testing.B) {
+		{"CollectTrace", 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := daydream.Collect(daydream.CollectConfig{Model: workload}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"BuildGraph", func(b *testing.B) {
+		{"BuildGraph", 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := daydream.BuildGraph(tr); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"Simulate", func(b *testing.B) {
+		{"Simulate", 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := g.PredictIteration(); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"SimulateScratch", func(b *testing.B) {
+		{"SimulateScratch", 0, func(b *testing.B) {
 			scratch := core.NewSimScratch()
 			for i := 0; i < b.N; i++ {
 				if _, err := g.PredictIteration(core.WithScratch(scratch)); err != nil {
@@ -145,20 +171,55 @@ func runMicro(path string) error {
 				}
 			}
 		}},
-		{"Clone", func(b *testing.B) {
+		{"Clone", 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				g.Clone()
 			}
 		}},
-		{"AMPTransform", func(b *testing.B) {
+		{"AMPTransform", 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c := g.Clone()
 				daydream.AMP(c)
 			}
 		}},
-		{"Fig8Sweep76", func(b *testing.B) {
+		// One duration-only scenario (Algorithm-3 AMP) end to end on
+		// both evaluation paths — the clone-vs-overlay headline.
+		{"CloneScenario", 0, func(b *testing.B) {
+			scratch := core.NewSimScratch()
 			for i := 0; i < b.N; i++ {
-				if _, err := sweep.Run(nil, fig8Scenarios); err != nil {
+				c := g.Clone()
+				daydream.AMP(c)
+				if _, err := c.Simulate(core.WithScratch(scratch)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"OverlayScenario", 0, func(b *testing.B) {
+			scratch := core.NewSimScratch()
+			o := daydream.NewOverlay(g)
+			buf := &daydream.SimResult{}
+			for i := 0; i < b.N; i++ {
+				o.Reset(g)
+				daydream.AMPOverlay(o)
+				if _, err := o.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The sweep benchmarks pin their worker count so allocs/op
+		// (per-worker scratch/overlay/result state) stay comparable
+		// across machines with different GOMAXPROCS — the trajectory
+		// gate depends on that.
+		{"OverlaySweep64", 64, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(g, overlayScenarios, sweep.Workers(benchSweepWorkers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Fig8Sweep76", 76, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(nil, fig8Scenarios, sweep.Workers(benchSweepWorkers)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -182,9 +243,16 @@ func runMicro(path string) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
+		if bb.scenarios > 0 && mr.NsPerOp > 0 {
+			mr.ScenariosPerSec = float64(bb.scenarios) * 1e9 / mr.NsPerOp
+		}
 		out.Benchmarks = append(out.Benchmarks, mr)
-		fmt.Printf("%-16s %12.0f ns/op %12d B/op %8d allocs/op\n",
+		fmt.Printf("%-16s %12.0f ns/op %12d B/op %8d allocs/op",
 			mr.Name, mr.NsPerOp, mr.BytesPerOp, mr.AllocsPerOp)
+		if mr.ScenariosPerSec > 0 {
+			fmt.Printf("  %8.0f scenarios/s", mr.ScenariosPerSec)
+		}
+		fmt.Println()
 	}
 
 	f, err := os.Create(path)
@@ -198,6 +266,52 @@ func runMicro(path string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	if against != "" {
+		return checkTrajectory(against, &out, tolerance)
+	}
+	return nil
+}
+
+// checkTrajectory compares fresh micro results to a committed baseline
+// file and errors when any benchmark present in both regresses beyond
+// the tolerance in ns/op or allocs/op.
+func checkTrajectory(againstPath string, fresh *benchFile, tolerance float64) error {
+	raw, err := os.ReadFile(againstPath)
+	if err != nil {
+		return fmt.Errorf("trajectory baseline: %w", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("trajectory baseline %s: %w", againstPath, err)
+	}
+	byName := make(map[string]microResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	var regressions []string
+	for _, now := range fresh.Benchmarks {
+		was, ok := byName[now.Name]
+		if !ok {
+			continue // new benchmark: no baseline yet
+		}
+		if was.NsPerOp > 0 && now.NsPerOp > was.NsPerOp*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (+%.0f%%)",
+				now.Name, now.NsPerOp, was.NsPerOp, 100*(now.NsPerOp/was.NsPerOp-1)))
+		}
+		// Allocation counts are machine-independent: hold them to the
+		// same tolerance (with +2 absolute slack for tiny counts).
+		if limit := float64(was.AllocsPerOp)*(1+tolerance) + 2; float64(now.AllocsPerOp) > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d",
+				now.Name, now.AllocsPerOp, was.AllocsPerOp))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench trajectory regressed beyond %.0f%% vs %s:\n  %s",
+			100*tolerance, againstPath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("trajectory OK vs %s (tolerance %.0f%%)\n", againstPath, 100*tolerance)
 	return nil
 }
 

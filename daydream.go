@@ -50,17 +50,24 @@ type (
 	SweepOption = sweep.Option
 	// SimScratch is the reusable per-simulation working set.
 	SimScratch = core.SimScratch
+	// Overlay is a copy-on-write timing view over a shared baseline
+	// graph, the clone-free path for duration-only what-ifs.
+	Overlay = core.Overlay
+	// LayerPhaseIndex is the memoized per-graph layer/phase index.
+	LayerPhaseIndex = core.LayerPhaseIndex
 )
 
 // Sweep answers many what-if questions from one shared baseline graph
-// concurrently: each scenario gets a private clone, is transformed and
-// simulated on a worker pool, and results come back in scenario order —
-// bit-identical to the equivalent sequential loop. Scenarios may carry
-// their own Base graph for model × config grids.
+// concurrently on a worker pool, with results in scenario order —
+// bit-identical to the equivalent sequential loop. A scenario that only
+// rescales task timings declares a ScaleTransform and is evaluated
+// clone-free through a copy-on-write Overlay over the shared baseline;
+// a structural scenario declares a Transform and gets a private clone.
+// Scenarios may carry their own Base graph for model × config grids.
 //
 //	results, err := daydream.Sweep(g, []daydream.Scenario{
-//	    {Name: "amp", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
-//	        daydream.AMP(c); return c, nil
+//	    {Name: "amp", ScaleTransform: func(o *daydream.Overlay) error {
+//	        daydream.AMPOverlay(o); return nil
 //	    }},
 //	    {Name: "4x2 @10Gbps", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
 //	        return c, daydream.Distributed(c, daydream.NewTopology(4, 2, 10))
@@ -69,6 +76,14 @@ type (
 func Sweep(baseline *Graph, scenarios []Scenario, opts ...SweepOption) ([]SweepResult, error) {
 	return sweep.Run(baseline, scenarios, opts...)
 }
+
+// NewOverlay returns an empty copy-on-write timing overlay over the
+// baseline graph. Duration-only what-ifs (AMPOverlay, FusedAdamOverlay,
+// DeviceUpgradeOverlay, ApplyKernelProfileOverlay, custom
+// SetDuration/SetGap/SetPriority edits) apply through it and simulate
+// with Overlay.Simulate — no clone, and any number of overlays may
+// share one baseline concurrently as long as nothing mutates it.
+func NewOverlay(g *Graph) *Overlay { return core.NewOverlay(g) }
 
 // SweepWorkers caps the sweep worker pool; values below 1 select
 // GOMAXPROCS.
@@ -196,12 +211,26 @@ func ComputeBreakdown(t *Trace) Breakdown { return trace.ComputeBreakdown(t) }
 // AMP models automatic mixed precision (Algorithm 3).
 func AMP(g *Graph) { whatif.AMP(g) }
 
+// AMPOverlay is AMP's clone-free form: the same Algorithm-3 scaling
+// recorded as copy-on-write deltas over the shared baseline.
+func AMPOverlay(o *Overlay) { whatif.AMPOverlay(o) }
+
 // FusedAdam models Apex's fused Adam optimizer (Algorithm 4).
 func FusedAdam(g *Graph) error { return whatif.FusedAdam(g) }
+
+// FusedAdamOverlay is FusedAdam's clone-free form: superseded
+// weight-update kernels and their launches drop to zero time instead of
+// being removed, which simulates identically.
+func FusedAdamOverlay(o *Overlay) error { return whatif.FusedAdamOverlay(o) }
 
 // ReconBatchnorm models batchnorm restructuring (Algorithm 5).
 func ReconBatchnorm(g *Graph) error {
 	return whatif.ReconBatchnorm(g, whatif.ReconBatchnormOptions{})
+}
+
+// ReconBatchnormOverlay is ReconBatchnorm's clone-free form.
+func ReconBatchnormOverlay(o *Overlay) error {
+	return whatif.ReconBatchnormOverlay(o, whatif.ReconBatchnormOptions{})
 }
 
 // Distributed predicts data-parallel training from a single-GPU profile
@@ -250,6 +279,20 @@ func DeviceUpgrade(g *Graph, fromName, toName string) error {
 	return whatif.DeviceUpgrade(g, from, to)
 }
 
+// DeviceUpgradeOverlay is DeviceUpgrade's clone-free form, for device
+// grids answered from one shared profile.
+func DeviceUpgradeOverlay(o *Overlay, fromName, toName string) error {
+	from, err := deviceByAnyName(fromName)
+	if err != nil {
+		return err
+	}
+	to, err := deviceByAnyName(toName)
+	if err != nil {
+		return err
+	}
+	return whatif.DeviceUpgradeOverlay(o, from, to)
+}
+
 // deviceByAnyName resolves short preset names and full marketing names.
 func deviceByAnyName(name string) (*xpu.Device, error) {
 	if d, ok := xpu.DeviceByName(name); ok {
@@ -272,6 +315,13 @@ type KernelProfile = whatif.KernelProfile
 // the number of tasks updated.
 func ApplyKernelProfile(g *Graph, p KernelProfile) int {
 	return whatif.ApplyKernelProfile(g, p)
+}
+
+// ApplyKernelProfileOverlay is ApplyKernelProfile's clone-free form:
+// profiled durations become sparse overlay deltas over the shared
+// baseline.
+func ApplyKernelProfileOverlay(o *Overlay, p KernelProfile) int {
+	return whatif.ApplyKernelProfileOverlay(o, p)
 }
 
 // Footprint is an analytic training-memory estimate.
@@ -316,5 +366,22 @@ func Compare(g *Graph, transform func(*Graph) error) (baseline, predicted time.D
 		return 0, 0, err
 	}
 	predicted, err = c.PredictIteration()
+	return baseline, predicted, err
+}
+
+// CompareScale is Compare for duration-only what-ifs: the transform
+// records copy-on-write timing deltas in an overlay over the baseline —
+// no clone — and the prediction simulates through them. Results are
+// bit-identical to the equivalent Compare.
+func CompareScale(g *Graph, transform func(*Overlay) error) (baseline, predicted time.Duration, err error) {
+	baseline, err = g.PredictIteration()
+	if err != nil {
+		return 0, 0, err
+	}
+	o := core.NewOverlay(g)
+	if err := transform(o); err != nil {
+		return 0, 0, err
+	}
+	predicted, err = o.PredictIteration()
 	return baseline, predicted, err
 }

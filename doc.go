@@ -33,12 +33,18 @@
 // dependency graph uses dense slice-indexed storage (task IDs are array
 // indices, adjacency is CSR-style on the tasks), so Clone is a
 // near-memcpy and Simulate runs a binary-heap frontier over flat arrays.
-// Sweep fans a whole scenario grid out over a worker pool sharing one
-// immutable baseline:
+// Scenarios that never touch graph structure — AMP, fused optimizers,
+// kernel profiles, device upgrades, duration grids — skip even the
+// clone: a copy-on-write Overlay records per-task duration/gap/priority
+// deltas over the shared immutable baseline and simulates through them,
+// bit-identical to clone-and-mutate at a fraction of the cost. Sweep
+// fans a whole scenario grid out over a worker pool sharing one
+// baseline, dispatching each scenario to the overlay path
+// (ScaleTransform) or the clone path (Transform):
 //
 //	results, _ := daydream.Sweep(g, []daydream.Scenario{
-//	    {Name: "amp", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
-//	        daydream.AMP(c); return c, nil
+//	    {Name: "amp", ScaleTransform: func(o *daydream.Overlay) error {
+//	        daydream.AMPOverlay(o); return nil
 //	    }},
 //	    {Name: "4x2 @10Gbps", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
 //	        return c, daydream.Distributed(c, daydream.NewTopology(4, 2, 10))
@@ -47,5 +53,6 @@
 //
 // See the examples/ directory for complete programs, and cmd/daydream-bench
 // for the harness that regenerates every table and figure of the paper's
-// evaluation (its -micro mode writes pipeline benchmarks to BENCH.json).
+// evaluation (its -micro mode writes pipeline benchmarks to BENCH.json,
+// and -against gates CI on trajectory regressions).
 package daydream

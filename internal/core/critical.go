@@ -17,13 +17,18 @@ import (
 // finish (plus gap) equals the task's start, or the previous task on the
 // same execution thread.
 func CriticalPath(g *Graph, res *SimResult) []*Task {
+	// End times read through the result, so an overlay simulation's
+	// effective timings drive the reconstruction (TaskDuration/TaskGap
+	// fall back to the Task fields for plain simulations).
+	end := func(t *Task) time.Duration {
+		return res.Start[t.ID] + res.TaskDuration(t) + res.TaskGap(t)
+	}
 	// Find the last-finishing task.
 	var last *Task
 	var lastEnd time.Duration
 	for _, t := range g.Tasks() {
-		end := res.Start[t.ID] + t.Duration + t.Gap
-		if last == nil || end > lastEnd {
-			last, lastEnd = t, end
+		if e := end(t); last == nil || e > lastEnd {
+			last, lastEnd = t, e
 		}
 	}
 	if last == nil {
@@ -39,15 +44,14 @@ func CriticalPath(g *Graph, res *SimResult) []*Task {
 		// Binding dependency parent?
 		var next *Task
 		for _, p := range t.Parents() {
-			if res.Start[p.ID]+p.Duration+p.Gap == start {
+			if end(p) == start {
 				next = p
 				break
 			}
 		}
 		// Otherwise the thread predecessor paced it.
 		if next == nil {
-			if prev := t.SeqPrev(); prev != nil &&
-				res.Start[prev.ID]+prev.Duration+prev.Gap == start {
+			if prev := t.SeqPrev(); prev != nil && end(prev) == start {
 				next = prev
 			}
 		}

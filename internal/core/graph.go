@@ -26,6 +26,11 @@ type Graph struct {
 	live    int     // number of non-nil tasks
 	edges   int     // number of dependency edges
 	threads map[ThreadID]*seqList
+
+	// layerIdx memoizes the layer/phase index (see index.go). Clone
+	// deliberately leaves the copy's memo empty: the index holds task
+	// pointers into the graph it was built from.
+	layerIdx layerIdxMemo
 }
 
 // Metadata is the non-timeline information a what-if analysis needs.
@@ -130,6 +135,7 @@ func (g *Graph) NewTask(name string, kind trace.Kind, thread ThreadID, dur time.
 	}
 	g.tasks = append(g.tasks, t)
 	g.live++
+	g.InvalidateLayerPhaseIndex()
 	return t
 }
 
@@ -377,6 +383,7 @@ func (g *Graph) Remove(t *Task) {
 	}
 	g.tasks[t.ID] = nil
 	g.live--
+	g.InvalidateLayerPhaseIndex()
 }
 
 // Select returns the tasks matching the predicate, in creation order

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"daydream/internal/trace"
+)
+
+// naiveLastBwdGPU is the pre-index linear scan, kept as the reference
+// the index must reproduce exactly (including tie-breaking on equal
+// traced starts).
+func naiveLastBwdGPU(g *Graph, layerIndex int) *Task {
+	var best *Task
+	for _, t := range g.Tasks() {
+		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Backward || t.LayerIndex != layerIndex {
+			continue
+		}
+		if best == nil || t.TracedStart > best.TracedStart {
+			best = t
+		}
+	}
+	return best
+}
+
+func naiveFirstFwdGPU(g *Graph, layerIndex, round int) *Task {
+	var best *Task
+	for _, t := range g.Tasks() {
+		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Forward ||
+			t.LayerIndex != layerIndex || t.Round != round {
+			continue
+		}
+		if best == nil || t.TracedStart < best.TracedStart {
+			best = t
+		}
+	}
+	return best
+}
+
+func naiveEarliestWU(g *Graph) *Task {
+	var best *Task
+	for _, t := range g.Tasks() {
+		if !t.HasLayer || t.Phase != trace.WeightUpdate {
+			continue
+		}
+		if best == nil || t.TracedStart < best.TracedStart {
+			best = t
+		}
+	}
+	return best
+}
+
+func TestLayerPhaseIndexMatchesNaiveScans(t *testing.T) {
+	g := modelGraph(t, "resnet50")
+	ix := g.LayerPhaseIndex()
+	if ix.Layers() == 0 {
+		t.Fatal("index found no layers on a mapped graph")
+	}
+	for li := -1; li <= ix.Layers(); li++ {
+		if got, want := ix.LastBackwardGPUAnyRound(li), naiveLastBwdGPU(g, li); got != want {
+			t.Fatalf("LastBackwardGPUAnyRound(%d) = %v, naive scan = %v", li, got, want)
+		}
+		for r := 0; r < ix.Rounds(); r++ {
+			if got, want := ix.FirstForwardGPU(li, r), naiveFirstFwdGPU(g, li, r); got != want {
+				t.Fatalf("FirstForwardGPU(%d,%d) = %v, naive scan = %v", li, r, got, want)
+			}
+		}
+	}
+	if got, want := ix.EarliestWeightUpdate(), naiveEarliestWU(g); got != want {
+		t.Fatalf("EarliestWeightUpdate = %v, naive scan = %v", got, want)
+	}
+	// Cached GPU lists agree with Select.
+	if got, want := len(ix.GPUTasks()), len(g.Select(OnGPUPred)); got != want {
+		t.Fatalf("GPUTasks: %d entries, Select: %d", got, want)
+	}
+	wu := g.Select(And(OnGPUPred, InPhase(trace.WeightUpdate)))
+	if got := ix.WeightUpdateGPUTasks(); len(got) != len(wu) {
+		t.Fatalf("WeightUpdateGPUTasks: %d entries, Select: %d", len(got), len(wu))
+	} else {
+		for i := range wu {
+			if got[i] != wu[i] {
+				t.Fatalf("WeightUpdateGPUTasks[%d] = %v, Select = %v", i, got[i], wu[i])
+			}
+		}
+	}
+}
+
+func TestLayerPhaseIndexRepeatedGraphRounds(t *testing.T) {
+	g := modelGraph(t, "resnet50")
+	rep, err := g.Repeat(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := rep.LayerPhaseIndex()
+	if ix.Rounds() != 3 {
+		t.Fatalf("Rounds = %d, want 3", ix.Rounds())
+	}
+	for li := 0; li < ix.Layers(); li++ {
+		for r := 0; r < 3; r++ {
+			if got, want := ix.FirstForwardGPU(li, r), naiveFirstFwdGPU(rep, li, r); got != want {
+				t.Fatalf("FirstForwardGPU(%d,%d) = %v, naive = %v", li, r, got, want)
+			}
+		}
+	}
+}
+
+func TestLayerPhaseIndexMemoAndInvalidation(t *testing.T) {
+	g := modelGraph(t, "resnet50")
+	ix1 := g.LayerPhaseIndex()
+	if ix2 := g.LayerPhaseIndex(); ix2 != ix1 {
+		t.Fatal("second call did not return the memoized index")
+	}
+	// Structural mutation invalidates.
+	nt := g.NewTask("extra", trace.KindKernel, Stream(7), 1)
+	g.AppendTask(nt)
+	ix3 := g.LayerPhaseIndex()
+	if ix3 == ix1 {
+		t.Fatal("NewTask did not invalidate the memoized index")
+	}
+	g.Remove(nt)
+	if ix4 := g.LayerPhaseIndex(); ix4 == ix3 {
+		t.Fatal("Remove did not invalidate the memoized index")
+	}
+	// A clone must not inherit the parent's memo (its index would point
+	// at the parent's tasks).
+	c := g.Clone()
+	cix := c.LayerPhaseIndex()
+	if cix == g.LayerPhaseIndex() {
+		t.Fatal("clone shares the parent's index")
+	}
+	if got := cix.EarliestWeightUpdate(); got != nil && c.Task(got.ID) != got {
+		t.Fatal("clone's index points at tasks outside the clone")
+	}
+}
+
+func TestLayerPhaseIndexConcurrentBuild(t *testing.T) {
+	g := modelGraph(t, "resnet50")
+	var wg sync.WaitGroup
+	indexes := make([]*LayerPhaseIndex, 8)
+	for i := range indexes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			indexes[i] = g.LayerPhaseIndex()
+		}(i)
+	}
+	wg.Wait()
+	want := naiveEarliestWU(g)
+	for i, ix := range indexes {
+		if ix == nil {
+			t.Fatalf("goroutine %d got nil index", i)
+		}
+		if ix.EarliestWeightUpdate() != want {
+			t.Fatalf("goroutine %d: EarliestWeightUpdate mismatch", i)
+		}
+	}
+}

@@ -19,6 +19,7 @@ func MapLayers(g *Graph, spans []trace.LayerSpan) int {
 	if len(spans) == 0 {
 		return 0
 	}
+	g.InvalidateLayerPhaseIndex()
 	// Group spans per CPU thread, sorted by start.
 	perThread := make(map[int][]trace.LayerSpan)
 	for _, s := range spans {

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Overlay views a shared immutable baseline Graph through per-task
+// duration/gap/priority deltas — a copy-on-write layer for what-if
+// scenarios that never touch graph structure (AMP, fused optimizers
+// modeled as rescaling, kernel profiles, device upgrades, bandwidth and
+// duration grids). Instead of paying a full Clone per scenario, such a
+// scenario records only its timing edits and simulates through them:
+// the baseline's tasks, adjacency and thread sequences are read in
+// place, so any number of overlays can share one baseline concurrently
+// as long as nothing mutates it.
+//
+// Edits are stored sparsely (a map keyed by task ID) while few, and
+// densely (flat per-ID slices) past a crossover, so both a two-kernel
+// profile tweak and an all-GPU-task rescale stay cheap. The overlay
+// also snapshots the baseline's timing arrays and thread layout once
+// per binding, so densification and simulation are memcpy-and-index
+// work rather than pointer chasing. An Overlay is not safe for
+// concurrent use itself; the sharing model is one overlay per goroutine
+// over one shared baseline. Reset rebinds an overlay to a (possibly
+// different) baseline while keeping its storage, which is how the sweep
+// worker pool makes scenario evaluation allocation-free.
+type Overlay struct {
+	base *Graph
+
+	// Sparse storage below the crossover.
+	sparse map[int]overlayEdit
+	// Dense storage past the crossover: full effective-value arrays,
+	// materialized from the baseline snapshot and overwritten in
+	// place. Dense mode is sticky across Reset (re-materializing is a
+	// memcpy), so a worker evaluating bulk-edit scenarios pays the
+	// sparse map only once.
+	dense bool
+	dur   []time.Duration
+	gap   []time.Duration
+	prio  []int
+
+	// prioEdited records whether any priority was overlaid; when false
+	// the simulation reads Task.Priority directly.
+	prioEdited bool
+
+	// Immutable per-binding snapshot of the baseline: flat timing
+	// arrays plus the task → thread-ordinal layout, built once when
+	// first needed and reused by every subsequent densify/simulate.
+	snapBase  *Graph
+	baseDur   []time.Duration
+	baseGap   []time.Duration
+	basePrio  []int
+	threadOf  []int32
+	threadIDs []ThreadID
+}
+
+// editDur/editGap/editPrio mark which fields of an overlayEdit are set.
+const (
+	editDur = 1 << iota
+	editGap
+	editPrio
+)
+
+// overlayEdit is one sparse per-task override record.
+type overlayEdit struct {
+	dur  time.Duration
+	gap  time.Duration
+	prio int
+	set  uint8
+}
+
+// NewOverlay returns an empty overlay over the baseline graph.
+func NewOverlay(g *Graph) *Overlay {
+	o := &Overlay{}
+	o.Reset(g)
+	return o
+}
+
+// Base returns the baseline graph the overlay views.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// Reset drops every edit and rebinds the overlay to the given baseline
+// (which may be the current one), retaining the allocated storage and —
+// when the baseline is unchanged — the baseline snapshot.
+func (o *Overlay) Reset(g *Graph) {
+	if g != o.base || g != o.snapBase {
+		// New (or never snapshotted) baseline: drop everything derived.
+		o.snapBase = nil
+		o.dense = false
+	} else if o.dense {
+		// Same baseline: stay dense, re-materialize by memcpy.
+		copy(o.dur, o.baseDur)
+		copy(o.gap, o.baseGap)
+		copy(o.prio, o.basePrio)
+	}
+	o.base = g
+	o.prioEdited = false
+	for id := range o.sparse {
+		delete(o.sparse, id)
+	}
+}
+
+// snapshot builds (once per binding) the flat baseline timing arrays
+// and the thread layout. The baseline must not be mutated while the
+// overlay is bound to it.
+func (o *Overlay) snapshot() {
+	if o.snapBase == o.base {
+		return
+	}
+	g := o.base
+	n := len(g.tasks)
+	o.baseDur = growDurations(o.baseDur, n)
+	o.baseGap = growDurations(o.baseGap, n)
+	o.basePrio = growInts(o.basePrio, n)
+	o.threadOf = growInt32s(o.threadOf, n)
+	o.threadIDs = o.threadIDs[:0]
+	ord := make(map[ThreadID]int32, len(g.threads))
+	for id, t := range g.tasks {
+		if t == nil {
+			o.threadOf[id] = -1
+			continue
+		}
+		o.baseDur[id], o.baseGap[id], o.basePrio[id] = t.Duration, t.Gap, t.Priority
+		ti, ok := ord[t.Thread]
+		if !ok {
+			ti = int32(len(o.threadIDs))
+			ord[t.Thread] = ti
+			o.threadIDs = append(o.threadIDs, t.Thread)
+		}
+		o.threadOf[id] = ti
+	}
+	o.snapBase = g
+}
+
+// crossover is the sparse-edit count past which the overlay densifies:
+// beyond it, per-read map lookups cost more than materializing flat
+// arrays once.
+func (o *Overlay) crossover() int {
+	n := len(o.base.tasks) / 8
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// densify materializes the dense per-ID arrays from the baseline
+// snapshot plus the sparse edits, then retires the map.
+func (o *Overlay) densify() {
+	o.snapshot()
+	n := len(o.base.tasks)
+	o.dur = growDurations(o.dur, n)
+	o.gap = growDurations(o.gap, n)
+	o.prio = growInts(o.prio, n)
+	copy(o.dur, o.baseDur)
+	copy(o.gap, o.baseGap)
+	copy(o.prio, o.basePrio)
+	for id, e := range o.sparse {
+		if e.set&editDur != 0 {
+			o.dur[id] = e.dur
+		}
+		if e.set&editGap != 0 {
+			o.gap[id] = e.gap
+		}
+		if e.set&editPrio != 0 {
+			o.prio[id] = e.prio
+		}
+		delete(o.sparse, id)
+	}
+	o.dense = true
+}
+
+// Duration returns the task's effective duration under the overlay.
+func (o *Overlay) Duration(t *Task) time.Duration {
+	if o.dense {
+		return o.dur[t.ID]
+	}
+	if e, ok := o.sparse[t.ID]; ok && e.set&editDur != 0 {
+		return e.dur
+	}
+	return t.Duration
+}
+
+// Gap returns the task's effective gap under the overlay.
+func (o *Overlay) Gap(t *Task) time.Duration {
+	if o.dense {
+		return o.gap[t.ID]
+	}
+	if e, ok := o.sparse[t.ID]; ok && e.set&editGap != 0 {
+		return e.gap
+	}
+	return t.Gap
+}
+
+// Priority returns the task's effective priority under the overlay.
+func (o *Overlay) Priority(t *Task) int {
+	if o.dense {
+		return o.prio[t.ID]
+	}
+	if e, ok := o.sparse[t.ID]; ok && e.set&editPrio != 0 {
+		return e.prio
+	}
+	return t.Priority
+}
+
+// SetDuration overrides the task's duration without touching the
+// baseline.
+func (o *Overlay) SetDuration(t *Task, d time.Duration) {
+	if o.dense {
+		o.dur[t.ID] = d
+		return
+	}
+	if o.sparse == nil {
+		o.sparse = make(map[int]overlayEdit)
+	}
+	e := o.sparse[t.ID]
+	e.dur, e.set = d, e.set|editDur
+	o.sparse[t.ID] = e
+	if len(o.sparse) > o.crossover() {
+		o.densify()
+	}
+}
+
+// SetGap overrides the task's gap without touching the baseline.
+func (o *Overlay) SetGap(t *Task, d time.Duration) {
+	if o.dense {
+		o.gap[t.ID] = d
+		return
+	}
+	if o.sparse == nil {
+		o.sparse = make(map[int]overlayEdit)
+	}
+	e := o.sparse[t.ID]
+	e.gap, e.set = d, e.set|editGap
+	o.sparse[t.ID] = e
+	if len(o.sparse) > o.crossover() {
+		o.densify()
+	}
+}
+
+// SetPriority overrides the task's scheduling priority without touching
+// the baseline. Priority overlays drive the default earliest-start
+// scheduler's tie-breaking exactly as mutated priorities would; a
+// custom Scheduler, however, reads Task.Priority from the shared
+// baseline and cannot see them, so Simulate rejects that combination —
+// use the clone path for priority-sensitive custom scheduling.
+func (o *Overlay) SetPriority(t *Task, p int) {
+	o.prioEdited = true
+	if o.dense {
+		o.prio[t.ID] = p
+		return
+	}
+	if o.sparse == nil {
+		o.sparse = make(map[int]overlayEdit)
+	}
+	e := o.sparse[t.ID]
+	e.prio, e.set = p, e.set|editPrio
+	o.sparse[t.ID] = e
+	if len(o.sparse) > o.crossover() {
+		o.densify()
+	}
+}
+
+// ScaleDuration multiplies the task's effective duration by factor,
+// with the same arithmetic as the Scale primitive.
+func (o *Overlay) ScaleDuration(t *Task, factor float64) {
+	o.SetDuration(t, time.Duration(float64(o.Duration(t))*factor))
+}
+
+// fillTiming writes the effective per-ID durations and gaps into dur
+// and gap (each sized to the baseline's ID span). The caller has run
+// snapshot().
+func (o *Overlay) fillTiming(dur, gap []time.Duration) {
+	if o.dense {
+		copy(dur, o.dur)
+		copy(gap, o.gap)
+		return
+	}
+	copy(dur, o.baseDur)
+	copy(gap, o.baseGap)
+	for id, e := range o.sparse {
+		if e.set&editDur != 0 {
+			dur[id] = e.dur
+		}
+		if e.set&editGap != 0 {
+			gap[id] = e.gap
+		}
+	}
+}
+
+// fillPriority writes the effective per-ID priorities into prio, or
+// returns nil when no priority was overlaid (the caller then reads
+// Task.Priority directly). The caller has run snapshot().
+func (o *Overlay) fillPriority(prio []int) []int {
+	if !o.prioEdited {
+		return nil
+	}
+	if o.dense {
+		copy(prio, o.prio)
+		return prio
+	}
+	copy(prio, o.basePrio)
+	for id, e := range o.sparse {
+		if e.set&editPrio != 0 {
+			prio[id] = e.prio
+		}
+	}
+	return prio
+}
+
+// growDurations resizes s to length n, reusing capacity.
+func growDurations(s []time.Duration, n int) []time.Duration {
+	if cap(s) < n {
+		return make([]time.Duration, n)
+	}
+	return s[:n]
+}
+
+// growInts resizes s to length n, reusing capacity.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growInt32s resizes s to length n, reusing capacity.
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// Simulate executes Algorithm 1 over the baseline graph with the
+// overlay's timings — the clone-free counterpart of Graph.Simulate. The
+// baseline is only read; the returned result carries the effective
+// timings, so SimResult.Finish, TaskDuration and CriticalPath see the
+// overlaid values. Results are bit-identical to cloning the baseline,
+// applying the same edits to the clone's tasks, and simulating the
+// clone. Thread progress is tracked in a flat per-ordinal array from
+// the baseline snapshot instead of a map, which makes the overlay loop
+// faster than the clone path's even before the saved Clone.
+func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
+	var so simOptions
+	for _, fn := range opts {
+		fn(&so)
+	}
+	g := o.base
+	if g == nil {
+		return nil, fmt.Errorf("core: Overlay.Simulate: overlay has no baseline graph")
+	}
+	o.snapshot()
+	scratch := so.scratch
+	if scratch == nil {
+		scratch = &SimScratch{}
+	}
+	n := len(g.tasks)
+	scratch.ensure(n)
+
+	res := newResult(so.result, n, len(g.threads))
+	res.dur = growDurations(res.dur, n)
+	res.gap = growDurations(res.gap, n)
+	o.fillTiming(res.dur, res.gap)
+	var prio []int
+	if o.prioEdited {
+		scratch.prio = growInts(scratch.prio, n)
+		prio = o.fillPriority(scratch.prio)
+	}
+
+	ref, earliest := scratch.ref, scratch.earliest
+	for id, t := range g.tasks {
+		if t == nil {
+			continue
+		}
+		ref[id] = len(t.parents)
+		earliest[id] = 0
+	}
+
+	if so.scheduler != nil {
+		if _, isDefault := so.scheduler.(EarliestStart); !isDefault {
+			if o.prioEdited {
+				return nil, fmt.Errorf("core: Overlay.Simulate: priority overlays are invisible to a custom Scheduler (it reads Task.Priority from the shared baseline); use the clone path for priority-sensitive scheduling")
+			}
+			return o.simulateScheduled(so.scheduler, scratch, res)
+		}
+	}
+
+	dur, gap, threadOf := res.dur, res.gap, o.threadOf
+	// Per-thread progress, -1 = thread not yet touched (so the result
+	// map gets exactly the entries a plain simulation would).
+	tEnds := growDurations(scratch.threadEnds, len(o.threadIDs))
+	scratch.threadEnds = tEnds
+	for i := range tEnds {
+		tEnds[i] = -1
+	}
+	taskPrio := func(t *Task) int {
+		if prio != nil {
+			return prio[t.ID]
+		}
+		return t.Priority
+	}
+	h := scratch.heap
+	for _, t := range g.tasks {
+		if t != nil && len(t.parents) == 0 {
+			h = heapPush(h, heapEntry{0, taskPrio(t), t})
+		}
+	}
+	executed := 0
+	for len(h) > 0 {
+		var e heapEntry
+		e, h = heapPop(h)
+		u := e.t
+		start := earliest[u.ID]
+		if p := tEnds[threadOf[u.ID]]; p > start {
+			start = p
+		}
+		if start > e.key {
+			h = heapPush(h, heapEntry{start, e.prio, u})
+			continue
+		}
+		res.Start[u.ID] = start
+		end := start + dur[u.ID] + gap[u.ID]
+		tEnds[threadOf[u.ID]] = end
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		executed++
+		for _, c := range u.children {
+			if end > earliest[c.ID] {
+				earliest[c.ID] = end
+			}
+			ref[c.ID]--
+			if ref[c.ID] == 0 {
+				key := earliest[c.ID]
+				if p := tEnds[threadOf[c.ID]]; p > key {
+					key = p
+				}
+				h = heapPush(h, heapEntry{key, taskPrio(c), c})
+			}
+		}
+	}
+	scratch.heap = h[:0]
+	for i, end := range tEnds {
+		if end >= 0 {
+			res.ThreadEnd[o.threadIDs[i]] = end
+		}
+	}
+	if executed != g.live {
+		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, g.live)
+	}
+	return res, nil
+}
+
+// simulateScheduled is the overlay counterpart of the slice-frontier
+// path for custom schedulers. The scheduler's effStart reads the
+// overlay timings; a scheduler inspecting Task fields directly sees the
+// baseline values, so priority-sensitive policies should either work
+// from effStart ordering or use the structural (clone) path.
+func (o *Overlay) simulateScheduled(sched Scheduler, scratch *SimScratch, res *SimResult) (*SimResult, error) {
+	g := o.base
+	dur, gap := res.dur, res.gap
+	ref, earliest := scratch.ref, scratch.earliest
+	frontier := scratch.frontier
+	for _, t := range g.tasks {
+		if t != nil && len(t.parents) == 0 {
+			frontier = append(frontier, t)
+		}
+	}
+	effStart := func(t *Task) time.Duration {
+		es := earliest[t.ID]
+		if p := res.ThreadEnd[t.Thread]; p > es {
+			es = p
+		}
+		return es
+	}
+	executed := 0
+	for len(frontier) > 0 {
+		u := sched.Pick(frontier, effStart)
+		if u == nil {
+			return nil, fmt.Errorf("core: scheduler returned no task from a frontier of %d", len(frontier))
+		}
+		found := false
+		for i, t := range frontier {
+			if t == u {
+				frontier[i] = frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: scheduler picked task %v outside the frontier", u)
+		}
+		start := effStart(u)
+		res.Start[u.ID] = start
+		end := start + dur[u.ID] + gap[u.ID]
+		res.ThreadEnd[u.Thread] = end
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		executed++
+		for _, c := range u.children {
+			if end > earliest[c.ID] {
+				earliest[c.ID] = end
+			}
+			ref[c.ID]--
+			if ref[c.ID] == 0 {
+				frontier = append(frontier, c)
+			}
+		}
+	}
+	scratch.frontier = frontier[:0]
+	if executed != g.live {
+		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, g.live)
+	}
+	return res, nil
+}
+
+// Materialize returns a private clone of the baseline with the
+// overlay's effective timings written into its tasks — the graph the
+// equivalent clone-path scenario would have produced. The sweep uses it
+// to honor KeepGraphs' private-graph contract for overlay scenarios.
+func (o *Overlay) Materialize() *Graph {
+	c := o.base.Clone()
+	for id, bt := range o.base.tasks {
+		if bt == nil {
+			continue
+		}
+		ct := c.tasks[id]
+		ct.Duration = o.Duration(bt)
+		ct.Gap = o.Gap(bt)
+		ct.Priority = o.Priority(bt)
+	}
+	return c
+}
+
+// PredictIteration simulates the overlaid baseline and returns the
+// makespan — the predicted iteration time under the overlay's edits.
+func (o *Overlay) PredictIteration(opts ...SimOption) (time.Duration, error) {
+	res, err := o.Simulate(opts...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

@@ -46,11 +46,69 @@ type SimResult struct {
 	Start []time.Duration
 	// ThreadEnd maps each thread to its final progress.
 	ThreadEnd map[ThreadID]time.Duration
+
+	// dur and gap hold the effective per-task timings of an overlay
+	// simulation (empty for a plain Graph.Simulate, where the Task
+	// fields are authoritative). TaskDuration/TaskGap/Finish read
+	// through them so result consumers never see baseline timings for
+	// an overlaid task.
+	dur, gap []time.Duration
+}
+
+// TaskDuration returns the task duration the simulation used: the
+// overlay's effective duration for an overlay simulation, the task's own
+// Duration otherwise.
+func (r *SimResult) TaskDuration(t *Task) time.Duration {
+	if len(r.dur) > t.ID {
+		return r.dur[t.ID]
+	}
+	return t.Duration
+}
+
+// TaskGap returns the gap the simulation used for the task (see
+// TaskDuration).
+func (r *SimResult) TaskGap(t *Task) time.Duration {
+	if len(r.gap) > t.ID {
+		return r.gap[t.ID]
+	}
+	return t.Gap
 }
 
 // Finish returns the simulated completion time of a task.
 func (r *SimResult) Finish(t *Task) time.Duration {
-	return r.Start[t.ID] + t.Duration
+	return r.Start[t.ID] + r.TaskDuration(t)
+}
+
+// newResult readies result storage for an ID span of n, reusing buf's
+// backing arrays when one was supplied via WithResultBuffer.
+func newResult(buf *SimResult, n, threads int) *SimResult {
+	if buf == nil {
+		return &SimResult{
+			Start:     make([]time.Duration, n),
+			ThreadEnd: make(map[ThreadID]time.Duration, threads),
+		}
+	}
+	buf.Makespan = 0
+	if cap(buf.Start) < n {
+		buf.Start = make([]time.Duration, n)
+	} else {
+		buf.Start = buf.Start[:n]
+		for i := range buf.Start {
+			buf.Start[i] = 0
+		}
+	}
+	if buf.ThreadEnd == nil {
+		buf.ThreadEnd = make(map[ThreadID]time.Duration, threads)
+	} else {
+		for k := range buf.ThreadEnd {
+			delete(buf.ThreadEnd, k)
+		}
+	}
+	// Keep the capacity, drop the content: a plain simulation must not
+	// inherit a previous overlay simulation's timings.
+	buf.dur = buf.dur[:0]
+	buf.gap = buf.gap[:0]
+	return buf
 }
 
 // SimScratch holds the reusable per-simulation working set: the
@@ -60,10 +118,12 @@ func (r *SimResult) Finish(t *Task) time.Duration {
 // per-simulation allocation — the property the sweep worker pool relies
 // on. A scratch must not be shared by concurrent simulations.
 type SimScratch struct {
-	ref      []int
-	earliest []time.Duration
-	heap     []heapEntry
-	frontier []*Task
+	ref        []int
+	earliest   []time.Duration
+	heap       []heapEntry
+	frontier   []*Task
+	prio       []int           // effective priorities for overlay simulations
+	threadEnds []time.Duration // per-thread-ordinal progress for overlay simulations
 }
 
 // NewSimScratch returns an empty scratch, ready for WithScratch.
@@ -86,18 +146,21 @@ func (s *SimScratch) ensure(n int) {
 // progresses, so a popped entry whose key is stale is re-pushed with its
 // current effective start (lazy update); an entry whose key is current is
 // the true minimum under the (start, -priority, ID) order — exactly the
-// task EarliestStart's linear scan would have picked.
+// task EarliestStart's linear scan would have picked. The entry carries
+// the effective priority so overlay simulations can tie-break on
+// overlaid priorities without touching the shared baseline tasks.
 type heapEntry struct {
-	key time.Duration
-	t   *Task
+	key  time.Duration
+	prio int
+	t    *Task
 }
 
 func heapLess(a, b heapEntry) bool {
 	if a.key != b.key {
 		return a.key < b.key
 	}
-	if a.t.Priority != b.t.Priority {
-		return a.t.Priority > b.t.Priority
+	if a.prio != b.prio {
+		return a.prio > b.prio
 	}
 	return a.t.ID < b.t.ID
 }
@@ -144,6 +207,7 @@ func heapPop(h []heapEntry) (heapEntry, []heapEntry) {
 type simOptions struct {
 	scheduler Scheduler
 	scratch   *SimScratch
+	result    *SimResult
 }
 
 // SimOption configures Simulate.
@@ -160,6 +224,16 @@ func WithScheduler(s Scheduler) SimOption {
 // arrays. The scratch must not be used by two simulations concurrently.
 func WithScratch(s *SimScratch) SimOption {
 	return func(o *simOptions) { o.scratch = s }
+}
+
+// WithResultBuffer fills (and returns) the caller-owned SimResult
+// instead of allocating a fresh one, reusing its backing arrays. The
+// previous contents of buf are discarded, so a caller that reuses one
+// buffer across simulations must be done with the earlier result — the
+// sweep worker pool uses this to make steady-state scenario evaluation
+// allocation-free when results are not retained.
+func WithResultBuffer(buf *SimResult) SimOption {
+	return func(o *simOptions) { o.result = buf }
 }
 
 // Simulate executes Algorithm 1 of the paper: a frontier-based replay that
@@ -182,10 +256,7 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 	n := len(g.tasks)
 	scratch.ensure(n)
 
-	res := &SimResult{
-		Start:     make([]time.Duration, n),
-		ThreadEnd: make(map[ThreadID]time.Duration, len(g.threads)),
-	}
+	res := newResult(o.result, n, len(g.threads))
 	ref, earliest := scratch.ref, scratch.earliest
 	for id, t := range g.tasks {
 		if t == nil {
@@ -204,7 +275,7 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 	h := scratch.heap
 	for _, t := range g.tasks {
 		if t != nil && len(t.parents) == 0 {
-			h = heapPush(h, heapEntry{0, t})
+			h = heapPush(h, heapEntry{0, t.Priority, t})
 		}
 	}
 	executed := 0
@@ -219,7 +290,7 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 		if start > e.key {
 			// Stale key: thread progress moved past the insertion-time
 			// estimate. Re-insert with the current effective start.
-			h = heapPush(h, heapEntry{start, u})
+			h = heapPush(h, heapEntry{start, u.Priority, u})
 			continue
 		}
 		res.Start[u.ID] = start
@@ -239,7 +310,7 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 				if p := res.ThreadEnd[c.Thread]; p > key {
 					key = p
 				}
-				h = heapPush(h, heapEntry{key, c})
+				h = heapPush(h, heapEntry{key, c.Priority, c})
 			}
 		}
 	}

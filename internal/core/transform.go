@@ -19,6 +19,15 @@ func NameContains(sub string) func(*Task) bool {
 	return func(t *Task) bool { return contains(t.Name, sub) }
 }
 
+// ComputeIntensivePred matches tasks the paper's Algorithm 3 treats as
+// compute-intensive by name convention ("sgemm"/"scudnn" kernels — the
+// ones tensor cores accelerate ~3×). AMP and DeviceUpgrade share it,
+// and LayerPhaseIndex caches it per GPU task so overlay scenarios skip
+// the substring scans entirely.
+func ComputeIntensivePred(t *Task) bool {
+	return contains(t.Name, "sgemm") || contains(t.Name, "scudnn")
+}
+
 // InPhase matches tasks mapped to the given training phase.
 func InPhase(p trace.Phase) func(*Task) bool {
 	return func(t *Task) bool { return t.HasLayer && t.Phase == p }

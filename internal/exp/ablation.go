@@ -24,27 +24,31 @@ type AblationRow struct {
 	Err float64
 }
 
-// ablationVariants mutate a freshly built graph to knock out one design
-// ingredient the paper argues for.
+// ablationVariants knock out one design ingredient the paper argues
+// for. Duration-only ablations declare a scale footprint and ride the
+// sweep's clone-free overlay path; only the structural one (dropping
+// CPU tasks) pays for a clone, and the full model replays the shared
+// baseline directly.
 var ablationVariants = []struct {
 	name  string
 	note  string
-	apply func(*core.Graph)
+	apply func(*core.Graph)         // structural: mutates a private clone
+	scale func(*core.Overlay) error // duration-only: overlay deltas
 }{
 	{
-		name:  "full model",
-		note:  "all five dependency types, gaps, sync residuals",
-		apply: func(*core.Graph) {},
+		name: "full model",
+		note: "all five dependency types, gaps, sync residuals",
 	},
 	{
 		// §4.2.1 "Gap": non-CUDA CPU time is invisible to CUPTI but
 		// "indispensable to simulation accuracy".
 		name: "no CPU gaps",
 		note: "drop the un-instrumented framework time between CUDA calls",
-		apply: func(g *core.Graph) {
-			for _, t := range g.Tasks() {
-				t.Gap = 0
+		scale: func(o *core.Overlay) error {
+			for _, t := range o.Base().Tasks() {
+				o.SetGap(t, 0)
 			}
+			return nil
 		},
 	},
 	{
@@ -53,13 +57,14 @@ var ablationVariants = []struct {
 		// duration double-counts the waiting.
 		name: "no sync decomposition",
 		note: "keep blocking calls' full traced durations (waiting counted twice)",
-		apply: func(g *core.Graph) {
-			for _, t := range g.Tasks() {
+		scale: func(o *core.Overlay) error {
+			for _, t := range o.Base().Tasks() {
 				if t.Kind == trace.KindSync ||
 					(t.Kind == trace.KindMemcpyAPI && t.Dir == trace.MemcpyD2H) {
-					t.Duration = t.TracedDuration
+					o.SetDuration(t, t.TracedDuration)
 				}
 			}
+			return nil
 		},
 	},
 	{
@@ -78,34 +83,49 @@ var ablationVariants = []struct {
 	},
 }
 
-// RunAblation measures replay error for each modeling ablation on the two
-// models with the most contrasting CPU/GPU balance. The models × variants
-// grid runs through one sweep, each scenario carrying its model's profile
-// as Base.
+// ablationModels are the two models with the most contrasting CPU/GPU
+// balance.
+var ablationModels = []string{"resnet50", "bert-large"}
+
+// RunAblation measures replay error for each modeling ablation. The two
+// profiling runs fan out over a bounded pool; the models × variants
+// grid then runs through one sweep, each scenario carrying its model's
+// profile as Base.
 func RunAblation() ([]AblationRow, error) {
-	var scenarios []sweep.Scenario
-	var rows []AblationRow
-	for _, name := range []string{"resnet50", "bert-large"} {
-		m := model(name)
+	nv := len(ablationVariants)
+	scenarios := make([]sweep.Scenario, len(ablationModels)*nv)
+	rows := make([]AblationRow, len(ablationModels)*nv)
+	err := runParallel(len(ablationModels), func(mi int) error {
+		m := model(ablationModels[mi])
 		res, g, err := Profile(framework.Config{Model: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, v := range ablationVariants {
-			rows = append(rows, AblationRow{
+		for vi, v := range ablationVariants {
+			i := mi*nv + vi
+			rows[i] = AblationRow{
 				Model:   m.Name,
 				Variant: v.name,
 				Traced:  res.IterationTime,
-			})
-			scenarios = append(scenarios, sweep.Scenario{
-				Name: m.Name + "/" + v.name,
-				Base: g,
-				Transform: func(c *core.Graph) (*core.Graph, error) {
-					v.apply(c)
+			}
+			sc := sweep.Scenario{
+				Name:           m.Name + "/" + v.name,
+				Base:           g,
+				ScaleTransform: v.scale,
+			}
+			if v.apply != nil {
+				apply := v.apply
+				sc.Transform = func(c *core.Graph) (*core.Graph, error) {
+					apply(c)
 					return c, nil
-				},
-			})
+				}
+			}
+			scenarios[i] = sc
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sims, err := sweep.Run(nil, scenarios)
 	if err != nil {

@@ -66,34 +66,38 @@ func RunFig10Model(label string, m *dnn.Model, bandwidths []float64) ([]P3Row, e
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]P3Row, 0, len(bandwidths))
+	// Two ground-truth engine runs (plain PS, P3) per bandwidth point,
+	// all independent: fan the 2×len(bandwidths) grid out over a
+	// bounded pool.
+	rows := make([]P3Row, len(bandwidths))
+	gts := make([]*framework.Result, 2*len(bandwidths))
+	err = runParallel(len(gts), func(i int) error {
+		cfg := base
+		cfg.Cluster = &framework.Cluster{
+			Topology: fig10Topology(bandwidths[i/2]),
+			Backend:  framework.BackendPS,
+			P3:       i%2 == 1,
+		}
+		res, err := framework.Run(cfg)
+		if err != nil {
+			return err
+		}
+		gts[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, bw := range bandwidths {
-		topo := fig10Topology(bw)
-		run := func(p3 bool) (*framework.Result, error) {
-			cfg := base
-			cfg.Cluster = &framework.Cluster{
-				Topology: topo,
-				Backend:  framework.BackendPS,
-				P3:       p3,
-			}
-			return framework.Run(cfg)
-		}
-		baseline, err := run(false)
-		if err != nil {
-			return nil, err
-		}
-		gt, err := run(true)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, P3Row{
+		baseline, gt := gts[2*i], gts[2*i+1]
+		rows[i] = P3Row{
 			Model:       label,
 			Gbps:        bw,
 			Baseline:    baseline.IterationTime,
 			GroundTruth: gt.IterationTime,
 			Predicted:   preds[i].Value,
 			Err:         relErr(preds[i].Value, gt.IterationTime),
-		})
+		}
 	}
 	return rows, nil
 }

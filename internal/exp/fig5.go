@@ -34,21 +34,24 @@ var ampModels = []struct{ label, zoo string }{
 }
 
 // RunFig5AMP computes Figure 5: baseline (fp32), ground truth with mixed
-// precision, and Daydream's prediction with Algorithm 3. The ground-truth
-// engine runs sequentially; the per-model predictions fan out through one
-// sweep, each scenario carrying its model's profile as Base.
+// precision, and Daydream's prediction with Algorithm 3. The per-model
+// profiling and ground-truth engine runs fan out over a bounded pool;
+// the predictions then fan out through one sweep, each scenario carrying
+// its model's profile as Base and editing durations through the
+// clone-free overlay path (AMP never touches graph structure).
 func RunFig5AMP() ([]AMPRow, error) {
 	scenarios := make([]sweep.Scenario, len(ampModels))
 	rows := make([]AMPRow, len(ampModels))
-	for i, mm := range ampModels {
+	err := runParallel(len(ampModels), func(i int) error {
+		mm := ampModels[i]
 		m := model(mm.zoo)
 		baseRes, g, err := Profile(framework.Config{Model: m})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gt, err := framework.Run(framework.Config{Model: m, Precision: xpu.FP16})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rows[i] = AMPRow{
 			Model:       mm.label,
@@ -58,11 +61,15 @@ func RunFig5AMP() ([]AMPRow, error) {
 		scenarios[i] = sweep.Scenario{
 			Name: mm.label,
 			Base: g,
-			Transform: func(c *core.Graph) (*core.Graph, error) {
-				whatif.AMP(c)
-				return c, nil
+			ScaleTransform: func(o *core.Overlay) error {
+				whatif.AMPOverlay(o)
+				return nil
 			},
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	preds, err := sweep.Run(nil, scenarios)
 	if err != nil {
@@ -108,6 +115,7 @@ type BreakdownRow struct {
 
 // RunFig6Breakdown computes Figure 6: the CPU-only / GPU-only / CPU+GPU
 // runtime decomposition of the fp32 and fp16 runs of Figure 5's models.
+// The eight engine runs are independent and fan out over a bounded pool.
 func RunFig6Breakdown() ([]BreakdownRow, error) {
 	// Figure 6 orders models the other way around.
 	models := []struct{ label, zoo string }{
@@ -116,20 +124,24 @@ func RunFig6Breakdown() ([]BreakdownRow, error) {
 		{"BERT_BASE", "bert-base"},
 		{"BERT_LARGE", "bert-large"},
 	}
-	var rows []BreakdownRow
-	for _, mm := range models {
-		m := model(mm.zoo)
-		for _, p := range []xpu.Precision{xpu.FP32, xpu.FP16} {
-			res, err := framework.Run(framework.Config{Model: m, Precision: p, CollectTrace: true})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, BreakdownRow{
-				Model:     mm.label,
-				Precision: p.String(),
-				Breakdown: trace.ComputeBreakdown(res.Trace),
-			})
+	precisions := []xpu.Precision{xpu.FP32, xpu.FP16}
+	rows := make([]BreakdownRow, len(models)*len(precisions))
+	err := runParallel(len(rows), func(i int) error {
+		mm := models[i/len(precisions)]
+		p := precisions[i%len(precisions)]
+		res, err := framework.Run(framework.Config{Model: model(mm.zoo), Precision: p, CollectTrace: true})
+		if err != nil {
+			return err
 		}
+		rows[i] = BreakdownRow{
+			Model:     mm.label,
+			Precision: p.String(),
+			Breakdown: trace.ComputeBreakdown(res.Trace),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

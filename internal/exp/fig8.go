@@ -106,8 +106,11 @@ func RunFig8Model(label, zoo string) ([]DistRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]DistRow, 0, len(grid))
-	for i, topo := range grid {
+	// The 19 ground-truth engine runs are independent per configuration
+	// and fan out over a bounded pool.
+	rows := make([]DistRow, len(grid))
+	err = runParallel(len(grid), func(i int) error {
+		topo := grid[i]
 		gt, err := framework.Run(framework.Config{
 			Model: m,
 			Cluster: &framework.Cluster{
@@ -117,16 +120,20 @@ func RunFig8Model(label, zoo string) ([]DistRow, error) {
 			},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, DistRow{
+		rows[i] = DistRow{
 			Model:       label,
 			Topology:    topo,
 			GbpsLabel:   gbpsLabel(topo),
 			GroundTruth: gt.IterationTime,
 			Predicted:   preds[i].Value,
 			Err:         relErr(preds[i].Value, gt.IterationTime),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -8,7 +8,9 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"daydream/internal/core"
@@ -98,6 +100,49 @@ func All() []Experiment {
 		{ID: "ablation", Title: "Modeling-ingredient ablations (replay fidelity)", Run: Ablation},
 		{ID: "upgrade", Title: "Device-upgrade what-if validation (extension)", Run: Upgrade},
 	}
+}
+
+// runParallel evaluates fn(0..n-1) on a bounded worker pool and returns
+// the first error in index order. The experiment grids use it to fan
+// out their ground-truth framework.Run calls, which are independent and
+// deterministic per configuration — the engine reads only its Config —
+// so the parallel grid is bit-identical to the sequential loop.
+func runParallel(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Profile runs the baseline configuration, builds the dependency graph and

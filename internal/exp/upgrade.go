@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"daydream/internal/core"
 	"daydream/internal/framework"
+	"daydream/internal/sweep"
 	"daydream/internal/whatif"
 	"daydream/internal/xpu"
 )
@@ -28,42 +30,68 @@ type UpgradeRow struct {
 // P4000 iteration times from 2080 Ti profiles and compare against actual
 // engine runs on those devices — the "would a faster GPU help?" question
 // from the paper's introduction, answered without access to the target
-// hardware.
+// hardware. Profiling and the per-(model, target) ground-truth runs fan
+// out over a bounded pool; the device grid itself is a clone-free
+// overlay sweep over each model's shared profile (one replay scenario
+// for the source time, one rescale scenario per target).
 func RunUpgrade() ([]UpgradeRow, error) {
 	targets := []*xpu.Device{xpu.V100(), xpu.P4000()}
-	var rows []UpgradeRow
-	for _, name := range []string{"resnet50", "gnmt", "bert-base"} {
-		m := model(name)
-		_, g, err := Profile(framework.Config{Model: m})
-		if err != nil {
-			return nil, err
-		}
-		src, err := g.Clone().PredictIteration()
-		if err != nil {
-			return nil, err
-		}
+	models := []string{"resnet50", "gnmt", "bert-base"}
+	nt := len(targets)
+
+	graphs := make([]*core.Graph, len(models))
+	err := runParallel(len(models), func(i int) error {
+		_, g, err := Profile(framework.Config{Model: model(models[i])})
+		graphs[i] = g
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Per model: one replay scenario (the source-device time) followed
+	// by one overlay scenario per upgrade target.
+	scenarios := make([]sweep.Scenario, 0, len(models)*(nt+1))
+	for i, name := range models {
+		g := graphs[i]
+		scenarios = append(scenarios, sweep.Scenario{Name: name + "/source", Base: g})
 		for _, target := range targets {
-			c := g.Clone()
-			if err := whatif.DeviceUpgrade(c, xpu.RTX2080Ti(), target); err != nil {
-				return nil, err
-			}
-			pred, err := c.PredictIteration()
-			if err != nil {
-				return nil, err
-			}
-			gt, err := framework.Run(framework.Config{Model: m, Device: target})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, UpgradeRow{
-				Model:       m.Name,
-				Target:      target.Name,
-				Source:      src,
-				GroundTruth: gt.IterationTime,
-				Predicted:   pred,
-				Err:         relErr(pred, gt.IterationTime),
+			target := target
+			scenarios = append(scenarios, sweep.Scenario{
+				Name: name + "/" + target.Name,
+				Base: g,
+				ScaleTransform: func(o *core.Overlay) error {
+					return whatif.DeviceUpgradeOverlay(o, xpu.RTX2080Ti(), target)
+				},
 			})
 		}
+	}
+	preds, err := sweep.Run(nil, scenarios)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]UpgradeRow, len(models)*nt)
+	err = runParallel(len(rows), func(i int) error {
+		mi, ti := i/nt, i%nt
+		target := targets[ti]
+		gt, err := framework.Run(framework.Config{Model: model(models[mi]), Device: target})
+		if err != nil {
+			return err
+		}
+		pred := preds[mi*(nt+1)+1+ti].Value
+		rows[i] = UpgradeRow{
+			Model:       model(models[mi]).Name,
+			Target:      target.Name,
+			Source:      preds[mi*(nt+1)].Value,
+			GroundTruth: gt.IterationTime,
+			Predicted:   pred,
+			Err:         relErr(pred, gt.IterationTime),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,17 +1,27 @@
 // Package sweep answers many what-if questions from one profiled
 // baseline concurrently — the scaling axis of Daydream's value
 // proposition (Algorithm 1, §4–5): once a trace is collected and its
-// dependency graph built, every additional prediction is a graph clone,
-// a transformation and a simulation, and those are independent across
+// dependency graph built, every additional prediction is a
+// transformation and a simulation, and those are independent across
 // scenarios.
 //
-// Run fans a scenario list out over a worker pool. The baseline graph is
-// shared immutably: Graph.Clone never mutates its receiver, so workers
-// clone concurrently without locking; each worker owns one reusable
-// core.SimScratch so steady-state simulation allocates almost nothing.
-// Results come back in scenario order regardless of worker count, and
-// every scenario is deterministic, so a sweep is bit-identical to the
-// equivalent sequential loop.
+// Run fans a scenario list out over a worker pool. The baseline graph
+// is shared immutably, and a scenario takes one of three paths:
+//
+//   - Duration-only scenarios (ScaleTransform) record copy-on-write
+//     timing deltas in a worker-owned core.Overlay and simulate through
+//     it — zero clone, near-zero allocation per scenario.
+//   - Structural scenarios (Transform) mutate a private Graph.Clone as
+//     before.
+//   - Replay scenarios (neither) simulate the shared baseline directly,
+//     which never mutates it.
+//
+// Each worker owns one reusable core.SimScratch, one overlay and one
+// result buffer, so steady-state scenario evaluation allocates almost
+// nothing. Results come back in scenario order regardless of worker
+// count, and every scenario is deterministic, so a sweep is
+// bit-identical to the equivalent sequential loop — and the overlay
+// path is bit-identical to the clone path for the same timing edits.
 package sweep
 
 import (
@@ -23,9 +33,9 @@ import (
 	"daydream/internal/core"
 )
 
-// Scenario is one what-if question: a transformation of a private clone
-// of the baseline graph, an optional scheduling policy, and an optional
-// metric to extract from the simulation.
+// Scenario is one what-if question: a transformation of the baseline
+// graph, an optional scheduling policy, and an optional metric to
+// extract from the simulation.
 type Scenario struct {
 	// Name labels the scenario in results.
 	Name string
@@ -34,12 +44,28 @@ type Scenario struct {
 	Base *core.Graph
 	// Transform mutates the scenario's private clone, or returns a
 	// different graph to simulate (e.g. a Repeat-expanded one). A nil
-	// Transform replays the baseline unchanged.
+	// Transform with a nil ScaleTransform replays the baseline
+	// unchanged (without cloning — Simulate never mutates).
 	Transform func(g *core.Graph) (*core.Graph, error)
+	// ScaleTransform declares a duration-only footprint: the scenario
+	// edits per-task durations, gaps and priorities through a
+	// copy-on-write overlay over the shared baseline instead of
+	// mutating a clone. Scenarios that never touch graph structure
+	// (AMP, kernel profiles, device upgrades, bandwidth/duration
+	// grids) should prefer this path — it skips the clone entirely.
+	// Setting both Transform and ScaleTransform is an error.
+	ScaleTransform func(o *core.Overlay) error
 	// SimOptions are extra simulation options (e.g. a custom scheduler).
 	SimOptions []core.SimOption
 	// Measure extracts the scenario's value from the simulation; nil
-	// means the makespan (the predicted iteration time).
+	// means the makespan (the predicted iteration time). For overlay
+	// scenarios the graph argument is the shared (unmutated) baseline
+	// and MUST be treated as read-only; read effective timings through
+	// the SimResult (Finish, TaskDuration), never from Task fields.
+	// Replay scenarios (no transform at all) keep the old contract — a
+	// Measure there receives a private clone it may mutate. Unless
+	// KeepSims is set, the SimResult's storage is reused for the
+	// worker's next scenario, so Measure must not retain it.
 	Measure func(g *core.Graph, res *core.SimResult) (time.Duration, error)
 }
 
@@ -50,7 +76,10 @@ type Result struct {
 	// Value is the measured prediction (makespan unless the scenario
 	// set a Measure).
 	Value time.Duration
-	// Graph is the transformed graph, retained only under KeepGraphs.
+	// Graph is the transformed graph, retained only under KeepGraphs,
+	// and always private to the caller: replay scenarios retain a
+	// clone of the baseline, and overlay scenarios retain a
+	// materialized clone carrying the overlay's effective timings.
 	Graph *core.Graph
 	// Sim is the simulation result, retained only under KeepSims.
 	Sim *core.SimResult
@@ -83,13 +112,23 @@ func KeepSims() Option {
 	return func(c *config) { c.keepSims = true }
 }
 
+// worker is the per-goroutine reusable state: the simulation scratch,
+// the copy-on-write overlay for duration-only scenarios, and the result
+// buffer reused when results are not retained.
+type worker struct {
+	scratch *core.SimScratch
+	overlay *core.Overlay
+	buf     *core.SimResult
+}
+
 // Run executes every scenario against the shared baseline (or the
 // scenario's own Base) on a worker pool and returns the results in
 // scenario order. The returned error is the first scenario error in
 // scenario order, if any; per-scenario errors are also in the results.
 //
 // The baseline (and any scenario Base) must not be mutated while the
-// sweep runs; the sweep itself only clones them.
+// sweep runs; the sweep itself clones it only for structural
+// transforms.
 func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, error) {
 	cfg := config{}
 	for _, o := range opts {
@@ -107,22 +146,25 @@ func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, 
 		return results, nil
 	}
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			scratch := core.NewSimScratch()
-			for i := range jobs {
-				results[i] = runOne(baseline, &scenarios[i], scratch, &cfg)
-			}
-		}()
-	}
+	// The jobs channel is buffered for the whole scenario list, so the
+	// producer enqueues everything up front and never interleaves with
+	// the workers' draining.
+	jobs := make(chan int, len(scenarios))
 	for i := range scenarios {
 		jobs <- i
 	}
 	close(jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := worker{scratch: core.NewSimScratch()}
+			for i := range jobs {
+				results[i] = runOne(baseline, &scenarios[i], &w, &cfg)
+			}
+		}()
+	}
 	wg.Wait()
 
 	for i := range results {
@@ -133,8 +175,8 @@ func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, 
 	return results, nil
 }
 
-// runOne evaluates a single scenario with a worker-owned scratch.
-func runOne(baseline *core.Graph, sc *Scenario, scratch *core.SimScratch, cfg *config) Result {
+// runOne evaluates a single scenario with the worker-owned state.
+func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 	r := Result{Name: sc.Name}
 	base := sc.Base
 	if base == nil {
@@ -144,9 +186,43 @@ func runOne(baseline *core.Graph, sc *Scenario, scratch *core.SimScratch, cfg *c
 		r.Err = fmt.Errorf("no baseline graph (neither sweep-wide nor scenario Base)")
 		return r
 	}
-	g := base.Clone()
-	if sc.Transform != nil {
-		var err error
+	if sc.Transform != nil && sc.ScaleTransform != nil {
+		r.Err = fmt.Errorf("scenario sets both Transform and ScaleTransform")
+		return r
+	}
+
+	simOpts := make([]core.SimOption, 0, len(sc.SimOptions)+2)
+	simOpts = append(simOpts, sc.SimOptions...)
+	simOpts = append(simOpts, core.WithScratch(w.scratch))
+	if !cfg.keepSims {
+		if w.buf == nil {
+			w.buf = &core.SimResult{}
+		}
+		simOpts = append(simOpts, core.WithResultBuffer(w.buf))
+	}
+
+	var (
+		g   *core.Graph
+		res *core.SimResult
+		err error
+	)
+	switch {
+	case sc.ScaleTransform != nil:
+		// Clone-free path: timing deltas over the shared baseline.
+		if w.overlay == nil {
+			w.overlay = core.NewOverlay(base)
+		} else {
+			w.overlay.Reset(base)
+		}
+		if err = sc.ScaleTransform(w.overlay); err != nil {
+			r.Err = err
+			return r
+		}
+		g = base
+		res, err = w.overlay.Simulate(simOpts...)
+	case sc.Transform != nil:
+		// Structural path: a private clone to mutate.
+		g = base.Clone()
 		g, err = sc.Transform(g)
 		if err != nil {
 			r.Err = err
@@ -156,11 +232,19 @@ func runOne(baseline *core.Graph, sc *Scenario, scratch *core.SimScratch, cfg *c
 			r.Err = fmt.Errorf("transform returned a nil graph")
 			return r
 		}
+		res, err = g.Simulate(simOpts...)
+	default:
+		// Replay path: Simulate never mutates, so the baseline is
+		// simulated in place. Cloning still happens where a caller
+		// could observe (and legally mutate) the graph: under
+		// KeepGraphs, and when a Measure is set (Measure historically
+		// received a private clone).
+		g = base
+		if cfg.keepGraphs || sc.Measure != nil {
+			g = base.Clone()
+		}
+		res, err = g.Simulate(simOpts...)
 	}
-	simOpts := make([]core.SimOption, 0, len(sc.SimOptions)+1)
-	simOpts = append(simOpts, sc.SimOptions...)
-	simOpts = append(simOpts, core.WithScratch(scratch))
-	res, err := g.Simulate(simOpts...)
 	if err != nil {
 		r.Err = err
 		return r
@@ -174,7 +258,14 @@ func runOne(baseline *core.Graph, sc *Scenario, scratch *core.SimScratch, cfg *c
 		r.Value = res.Makespan
 	}
 	if cfg.keepGraphs {
-		r.Graph = g
+		if sc.ScaleTransform != nil {
+			// Honor the private-graph contract: hand back a clone
+			// carrying the overlay's effective timings, never the
+			// shared baseline.
+			r.Graph = w.overlay.Materialize()
+		} else {
+			r.Graph = g
+		}
 	}
 	if cfg.keepSims {
 		r.Sim = res

@@ -193,3 +193,203 @@ func TestSweepEmpty(t *testing.T) {
 		t.Fatalf("empty sweep: %v, %v", results, err)
 	}
 }
+
+// overlayScaleScenario is scaleScenario's clone-free form.
+func overlayScaleScenario(name string, factor float64) Scenario {
+	return Scenario{
+		Name: name,
+		ScaleTransform: func(o *core.Overlay) error {
+			for _, u := range o.Base().LayerPhaseIndex().GPUTasks() {
+				o.ScaleDuration(u, factor)
+			}
+			return nil
+		},
+	}
+}
+
+// TestSweepOverlayMatchesClonePath checks the clone-free dispatch: a
+// duration-only scenario evaluated through ScaleTransform is
+// bit-identical to the same edit through the structural clone path.
+func TestSweepOverlayMatchesClonePath(t *testing.T) {
+	g := testGraph(60)
+	var clonePath, overlayPath []Scenario
+	for i := 0; i < 12; i++ {
+		f := 0.5 + 0.04*float64(i)
+		clonePath = append(clonePath, scaleScenario(fmt.Sprintf("s%d", i), f))
+		overlayPath = append(overlayPath, overlayScaleScenario(fmt.Sprintf("s%d", i), f))
+	}
+	want, err := Run(g, clonePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(g, overlayPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Value != want[i].Value {
+			t.Fatalf("scenario %d: overlay %v, clone %v", i, got[i].Value, want[i].Value)
+		}
+	}
+	// The baseline must be untouched by the overlay path.
+	for _, u := range g.Tasks() {
+		if u.OnGPU() && u.Duration != 10*time.Microsecond {
+			t.Fatalf("overlay sweep mutated baseline task %v", u)
+		}
+	}
+}
+
+// TestSweepBothTransformsRejected checks the ambiguous scenario shape
+// errors out instead of silently picking a path.
+func TestSweepBothTransformsRejected(t *testing.T) {
+	g := testGraph(4)
+	sc := Scenario{
+		Name:           "both",
+		Transform:      func(c *core.Graph) (*core.Graph, error) { return c, nil },
+		ScaleTransform: func(o *core.Overlay) error { return nil },
+	}
+	if _, err := Run(g, []Scenario{sc}); err == nil {
+		t.Fatal("scenario with both Transform and ScaleTransform did not error")
+	}
+}
+
+// TestSweepReplayPathSkipsClone checks a no-transform scenario replays
+// the shared baseline (and still honors KeepGraphs' private-copy
+// contract when asked).
+func TestSweepReplayPathSkipsClone(t *testing.T) {
+	g := testGraph(10)
+	want, err := g.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, []Scenario{{Name: "replay"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Value != want {
+		t.Fatalf("replay value %v, want %v", res[0].Value, want)
+	}
+	kept, err := Run(g, []Scenario{{Name: "replay"}}, KeepGraphs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept[0].Graph == g {
+		t.Fatal("KeepGraphs replay returned the shared baseline instead of a private copy")
+	}
+}
+
+// TestSweepOverlayMeasureSeesEffectiveTimings checks Measure reads the
+// overlay's timings through the SimResult.
+func TestSweepOverlayMeasureSeesEffectiveTimings(t *testing.T) {
+	g := testGraph(5)
+	kernels := g.Select(core.OnGPUPred)
+	last := kernels[len(kernels)-1]
+	sc := Scenario{
+		Name: "measure",
+		ScaleTransform: func(o *core.Overlay) error {
+			o.SetDuration(last, time.Millisecond)
+			return nil
+		},
+		Measure: func(mg *core.Graph, res *core.SimResult) (time.Duration, error) {
+			if mg != g {
+				t.Error("overlay Measure did not receive the baseline graph")
+			}
+			if d := res.TaskDuration(last); d != time.Millisecond {
+				t.Errorf("TaskDuration through result = %v, want 1ms", d)
+			}
+			return res.Finish(last), nil
+		},
+	}
+	res, err := Run(g, []Scenario{sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Value <= time.Millisecond {
+		t.Fatalf("Finish through overlay result = %v, want > 1ms", res[0].Value)
+	}
+}
+
+// TestSweepConcurrentOverlayRace drives many concurrent overlay sweeps
+// over one shared baseline and one shared layer index. Run under -race
+// (the CI does) this verifies the copy-on-write sharing model: workers
+// never write to the baseline, and the memoized index publishes safely.
+func TestSweepConcurrentOverlayRace(t *testing.T) {
+	g := testGraph(50)
+	// Prime nothing: let the racing sweeps build the index concurrently.
+	var scenarios []Scenario
+	for i := 0; i < 16; i++ {
+		scenarios = append(scenarios, overlayScaleScenario(fmt.Sprintf("s%d", i), 0.9))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Run(g, scenarios, Workers(4)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSweepOverlayKeepGraphsIsPrivate checks KeepGraphs never hands
+// back the shared baseline for an overlay scenario: the retained graph
+// is a private clone carrying the overlay's effective timings.
+func TestSweepOverlayKeepGraphsIsPrivate(t *testing.T) {
+	g := testGraph(6)
+	res, err := Run(g, []Scenario{overlayScaleScenario("amp", 0.5)}, KeepGraphs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := res[0].Graph
+	if kept == g {
+		t.Fatal("KeepGraphs returned the shared baseline for an overlay scenario")
+	}
+	for _, u := range kept.Tasks() {
+		if u.OnGPU() && u.Duration != 5*time.Microsecond {
+			t.Fatalf("materialized graph task %v does not carry the overlay duration", u)
+		}
+	}
+	// The baseline stays untouched.
+	for _, u := range g.Tasks() {
+		if u.OnGPU() && u.Duration != 10*time.Microsecond {
+			t.Fatalf("baseline task %v mutated", u)
+		}
+	}
+	// The materialized clone simulates to the overlay's prediction.
+	mk, err := kept.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk != res[0].Value {
+		t.Fatalf("materialized graph makespan %v, scenario value %v", mk, res[0].Value)
+	}
+}
+
+// TestSweepReplayMeasureGetsPrivateClone pins the historical Measure
+// contract on the replay path: a Measure (which may legally mutate the
+// graph it receives) must never be handed the shared baseline.
+func TestSweepReplayMeasureGetsPrivateClone(t *testing.T) {
+	g := testGraph(5)
+	sc := Scenario{
+		Name: "replay-measure",
+		Measure: func(mg *core.Graph, res *core.SimResult) (time.Duration, error) {
+			if mg == g {
+				t.Error("replay Measure received the shared baseline")
+			}
+			// Mutating the received graph was legal before the replay
+			// optimization and must stay safe.
+			core.Scale(mg.Select(core.OnGPUPred), 0)
+			return res.Makespan, nil
+		},
+	}
+	if _, err := Run(g, []Scenario{sc}); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range g.Tasks() {
+		if u.OnGPU() && u.Duration == 0 {
+			t.Fatal("Measure mutation reached the shared baseline")
+		}
+	}
+}

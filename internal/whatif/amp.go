@@ -11,10 +11,27 @@ import "daydream/internal/core"
 // end-to-end gains are far below 3× on CPU-bound models (paper §6.2).
 func AMP(g *core.Graph) {
 	for _, u := range g.Select(core.OnGPUPred) {
-		if core.NameContains("sgemm")(u) || core.NameContains("scudnn")(u) {
+		if core.ComputeIntensivePred(u) {
 			u.Duration /= 3
 		} else {
 			u.Duration /= 2
+		}
+	}
+}
+
+// AMPOverlay is AMP's clone-free form: the same Algorithm-3 scaling
+// recorded as copy-on-write duration deltas over the shared baseline.
+// Both the GPU task list and the compute-intensive classification come
+// from the baseline's memoized layer/phase index, so repeated AMP
+// scenarios over one profile neither scan nor string-match anything.
+func AMPOverlay(o *core.Overlay) {
+	ix := o.Base().LayerPhaseIndex()
+	compute := ix.GPUComputeBound()
+	for i, u := range ix.GPUTasks() {
+		if compute[i] {
+			o.SetDuration(u, o.Duration(u)/3)
+		} else {
+			o.SetDuration(u, o.Duration(u)/2)
 		}
 	}
 }

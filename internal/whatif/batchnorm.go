@@ -63,3 +63,31 @@ func ReconBatchnorm(g *core.Graph, opts ReconBatchnormOptions) error {
 	}
 	return nil
 }
+
+// ReconBatchnormOverlay is the duration-only part of Algorithm 5 as a
+// clone-free form: batchnorm kernels halve and activation kernels drop
+// to zero duration through the overlay instead of being removed. The
+// simulated makespan and every surviving task's start match the
+// removal form exactly (a zero-time task forwards the same ordering
+// constraints Remove's reconnection edges preserve); only the critical
+// path may route through the zeroed kernels instead of around them.
+func ReconBatchnormOverlay(o *core.Overlay, opts ReconBatchnormOptions) error {
+	g := o.Base()
+	if err := requireLayers(g, "ReconBatchnorm"); err != nil {
+		return err
+	}
+	opts.defaults(g)
+	for _, u := range g.LayerPhaseIndex().GPUTasks() {
+		if !u.HasLayer {
+			continue
+		}
+		switch {
+		case opts.IsReLU(u.Layer):
+			o.SetDuration(u, 0)
+			o.SetGap(u, 0)
+		case opts.IsBatchNorm(u.Layer):
+			o.SetDuration(u, o.Duration(u)/2)
+		}
+	}
+	return nil
+}

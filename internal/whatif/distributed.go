@@ -40,7 +40,12 @@ func Distributed(g *core.Graph, opts DistributedOptions) error {
 	if len(buckets) == 0 {
 		return fmt.Errorf("whatif: Distributed: model has no gradients")
 	}
-	wu := earliestWUTask(g)
+	// Hold the layer/phase index across the insertions below: the new
+	// communication tasks carry no layer mapping, so the snapshot stays
+	// correct, and the O(layers × tasks) per-bucket scans collapse into
+	// one O(tasks) build.
+	idx := g.LayerPhaseIndex()
+	wu := idx.EarliestWeightUpdate()
 	if wu == nil {
 		return fmt.Errorf("whatif: Distributed: no weight-update tasks in graph")
 	}
@@ -54,7 +59,7 @@ func Distributed(g *core.Graph, opts DistributedOptions) error {
 		// computed …
 		deps := 0
 		for _, li := range b.Layers {
-			if u := lastBwdGPUTask(g, li); u != nil {
+			if u := idx.LastBackwardGPUAnyRound(li); u != nil {
 				if err := g.AddDependency(u, task, core.DepComm); err != nil {
 					return err
 				}

@@ -16,30 +16,51 @@ import (
 // pays off.
 type KernelProfile map[string]time.Duration
 
-// ApplyKernelProfile overwrites the duration of every GPU task whose name
-// contains a profile key, and returns how many tasks were updated. When
-// several keys match one task, the longest key wins (most specific).
-func ApplyKernelProfile(g *core.Graph, profile KernelProfile) int {
+// sortedKeys returns the profile keys longest first, so the most
+// specific pattern wins.
+func (p KernelProfile) sortedKeys() []string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return len(keys[i]) > len(keys[j]) })
+	return keys
+}
+
+// applyKernelProfile matches every GPU task in the list against the
+// profile and hands the overridden duration to set, returning the
+// number of tasks updated — the shared core of both forms.
+func applyKernelProfile(gpu []*core.Task, profile KernelProfile, set func(*core.Task, time.Duration)) int {
 	if len(profile) == 0 {
 		return 0
 	}
-	keys := make([]string, 0, len(profile))
-	for k := range profile {
-		keys = append(keys, k)
-	}
-	// Longest first, so the most specific pattern wins.
-	sort.Slice(keys, func(i, j int) bool { return len(keys[i]) > len(keys[j]) })
+	keys := profile.sortedKeys()
 	updated := 0
-	for _, u := range g.Select(core.OnGPUPred) {
+	for _, u := range gpu {
 		for _, k := range keys {
 			if core.NameContains(k)(u) {
-				u.Duration = profile[k]
+				set(u, profile[k])
 				updated++
 				break
 			}
 		}
 	}
 	return updated
+}
+
+// ApplyKernelProfile overwrites the duration of every GPU task whose name
+// contains a profile key, and returns how many tasks were updated. When
+// several keys match one task, the longest key wins (most specific).
+func ApplyKernelProfile(g *core.Graph, profile KernelProfile) int {
+	return applyKernelProfile(g.Select(core.OnGPUPred), profile,
+		func(t *core.Task, d time.Duration) { t.Duration = d })
+}
+
+// ApplyKernelProfileOverlay is ApplyKernelProfile's clone-free form:
+// profiled durations are recorded as overlay deltas — typically a
+// handful of sparse edits — over the shared baseline.
+func ApplyKernelProfileOverlay(o *core.Overlay, profile KernelProfile) int {
+	return applyKernelProfile(o.Base().LayerPhaseIndex().GPUTasks(), profile, o.SetDuration)
 }
 
 // ScaleByName multiplies the durations of GPU tasks whose name contains
@@ -49,4 +70,17 @@ func ScaleByName(g *core.Graph, sub string, factor float64) int {
 	tasks := g.Select(core.And(core.OnGPUPred, core.NameContains(sub)))
 	core.Scale(tasks, factor)
 	return len(tasks)
+}
+
+// ScaleByNameOverlay is ScaleByName's clone-free form.
+func ScaleByNameOverlay(o *core.Overlay, sub string, factor float64) int {
+	match := core.NameContains(sub)
+	n := 0
+	for _, u := range o.Base().LayerPhaseIndex().GPUTasks() {
+		if match(u) {
+			o.ScaleDuration(u, factor)
+			n++
+		}
+	}
+	return n
 }

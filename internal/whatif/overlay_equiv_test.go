@@ -1,0 +1,158 @@
+package whatif_test
+
+// Overlay-vs-clone equivalence suite: for every zoo model and every
+// duration-only what-if optimization, the clone-free overlay form must
+// reproduce the clone+mutate form bit for bit — same makespan and same
+// start time for every task alive in the mutated clone. For the pure
+// rescaling transforms (no task removal) the critical path must also
+// match task for task; the zeroing forms (FusedAdam, ReconBatchnorm)
+// keep the zeroed tasks in the graph, so their critical path may
+// legitimately route through a zero-duration task where the removal
+// form routes through Remove's reconnection edges, and only
+// makespan+starts are compared.
+
+import (
+	"testing"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/dnn"
+	"daydream/internal/framework"
+	"daydream/internal/whatif"
+	"daydream/internal/xpu"
+)
+
+// equivCase pairs a clone-path transform with its overlay form.
+type equivCase struct {
+	name string
+	// strictPath additionally requires identical critical paths (holds
+	// for pure rescaling, where both graphs have identical structure).
+	strictPath bool
+	clone      func(*core.Graph) error
+	overlay    func(*core.Overlay) error
+}
+
+func equivCases() []equivCase {
+	profile := whatif.KernelProfile{
+		"sgemm":    1500 * time.Microsecond,
+		"elemwise": 20 * time.Microsecond,
+		"sgemm_fp": 900 * time.Microsecond, // longer key must win over "sgemm"
+	}
+	from, to := xpu.RTX2080Ti(), xpu.V100()
+	return []equivCase{
+		{
+			name:       "amp",
+			strictPath: true,
+			clone:      func(g *core.Graph) error { whatif.AMP(g); return nil },
+			overlay:    func(o *core.Overlay) error { whatif.AMPOverlay(o); return nil },
+		},
+		{
+			name:       "kernelprofile",
+			strictPath: true,
+			clone: func(g *core.Graph) error {
+				whatif.ApplyKernelProfile(g, profile)
+				return nil
+			},
+			overlay: func(o *core.Overlay) error {
+				whatif.ApplyKernelProfileOverlay(o, profile)
+				return nil
+			},
+		},
+		{
+			name:       "scalebyname",
+			strictPath: true,
+			clone: func(g *core.Graph) error {
+				whatif.ScaleByName(g, "elemwise", 0.25)
+				return nil
+			},
+			overlay: func(o *core.Overlay) error {
+				whatif.ScaleByNameOverlay(o, "elemwise", 0.25)
+				return nil
+			},
+		},
+		{
+			name:       "upgrade",
+			strictPath: true,
+			clone:      func(g *core.Graph) error { return whatif.DeviceUpgrade(g, from, to) },
+			overlay:    func(o *core.Overlay) error { return whatif.DeviceUpgradeOverlay(o, from, to) },
+		},
+		{
+			name:    "fusedadam",
+			clone:   whatif.FusedAdam,
+			overlay: whatif.FusedAdamOverlay,
+		},
+		{
+			name: "batchnorm",
+			clone: func(g *core.Graph) error {
+				return whatif.ReconBatchnorm(g, whatif.ReconBatchnormOptions{})
+			},
+			overlay: func(o *core.Overlay) error {
+				return whatif.ReconBatchnormOverlay(o, whatif.ReconBatchnormOptions{})
+			},
+		},
+	}
+}
+
+func TestOverlayEquivalenceAcrossZoo(t *testing.T) {
+	for _, name := range dnn.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g := profile(t, name, framework.PyTorch)
+			for _, tc := range equivCases() {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					assertOverlayEquivalence(t, g, tc)
+				})
+			}
+		})
+	}
+}
+
+func assertOverlayEquivalence(t *testing.T, g *core.Graph, tc equivCase) {
+	t.Helper()
+	c := g.Clone()
+	cloneErr := tc.clone(c)
+	o := core.NewOverlay(g)
+	overlayErr := tc.overlay(o)
+	if (cloneErr == nil) != (overlayErr == nil) {
+		t.Fatalf("error mismatch: clone=%v overlay=%v", cloneErr, overlayErr)
+	}
+	if cloneErr != nil {
+		return // both forms reject the workload the same way
+	}
+
+	want, err := c.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("makespan: overlay %v, clone %v", got.Makespan, want.Makespan)
+	}
+	// Start times of every task alive in the mutated clone (IDs are
+	// preserved by Clone and left as holes by Remove).
+	for id := 0; id < c.IDSpan(); id++ {
+		if c.Task(id) == nil {
+			continue
+		}
+		if got.Start[id] != want.Start[id] {
+			t.Fatalf("task %d start: overlay %v, clone %v", id, got.Start[id], want.Start[id])
+		}
+	}
+	if tc.strictPath {
+		gotPath := core.CriticalPath(g, got)
+		wantPath := core.CriticalPath(c, want)
+		if len(gotPath) != len(wantPath) {
+			t.Fatalf("critical path length: overlay %d, clone %d", len(gotPath), len(wantPath))
+		}
+		for i := range gotPath {
+			if gotPath[i].ID != wantPath[i].ID {
+				t.Fatalf("critical path[%d]: overlay #%d, clone #%d",
+					i, gotPath[i].ID, wantPath[i].ID)
+			}
+		}
+	}
+}

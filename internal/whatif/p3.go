@@ -76,19 +76,23 @@ func P3(g *core.Graph, opts P3Options) (*P3Result, error) {
 	send := core.Channel("ps.send")
 	recv := core.Channel("ps.recv")
 
+	// One index build answers every (layer, round) query; the push/pull
+	// tasks inserted below have no layer mapping, so the held snapshot
+	// stays correct throughout.
+	idx := rep.LayerPhaseIndex()
 	for r := 0; r < rounds; r++ {
 		for _, li := range layers {
 			gr := grads[li]
 			if gr.Bytes == 0 {
 				continue
 			}
-			u := lastBwdGPUTaskInRound(rep, li, r)
+			u := idx.LastBackwardGPU(li, r)
 			if u == nil {
 				continue
 			}
 			var v *core.Task
 			if r+1 < rounds {
-				v = firstFwdGPUTask(rep, li, r+1)
+				v = idx.FirstForwardGPU(li, r+1)
 			}
 			sliceBytes := gr.Bytes
 			priority := 0
@@ -122,19 +126,4 @@ func P3(g *core.Graph, opts P3Options) (*P3Result, error) {
 		}
 	}
 	return &P3Result{Graph: rep, Rounds: rounds}, nil
-}
-
-// lastBwdGPUTaskInRound is lastBwdGPUTask restricted to one round.
-func lastBwdGPUTaskInRound(g *core.Graph, layerIndex, round int) *core.Task {
-	var best *core.Task
-	for _, t := range g.Tasks() {
-		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Backward ||
-			t.LayerIndex != layerIndex || t.Round != round {
-			continue
-		}
-		if best == nil || t.TracedStart > best.TracedStart {
-			best = t
-		}
-	}
-	return best
 }

@@ -15,51 +15,15 @@ import (
 	"daydream/internal/trace"
 )
 
-// lastBwdGPUTask returns the backward-phase GPU task of the given layer
-// index that finishes last in the traced schedule, or nil.
-func lastBwdGPUTask(g *core.Graph, layerIndex int) *core.Task {
-	var best *core.Task
-	for _, t := range g.Tasks() {
-		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Backward || t.LayerIndex != layerIndex {
-			continue
-		}
-		if best == nil || t.TracedStart > best.TracedStart {
-			best = t
-		}
-	}
-	return best
-}
-
-// firstFwdGPUTask returns the forward-phase GPU task of the given layer
-// index (in the given round) that starts first, or nil.
-func firstFwdGPUTask(g *core.Graph, layerIndex, round int) *core.Task {
-	var best *core.Task
-	for _, t := range g.Tasks() {
-		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Forward ||
-			t.LayerIndex != layerIndex || t.Round != round {
-			continue
-		}
-		if best == nil || t.TracedStart < best.TracedStart {
-			best = t
-		}
-	}
-	return best
-}
-
-// earliestWUTask returns the earliest task of the weight-update phase
-// (Algorithm 6's "WU ← the earliest node in the weight update phase").
-func earliestWUTask(g *core.Graph) *core.Task {
-	var best *core.Task
-	for _, t := range g.Tasks() {
-		if !t.HasLayer || t.Phase != trace.WeightUpdate {
-			continue
-		}
-		if best == nil || t.TracedStart < best.TracedStart {
-			best = t
-		}
-	}
-	return best
-}
+// Per-layer/per-phase queries (last backward GPU task of a layer,
+// first forward task of a round, the earliest weight-update node) ride
+// the graph's memoized core.LayerPhaseIndex: one O(tasks) build (shared
+// read-only across sweep workers on an immutable baseline) replaces the
+// O(layers × tasks) linear scans Algorithms 6 and 7 would otherwise
+// pay. Transformations that insert layer-less tasks (communication
+// primitives) may keep querying through a held index — the snapshot
+// stays correct because inserted tasks never match a layer/phase
+// filter.
 
 // gradientsByIndex indexes the graph's gradient metadata by layer index.
 func gradientsByIndex(g *core.Graph) map[int]trace.GradientInfo {
