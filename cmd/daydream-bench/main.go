@@ -11,7 +11,8 @@
 //	daydream-bench -micro -against BENCH.json  # …and fail on >25% regression
 //
 // With -micro, the pipeline stages (trace collection, graph construction,
-// simulation, clone, AMP transform, clone-path and overlay-path scenario
+// simulation, clone, AMP transform, clone-path, overlay-path and
+// stacked-overlay (AMP+FusedAdam via one Stack value) scenario
 // evaluation, and Figure-8-sized concurrent sweeps) are measured with
 // testing.Benchmark and written as machine-readable JSON (ns/op,
 // bytes/op, allocs/op, and scenarios/sec for the sweep benchmarks), so
@@ -130,10 +131,7 @@ func runMicro(path, against string, tolerance float64) error {
 	for i := range overlayScenarios {
 		overlayScenarios[i] = sweep.Scenario{
 			Name: fmt.Sprintf("amp%d", i),
-			ScaleTransform: func(o *core.Overlay) error {
-				daydream.AMPOverlay(o)
-				return nil
-			},
+			Opt:  daydream.OptAMP(),
 		}
 	}
 
@@ -201,6 +199,24 @@ func runMicro(path, against string, tolerance float64) error {
 			for i := 0; i < b.N; i++ {
 				o.Reset(g)
 				daydream.AMPOverlay(o)
+				if _, err := o.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// A composed what-if (AMP+FusedAdam as one Stack value) end to
+		// end through one overlay — the trajectory gate's eye on the
+		// stacked clone-free path.
+		{"StackedOverlayScenario", 0, func(b *testing.B) {
+			stacked := daydream.Stack(daydream.OptAMP(), daydream.OptFusedAdam())
+			scratch := core.NewSimScratch()
+			o := daydream.NewOverlay(g)
+			buf := &daydream.SimResult{}
+			for i := 0; i < b.N; i++ {
+				o.Reset(g)
+				if err := stacked.ApplyOverlay(o); err != nil {
+					b.Fatal(err)
+				}
 				if _, err := o.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf)); err != nil {
 					b.Fatal(err)
 				}

@@ -8,9 +8,14 @@
 //	daydream graph     -trace trace.json
 //	daydream simulate  -trace trace.json
 //	daydream breakdown -trace trace.json
-//	daydream predict   -trace trace.json -opt amp|fusedadam|reconbn|distributed|p3 \
-//	                   [-machines 4 -gpus 2 -gbps 10] [-slice 819200]
-//	daydream sweep     -trace trace.json [-workers 8] [-gbps 10,20,40]
+//	daydream predict   -trace trace.json -opt amp+fusedadam \
+//	                   [-machines 4 -gpus 2 -gbps 10] [-slice 819200] [-device v100] \
+//	                   [-kprofile sgemm=1.5ms] [-scale-name conv -scale-factor 0.5]
+//	daydream sweep     -trace trace.json [-workers 8] [-gbps 10,20,40] [-opt amp,amp+fusedadam]
+//
+// The -opt argument is a stack expression over the optimization
+// registry (daydream.Optimizations): names joined with '+' compose via
+// daydream.Stack; run `daydream predict -h` for the generated list.
 package main
 
 import (
@@ -188,15 +193,104 @@ func cmdBreakdown(args []string) error {
 	return nil
 }
 
+// optFlagUsage generates the -opt help text from the optimization
+// registry, so the CLI's accepted names can never drift from the
+// library's.
+func optFlagUsage() string {
+	var b strings.Builder
+	b.WriteString("optimization stack expression: registry names joined with '+' (e.g. amp+fusedadam)\n")
+	for _, s := range daydream.Optimizations() {
+		fmt.Fprintf(&b, "\t%-12s %s [%s]", s.Name, s.Summary, s.Footprint)
+		if s.Params != "" {
+			fmt.Fprintf(&b, " — needs %s", s.Params)
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// marketingName canonicalizes a device name (short preset or marketing
+// form) to the marketing name, leaving unknown names untouched.
+func marketingName(name string) string {
+	presets := daydream.DeviceNames()
+	for i, d := range daydream.Devices() {
+		if presets[i] == name || d.Name == name {
+			return d.Name
+		}
+	}
+	return name
+}
+
+// parseGbpsList parses a comma-separated bandwidth list; Split always
+// yields at least one element, so the result is never empty.
+func parseGbpsList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		gbps, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -gbps element %q: %v", part, err)
+		}
+		out = append(out, gbps)
+	}
+	return out, nil
+}
+
+// parseKernelProfile parses "name=duration[,name=duration...]" with Go
+// duration syntax ("sgemm=1.5ms,relu=20us").
+func parseKernelProfile(s string) (daydream.KernelProfile, error) {
+	if s == "" {
+		return nil, nil
+	}
+	p := daydream.KernelProfile{}
+	for _, pair := range strings.Split(s, ",") {
+		name, dur, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -kprofile element %q (want name=duration)", pair)
+		}
+		d, err := time.ParseDuration(dur)
+		if err != nil {
+			return nil, fmt.Errorf("bad -kprofile duration in %q: %v", pair, err)
+		}
+		p[name] = d
+	}
+	return p, nil
+}
+
+// optParamFlags registers the topology-independent flags that feed
+// OptimizationParams and returns a builder to run after parsing (each
+// command registers its own topology flags). fromDevice supplies the
+// profiled device (the trace's) for the upgrade what-if.
+func optParamFlags(fs *flag.FlagSet) func(fromDevice string, topo daydream.Topology) (daydream.OptimizationParams, error) {
+	device := fs.String("device", "v100", "target device for upgrade (preset or marketing name)")
+	slice := fs.Int64("slice", 0, "P3 slice bytes (0 = 800KB default, <0 = plain FIFO)")
+	kprofile := fs.String("kprofile", "", "kernel profile for kprofile: name=duration[,name=duration...]")
+	scaleName := fs.String("scale-name", "", "kernel-name substring for scale")
+	scaleFactor := fs.Float64("scale-factor", 0.5, "duration factor for scale")
+	return func(fromDevice string, topo daydream.Topology) (daydream.OptimizationParams, error) {
+		profile, err := parseKernelProfile(*kprofile)
+		if err != nil {
+			return daydream.OptimizationParams{}, err
+		}
+		return daydream.OptimizationParams{
+			Topology:    topo,
+			SliceBytes:  *slice,
+			FromDevice:  fromDevice,
+			ToDevice:    *device,
+			Profile:     profile,
+			ScaleTarget: *scaleName,
+			ScaleFactor: *scaleFactor,
+		}, nil
+	}
+}
+
 func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	path := fs.String("trace", "trace.json", "trace file")
-	opt := fs.String("opt", "amp", "optimization: amp, fusedadam, reconbn, distributed, p3, upgrade")
-	device := fs.String("device", "v100", "target device for -opt upgrade")
+	opt := fs.String("opt", "amp", optFlagUsage())
 	machines := fs.Int("machines", 4, "machines (distributed/p3)")
 	gpus := fs.Int("gpus", 1, "GPUs per machine (distributed/p3)")
 	gbps := fs.Float64("gbps", 10, "network bandwidth in Gbps (distributed/p3)")
-	slice := fs.Int64("slice", 800<<10, "P3 slice size in bytes")
+	params := optParamFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -204,48 +298,39 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	topo := daydream.NewTopology(*machines, *gpus, *gbps)
-	var predicted time.Duration
-	switch *opt {
-	case "amp":
-		_, predicted, err = daydream.Compare(g, func(c *daydream.Graph) error {
-			daydream.AMP(c)
-			return nil
-		})
-	case "fusedadam":
-		_, predicted, err = daydream.Compare(g, daydream.FusedAdam)
-	case "reconbn":
-		_, predicted, err = daydream.Compare(g, daydream.ReconBatchnorm)
-	case "distributed":
-		_, predicted, err = daydream.Compare(g, func(c *daydream.Graph) error {
-			return daydream.Distributed(c, topo)
-		})
-	case "p3":
-		predicted, err = daydream.P3Prediction(g, topo, *slice)
-	case "upgrade":
-		_, predicted, err = daydream.Compare(g, func(c *daydream.Graph) error {
-			return daydream.DeviceUpgrade(c, tr.Device, *device)
-		})
-	default:
-		return fmt.Errorf("unknown optimization %q", *opt)
-	}
+	p, err := params(tr.Device, daydream.NewTopology(*machines, *gpus, *gbps))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("baseline iteration:  %v\n", tr.IterationTime)
-	fmt.Printf("predicted with %s: %v (%.1f%% change)\n",
-		*opt, predicted, 100*(1-float64(predicted)/float64(tr.IterationTime)))
+	o, err := daydream.ParseOptimization(*opt, p)
+	if err != nil {
+		return err
+	}
+	baseline, predicted, err := daydream.Compare(g, o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline iteration:  %v\n", baseline)
+	fmt.Printf("predicted with %s (%s): %v (%.1f%% change)\n",
+		o.Name(), o.Footprint(), predicted, 100*(1-float64(predicted)/float64(baseline)))
 	return nil
 }
 
 // cmdSweep answers a whole battery of what-if questions from one trace
-// in a single concurrent sweep: every single-GPU optimization plus a
-// distributed grid over machine counts and network bandwidths.
+// in a single concurrent sweep. By default the battery is every
+// registry optimization buildable from the flags (plus the
+// amp+fusedadam stack and a distributed grid over machine counts and
+// bandwidths); -opt replaces it with explicit comma-separated stack
+// expressions.
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	path := fs.String("trace", "trace.json", "trace file")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	gbpsList := fs.String("gbps", "10,20,40", "comma-separated bandwidths for the distributed grid")
+	opt := fs.String("opt", "", "comma-separated stack expressions replacing the default battery (e.g. amp,amp+fusedadam)")
+	machines := fs.Int("machines", 4, "machines for explicit -opt distributed/p3 expressions")
+	gpus := fs.Int("gpus", 1, "GPUs per machine for explicit -opt distributed/p3 expressions")
+	params := optParamFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -253,35 +338,71 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	scenarios := []daydream.Scenario{
-		{Name: "baseline (replay)"},
-		{Name: "amp", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
-			daydream.AMP(c)
-			return c, nil
-		}},
-		{Name: "fusedadam", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
-			return c, daydream.FusedAdam(c)
-		}},
-		{Name: "reconbn", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
-			return c, daydream.ReconBatchnorm(c)
-		}},
+	bandwidths, err := parseGbpsList(*gbpsList)
+	if err != nil {
+		return err
 	}
-	for _, gbpsStr := range strings.Split(*gbpsList, ",") {
-		gbps, err := strconv.ParseFloat(strings.TrimSpace(gbpsStr), 64)
-		if err != nil {
-			return fmt.Errorf("bad -gbps element %q: %v", gbpsStr, err)
+	// Explicit distributed/p3 expressions use the first grid bandwidth.
+	p, err := params(tr.Device, daydream.NewTopology(*machines, *gpus, bandwidths[0]))
+	if err != nil {
+		return err
+	}
+
+	scenarios := []daydream.Scenario{{Name: "baseline (replay)"}}
+	if *opt != "" {
+		// Explicit battery: one scenario per stack expression; names
+		// come from the optimization values themselves.
+		for _, expr := range strings.Split(*opt, ",") {
+			o, err := daydream.ParseOptimization(strings.TrimSpace(expr), p)
+			if err != nil {
+				return err
+			}
+			scenarios = append(scenarios, daydream.Scenario{Opt: o})
 		}
-		for _, cfg := range []struct{ machines, gpus int }{
-			{2, 1}, {4, 1}, {2, 2}, {4, 2},
-		} {
-			topo := daydream.NewTopology(cfg.machines, cfg.gpus, gbps)
-			scenarios = append(scenarios, daydream.Scenario{
-				Name: fmt.Sprintf("distributed %dx%d @%.0fGbps", cfg.machines, cfg.gpus, gbps),
-				Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
-					return c, daydream.Distributed(c, topo)
-				},
-			})
+	} else {
+		// Default battery: every single-GPU registry optimization the
+		// flags can build (cluster grids come below; unbuildable ones —
+		// e.g. kprofile without -kprofile — are skipped), plus the
+		// composed amp+fusedadam stack.
+		setFlags := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+		// Flags that feed each optional spec: a Build failure is only
+		// worth a warning when the user actually set one of them —
+		// otherwise the spec is quietly out of the default battery.
+		specFlags := map[string][]string{
+			"upgrade":  {"device"},
+			"kprofile": {"kprofile"},
+			"scale":    {"scale-name", "scale-factor"},
+		}
+		for _, spec := range daydream.Optimizations() {
+			if spec.Cluster {
+				continue
+			}
+			if spec.Name == "upgrade" && marketingName(p.FromDevice) == marketingName(p.ToDevice) {
+				continue // the trace is already on the target device
+			}
+			o, err := spec.Build(p)
+			if err != nil {
+				for _, name := range specFlags[spec.Name] {
+					if setFlags[name] {
+						fmt.Fprintf(os.Stderr, "daydream: sweep: skipping %s: %v\n", spec.Name, err)
+						break
+					}
+				}
+				continue
+			}
+			scenarios = append(scenarios, daydream.Scenario{Opt: o})
+		}
+		scenarios = append(scenarios, daydream.Scenario{
+			Opt: daydream.Stack(daydream.OptAMP(), daydream.OptFusedAdam()),
+		})
+		for _, gbps := range bandwidths {
+			for _, cfg := range []struct{ machines, gpus int }{
+				{2, 1}, {4, 1}, {2, 2}, {4, 2},
+			} {
+				topo := daydream.NewTopology(cfg.machines, cfg.gpus, gbps)
+				scenarios = append(scenarios, daydream.Scenario{Opt: daydream.OptDistributed(topo)})
+			}
 		}
 	}
 
@@ -292,9 +413,9 @@ func cmdSweep(args []string) error {
 	}
 	fmt.Printf("traced iteration: %v — %d scenarios in %v\n\n",
 		tr.IterationTime, len(scenarios), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("%-28s %14s %10s\n", "scenario", "predicted", "change")
+	fmt.Printf("%-34s %14s %10s\n", "scenario", "predicted", "change")
 	for _, r := range results {
-		fmt.Printf("%-28s %14v %+9.1f%%\n",
+		fmt.Printf("%-34s %14v %+9.1f%%\n",
 			r.Name, r.Value, 100*(float64(r.Value)/float64(tr.IterationTime)-1))
 	}
 	return nil

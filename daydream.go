@@ -2,6 +2,7 @@ package daydream
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"daydream/internal/comm"
@@ -55,23 +56,46 @@ type (
 	Overlay = core.Overlay
 	// LayerPhaseIndex is the memoized per-graph layer/phase index.
 	LayerPhaseIndex = core.LayerPhaseIndex
+	// Optimization is a first-class what-if value: a self-describing
+	// graph transformation carrying its name and evaluation footprint.
+	// The same value drives Compare, sweep Scenarios and the CLIs, and
+	// Stack composes several into one composed what-if.
+	Optimization = core.Optimization
+	// OptFootprint classifies how much of the graph an Optimization
+	// touches: TimingOnly values evaluate clone-free through an
+	// Overlay, Structural ones get a private clone.
+	OptFootprint = core.OptFootprint
+	// OptimizationSpec describes one entry of the optimization
+	// registry (see Optimizations).
+	OptimizationSpec = whatif.OptSpec
+	// OptimizationParams supplies the workload-specific inputs registry
+	// constructors need (topology, device names, kernel profiles, …).
+	OptimizationParams = whatif.OptParams
+)
+
+// Optimization footprints.
+const (
+	// TimingOnly marks optimizations that only rewrite task timings.
+	TimingOnly = core.TimingOnly
+	// Structural marks optimizations that change graph structure.
+	Structural = core.Structural
 )
 
 // Sweep answers many what-if questions from one shared baseline graph
 // concurrently on a worker pool, with results in scenario order —
-// bit-identical to the equivalent sequential loop. A scenario that only
-// rescales task timings declares a ScaleTransform and is evaluated
-// clone-free through a copy-on-write Overlay over the shared baseline;
-// a structural scenario declares a Transform and gets a private clone.
-// Scenarios may carry their own Base graph for model × config grids.
+// bit-identical to the equivalent sequential loop. Scenarios declare
+// their what-if as an Optimization value; the sweep picks the cheapest
+// valid path from the value's footprint — timing-only optimizations
+// (and Stacks of them) evaluate clone-free through a copy-on-write
+// Overlay over the shared baseline, structural ones get a private
+// clone. Scenarios may carry their own Base graph for model × config
+// grids, and the manual Transform/ScaleTransform fields remain for
+// one-off custom edits.
 //
 //	results, err := daydream.Sweep(g, []daydream.Scenario{
-//	    {Name: "amp", ScaleTransform: func(o *daydream.Overlay) error {
-//	        daydream.AMPOverlay(o); return nil
-//	    }},
-//	    {Name: "4x2 @10Gbps", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
-//	        return c, daydream.Distributed(c, daydream.NewTopology(4, 2, 10))
-//	    }},
+//	    {Opt: daydream.OptAMP()},
+//	    {Opt: daydream.Stack(daydream.OptAMP(), daydream.OptFusedAdam())},
+//	    {Opt: daydream.OptDistributed(daydream.NewTopology(4, 2, 10))},
 //	})
 func Sweep(baseline *Graph, scenarios []Scenario, opts ...SweepOption) ([]SweepResult, error) {
 	return sweep.Run(baseline, scenarios, opts...)
@@ -103,7 +127,8 @@ type CollectConfig struct {
 	Model string
 	// CustomModel profiles a caller-built model instead of a zoo one.
 	CustomModel *Model
-	// Device is a preset name: 2080ti (default), p4000, v100.
+	// Device is a preset name — 2080ti (default), p4000, v100 — or a
+	// full marketing name (DeviceNames lists both forms).
 	Device string
 	// Framework is the dialect: pytorch (default), mxnet, caffe.
 	Framework string
@@ -143,9 +168,9 @@ func frameworkConfig(cfg CollectConfig) (*framework.Config, error) {
 	}
 	fcfg := framework.Config{Model: m, Seed: cfg.Seed}
 	if cfg.Device != "" {
-		dev, ok := xpu.DeviceByName(cfg.Device)
-		if !ok {
-			return nil, fmt.Errorf("daydream: unknown device %q (known: 2080ti, p4000, v100)", cfg.Device)
+		dev, err := xpu.FindDevice(cfg.Device)
+		if err != nil {
+			return nil, err
 		}
 		fcfg.Device = dev
 	}
@@ -202,8 +227,123 @@ func NewTopology(machines, gpusPerMachine int, gbps float64) Topology {
 // runtime (the paper's Figure 6 analysis).
 func ComputeBreakdown(t *Trace) Breakdown { return trace.ComputeBreakdown(t) }
 
-// What-if transformations (paper §5). Each mutates the graph in place;
-// clone first to keep the baseline:
+// Optimization values (paper §5, §7). Every optimization model is
+// available as a first-class, self-describing Optimization value: it
+// knows its name, whether it only rewrites timings (TimingOnly — the
+// clone-free overlay path) or changes graph structure (Structural — a
+// private clone), and how to apply itself on either path. One value
+// drives every consumer:
+//
+//	opt := daydream.Stack(daydream.OptAMP(), daydream.OptFusedAdam())
+//	base, pred, _ := daydream.Compare(g, opt)            // one question
+//	results, _ := daydream.Sweep(g, []daydream.Scenario{ // a grid
+//	    {Opt: opt},
+//	})
+
+// OptAMP returns automatic mixed precision (Algorithm 3) as an
+// Optimization value.
+func OptAMP() Optimization { return whatif.OptAMP() }
+
+// OptFusedAdam returns Apex's fused Adam optimizer (Algorithm 4) as an
+// Optimization value.
+func OptFusedAdam() Optimization { return whatif.OptFusedAdam() }
+
+// OptReconBatchnorm returns batchnorm restructuring (Algorithm 5) as an
+// Optimization value, with the zoo's default layer classification.
+func OptReconBatchnorm() Optimization {
+	return whatif.OptReconBatchnorm(whatif.ReconBatchnormOptions{})
+}
+
+// OptDistributed returns the data-parallel prediction (Algorithm 6) for
+// the target cluster as an Optimization value.
+func OptDistributed(topo Topology) Optimization {
+	return whatif.OptDistributed(whatif.DistributedOptions{Topology: topo})
+}
+
+// OptP3 returns the parameter-server prediction (Algorithm 7) as an
+// Optimization value carrying its own metric (the steady-state
+// iteration time). sliceBytes == 0 selects P3's default slice size;
+// sliceBytes < 0 disables slicing and priorities, modeling the plain
+// FIFO parameter server.
+func OptP3(topo Topology, sliceBytes int64) Optimization {
+	return whatif.OptP3(whatif.P3Options{
+		Topology:   topo,
+		SliceBytes: whatif.P3SliceBytes(sliceBytes),
+	})
+}
+
+// OptDeviceUpgrade returns the device-upgrade what-if as an Optimization
+// value. Names resolve like DeviceUpgrade's: short presets and full
+// marketing names.
+func OptDeviceUpgrade(from, to string) (Optimization, error) {
+	f, err := deviceByAnyName(from)
+	if err != nil {
+		return nil, err
+	}
+	t, err := deviceByAnyName(to)
+	if err != nil {
+		return nil, err
+	}
+	return whatif.OptDeviceUpgrade(f, t), nil
+}
+
+// OptKernelProfile returns the externally-profiled-kernel what-if
+// (paper §7.4) as an Optimization value.
+func OptKernelProfile(p KernelProfile) Optimization {
+	return whatif.OptKernelProfile(p)
+}
+
+// OptScale returns the COZ-style "what if matching kernels ran at
+// factor× their duration" question as an Optimization value.
+func OptScale(sub string, factor float64) Optimization {
+	return whatif.OptScale(sub, factor)
+}
+
+// Stack composes several optimizations into one Optimization value,
+// applied in argument order — the paper's composed what-ifs (AMP +
+// FusedAdam as a single question). The stack's footprint is the maximum
+// of its parts', so a stack of timing-only optimizations still
+// evaluates clone-free; an empty Stack is a named no-op that replays
+// the baseline without cloning.
+func Stack(opts ...Optimization) Optimization { return core.Stack(opts...) }
+
+// TimingOptimization builds a custom timing-only Optimization from a
+// single overlay-edit function; the clone-path form is derived
+// automatically. Use it for user-defined duration/gap/priority what-ifs
+// that should compose with the built-ins via Stack.
+func TimingOptimization(name string, apply func(*Overlay) error) Optimization {
+	return core.TimingOpt(name, apply, nil)
+}
+
+// StructuralOptimization builds a custom structural Optimization from an
+// in-place graph transformation.
+func StructuralOptimization(name string, apply func(*Graph) error) Optimization {
+	return core.StructuralOpt(name, apply)
+}
+
+// Optimizations returns the registry of every built-in optimization
+// model — name, summary, footprint, and a constructor taking
+// OptimizationParams. The CLIs generate their -opt help and accepted
+// names from it, so they cannot drift from the library.
+func Optimizations() []OptimizationSpec { return whatif.Registry() }
+
+// OptimizationByName constructs a registered optimization by its
+// registry name (Optimizations lists them), validating the parameter
+// fields it needs.
+func OptimizationByName(name string, p OptimizationParams) (Optimization, error) {
+	return whatif.BuildByName(name, p)
+}
+
+// ParseOptimization resolves a '+'-separated stack expression
+// ("amp+fusedadam") against the registry, composing multiple elements
+// with Stack in expression order.
+func ParseOptimization(expr string, p OptimizationParams) (Optimization, error) {
+	return whatif.ParseStack(expr, p)
+}
+
+// What-if transformations (paper §5), retained as the free-function
+// form of the Optimization values above. Each mutates the graph in
+// place; clone first to keep the baseline:
 //
 //	pred := g.Clone()
 //	daydream.AMP(pred)
@@ -245,21 +385,7 @@ func Distributed(g *Graph, topo Topology) error {
 // size; sliceBytes < 0 disables slicing and priorities, modeling the
 // plain FIFO parameter server (Figure 10's "Baseline").
 func P3Prediction(g *Graph, topo Topology, sliceBytes int64) (time.Duration, error) {
-	switch {
-	case sliceBytes == 0:
-		sliceBytes = 800 << 10
-	case sliceBytes < 0:
-		sliceBytes = 0 // whole tensors, FIFO order
-	}
-	res, err := whatif.P3(g.Clone(), whatif.P3Options{Topology: topo, SliceBytes: sliceBytes})
-	if err != nil {
-		return 0, err
-	}
-	sim, err := res.Graph.Simulate()
-	if err != nil {
-		return 0, err
-	}
-	return res.IterationTime(sim), nil
+	return predictOptimization(g, OptP3(topo, sliceBytes))
 }
 
 // DeviceUpgrade predicts the effect of moving the workload to a different
@@ -293,18 +419,20 @@ func DeviceUpgradeOverlay(o *Overlay, fromName, toName string) error {
 	return whatif.DeviceUpgradeOverlay(o, from, to)
 }
 
-// deviceByAnyName resolves short preset names and full marketing names.
+// deviceByAnyName resolves short preset names and full marketing names
+// from the xpu preset table, so the accepted-name list (and the error
+// message listing it) can never drift from the device models.
 func deviceByAnyName(name string) (*xpu.Device, error) {
-	if d, ok := xpu.DeviceByName(name); ok {
-		return d, nil
-	}
-	for _, d := range []*xpu.Device{xpu.RTX2080Ti(), xpu.P4000(), xpu.V100()} {
-		if d.Name == name {
-			return d, nil
-		}
-	}
-	return nil, fmt.Errorf("daydream: unknown device %q", name)
+	return xpu.FindDevice(name)
 }
+
+// Devices returns a fresh model of every preset accelerator, in preset
+// order (DeviceNames lists the accepted names).
+func Devices() []*Device { return xpu.Devices() }
+
+// DeviceNames returns every accepted device name: short presets
+// followed by full marketing names.
+func DeviceNames() []string { return xpu.DeviceNames() }
 
 // KernelProfile carries externally measured kernel durations keyed by
 // name substring (paper §7.4: profile a new kernel once, feed the result
@@ -353,35 +481,122 @@ func Diagnose(g *Graph) (byResource, byPhase []PathAttribution, err error) {
 		core.AttributePath(path, core.ByPhase), nil
 }
 
-// Compare runs a what-if transformation on a clone of the baseline graph
-// and reports (baseline, predicted) iteration times.
-func Compare(g *Graph, transform func(*Graph) error) (baseline, predicted time.Duration, err error) {
+// Compare answers one what-if question against the baseline graph and
+// reports (baseline, predicted) iteration times. The what-if is one of:
+//
+//   - an Optimization value — the preferred form. Compare picks the
+//     fastest valid path from the value's footprint: timing-only
+//     optimizations (and Stacks of them) evaluate clone-free through a
+//     copy-on-write overlay, structural ones transform a private clone,
+//     and a no-op (an empty Stack) replays the baseline. An
+//     optimization carrying its own metric (OptP3) reports it instead
+//     of the makespan.
+//   - func(*Graph) error — the pre-Optimization structural form,
+//     applied to a private clone (retained for compatibility).
+//   - func(*Overlay) error — the duration-only overlay form
+//     (CompareScale's shape).
+//
+// The baseline graph is never mutated.
+func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) {
+	// Defined function types (type myWhatIf func(*Graph) error) don't
+	// match the exact type switch below; normalize them first.
+	switch what.(type) {
+	case Optimization, func(*Graph) error, func(*Overlay) error, nil:
+	default:
+		if conv, ok := convertWhatIf(what); ok {
+			what = conv
+		}
+	}
 	// PredictIteration does not mutate, so the baseline needs no clone.
 	baseline, err = g.PredictIteration()
 	if err != nil {
 		return 0, 0, err
 	}
-	c := g.Clone()
-	if err := transform(c); err != nil {
-		return 0, 0, err
+	switch w := what.(type) {
+	case Optimization:
+		if core.OptIsNoop(w) {
+			return baseline, baseline, nil
+		}
+		predicted, err = predictOptimization(g, w)
+	case func(*Graph) error:
+		if w == nil {
+			return 0, 0, fmt.Errorf("daydream: Compare: nil what-if")
+		}
+		c := g.Clone()
+		if err := w(c); err != nil {
+			return 0, 0, err
+		}
+		predicted, err = c.PredictIteration()
+	case func(*Overlay) error:
+		if w == nil {
+			return 0, 0, fmt.Errorf("daydream: Compare: nil what-if")
+		}
+		o := core.NewOverlay(g)
+		if err := w(o); err != nil {
+			return 0, 0, err
+		}
+		predicted, err = o.PredictIteration()
+	case nil:
+		err = fmt.Errorf("daydream: Compare: nil what-if")
+	default:
+		err = fmt.Errorf("daydream: Compare: unsupported what-if type %T (want Optimization, func(*Graph) error, or func(*Overlay) error)", what)
 	}
-	predicted, err = c.PredictIteration()
 	return baseline, predicted, err
 }
 
-// CompareScale is Compare for duration-only what-ifs: the transform
-// records copy-on-write timing deltas in an overlay over the baseline —
-// no clone — and the prediction simulates through them. Results are
-// bit-identical to the equivalent Compare.
-func CompareScale(g *Graph, transform func(*Overlay) error) (baseline, predicted time.Duration, err error) {
-	baseline, err = g.PredictIteration()
+// convertWhatIf converts defined function types whose underlying type
+// is one of Compare's two function shapes.
+func convertWhatIf(what any) (any, bool) {
+	v := reflect.ValueOf(what)
+	if v.Kind() != reflect.Func || v.IsNil() {
+		return nil, false
+	}
+	if gt := reflect.TypeOf((func(*Graph) error)(nil)); v.Type().ConvertibleTo(gt) {
+		return v.Convert(gt).Interface(), true
+	}
+	if ot := reflect.TypeOf((func(*Overlay) error)(nil)); v.Type().ConvertibleTo(ot) {
+		return v.Convert(ot).Interface(), true
+	}
+	return nil, false
+}
+
+// predictOptimization evaluates a non-noop Optimization on its cheapest
+// valid path and extracts its metric.
+func predictOptimization(g *Graph, opt Optimization) (time.Duration, error) {
+	measure := core.OptMeasure(opt)
+	if opt.Footprint() == TimingOnly {
+		o := core.NewOverlay(g)
+		if err := opt.ApplyOverlay(o); err != nil {
+			return 0, err
+		}
+		res, err := o.Simulate()
+		if err != nil {
+			return 0, err
+		}
+		if measure != nil {
+			return measure(g, res)
+		}
+		return res.Makespan, nil
+	}
+	c, err := core.ApplyOptimization(g.Clone(), opt)
 	if err != nil {
-		return 0, 0, err
+		return 0, err
 	}
-	o := core.NewOverlay(g)
-	if err := transform(o); err != nil {
-		return 0, 0, err
+	res, err := c.Simulate()
+	if err != nil {
+		return 0, err
 	}
-	predicted, err = o.PredictIteration()
-	return baseline, predicted, err
+	if measure != nil {
+		return measure(c, res)
+	}
+	return res.Makespan, nil
+}
+
+// CompareScale is Compare for duration-only what-ifs, retained as a
+// typed wrapper: the transform records copy-on-write timing deltas in
+// an overlay over the baseline — no clone — and the prediction
+// simulates through them. Results are bit-identical to the equivalent
+// Compare.
+func CompareScale(g *Graph, transform func(*Overlay) error) (baseline, predicted time.Duration, err error) {
+	return Compare(g, transform)
 }

@@ -19,37 +19,55 @@
 //  4. Simulate the transformed graph (the paper's Algorithm 1) to predict
 //     the new iteration time.
 //
-// The basic flow:
+// The basic flow asks questions with first-class Optimization values:
 //
 //	tr, _ := daydream.Collect(daydream.CollectConfig{Model: "resnet50"})
 //	g, _ := daydream.BuildGraph(tr)
-//	pred := g.Clone()
-//	daydream.AMP(pred)
-//	t, _ := pred.PredictIteration()
-//	fmt.Printf("AMP would change %v to %v\n", tr.IterationTime, t)
+//	base, pred, _ := daydream.Compare(g, daydream.OptAMP())
+//	fmt.Printf("AMP would change %v to %v\n", base, pred)
+//
+// Every optimization model is an Optimization value (OptAMP,
+// OptFusedAdam, OptReconBatchnorm, OptDistributed, OptP3,
+// OptDeviceUpgrade, OptKernelProfile, OptScale), and Stack composes
+// several into one composed what-if, the way the paper evaluates
+// optimization combinations:
+//
+//	both := daydream.Stack(daydream.OptAMP(), daydream.OptFusedAdam())
+//	base, pred, _ = daydream.Compare(g, both)
+//
+// A value is self-describing: it knows its name and whether it only
+// rewrites task timings (TimingOnly) or changes graph structure
+// (Structural), so every consumer — Compare, Sweep, the CLIs — picks
+// the cheapest valid evaluation path without being told. The registry
+// (Optimizations, OptimizationByName, ParseOptimization) resolves names
+// and "amp+fusedadam"-style stack expressions, and TimingOptimization /
+// StructuralOptimization build custom values that compose with the
+// built-ins.
 //
 // Because a single profile answers arbitrarily many what-if questions,
 // the package is built to make each additional question cheap. The
 // dependency graph uses dense slice-indexed storage (task IDs are array
 // indices, adjacency is CSR-style on the tasks), so Clone is a
 // near-memcpy and Simulate runs a binary-heap frontier over flat arrays.
-// Scenarios that never touch graph structure — AMP, fused optimizers,
-// kernel profiles, device upgrades, duration grids — skip even the
-// clone: a copy-on-write Overlay records per-task duration/gap/priority
-// deltas over the shared immutable baseline and simulates through them,
+// TimingOnly values — AMP, fused optimizers, kernel profiles, device
+// upgrades, duration grids, and Stacks of them — skip even the clone: a
+// copy-on-write Overlay records per-task duration/gap/priority deltas
+// over the shared immutable baseline and simulates through them,
 // bit-identical to clone-and-mutate at a fraction of the cost. Sweep
 // fans a whole scenario grid out over a worker pool sharing one
-// baseline, dispatching each scenario to the overlay path
-// (ScaleTransform) or the clone path (Transform):
+// baseline, dispatching each scenario on its optimization's footprint:
 //
 //	results, _ := daydream.Sweep(g, []daydream.Scenario{
-//	    {Name: "amp", ScaleTransform: func(o *daydream.Overlay) error {
-//	        daydream.AMPOverlay(o); return nil
-//	    }},
-//	    {Name: "4x2 @10Gbps", Transform: func(c *daydream.Graph) (*daydream.Graph, error) {
-//	        return c, daydream.Distributed(c, daydream.NewTopology(4, 2, 10))
-//	    }},
+//	    {Opt: daydream.OptAMP()},                                  // overlay path
+//	    {Opt: both},                                               // still overlay
+//	    {Opt: daydream.OptDistributed(daydream.NewTopology(4, 2, 10))}, // clone path
 //	})
+//
+// The pre-Optimization API remains: the free functions (AMP, FusedAdam,
+// Distributed, …), their *Overlay forms, and the func-typed Compare /
+// CompareScale / Scenario.Transform / Scenario.ScaleTransform shapes
+// all still compile and behave identically — they are the same models
+// the values wrap.
 //
 // See the examples/ directory for complete programs, and cmd/daydream-bench
 // for the harness that regenerates every table and figure of the paper's

@@ -21,7 +21,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	single, err := g.Clone().PredictIteration()
+	single, err := g.PredictIteration()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,16 +31,23 @@ func main() {
 	fmt.Printf("(single-GPU compute: %v; gradients: %.0f MB/iteration)\n\n",
 		single, float64(gradientBytes(tr))/(1<<20))
 
+	// One sweep answers the whole bandwidth axis: each point is the
+	// distributed prediction as an Optimization value over the shared
+	// profile.
+	bandwidths := []float64{5, 10, 20, 40, 80, 160}
+	scenarios := make([]daydream.Scenario, len(bandwidths))
+	for i, gbps := range bandwidths {
+		scenarios[i] = daydream.Scenario{
+			Opt: daydream.OptDistributed(daydream.NewTopology(machines, gpus, gbps)),
+		}
+	}
+	results, err := daydream.Sweep(g, scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
 	prev := 0.0
-	for _, gbps := range []float64{5, 10, 20, 40, 80, 160} {
-		c := g.Clone()
-		if err := daydream.Distributed(c, daydream.NewTopology(machines, gpus, gbps)); err != nil {
-			log.Fatal(err)
-		}
-		iter, err := c.PredictIteration()
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, r := range results {
+		iter := r.Value
 		gain := ""
 		if prev > 0 {
 			gain = fmt.Sprintf(" (%.0f%% faster than previous step)", 100*(1-float64(iter)/prev))
@@ -49,7 +56,7 @@ func main() {
 		if bars > 60 {
 			bars = 60
 		}
-		fmt.Printf("%6.0f Gbps  %-14v %s%s\n", gbps, iter, strings.Repeat("#", bars), gain)
+		fmt.Printf("%6.0f Gbps  %-14v %s%s\n", bandwidths[i], iter, strings.Repeat("#", bars), gain)
 		prev = float64(iter)
 	}
 	fmt.Println("\nOnce the bars stop shrinking, the network is no longer the bottleneck —")

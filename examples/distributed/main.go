@@ -20,7 +20,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	single, err := g.Clone().PredictIteration()
+	single, err := g.PredictIteration()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,27 +28,35 @@ func main() {
 	fmt.Printf("%-8s %-10s %-14s %-12s %s\n",
 		"config", "bandwidth", "iteration", "scaling", "efficiency")
 
+	// The whole grid is one concurrent sweep over the shared profile:
+	// each point carries Algorithm 6 for its topology as an
+	// Optimization value.
+	var topos []daydream.Topology
+	var scenarios []daydream.Scenario
 	for _, gbps := range []float64{10, 25, 100} {
 		for _, cfg := range []struct{ m, g int }{
 			{1, 2}, {1, 4}, {2, 4}, {4, 4}, {8, 4},
 		} {
 			topo := daydream.NewTopology(cfg.m, cfg.g, gbps)
-			c := g.Clone()
-			if err := daydream.Distributed(c, topo); err != nil {
-				log.Fatal(err)
-			}
-			iter, err := c.PredictIteration()
-			if err != nil {
-				log.Fatal(err)
-			}
-			n := float64(topo.TotalGPUs())
-			// Per-iteration global batch grows with n, so throughput
-			// scaling is n × (single / iter).
-			scaling := n * float64(single) / float64(iter)
-			fmt.Printf("%-8s %-10s %-14v %-12s %.0f%%\n",
-				topo.String(), fmt.Sprintf("%.0fGbps", gbps), iter,
-				fmt.Sprintf("%.1fx of %.0fx", scaling, n), 100*scaling/n)
+			topos = append(topos, topo)
+			scenarios = append(scenarios, daydream.Scenario{Opt: daydream.OptDistributed(topo)})
 		}
-		fmt.Println()
+	}
+	results, err := daydream.Sweep(g, scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		topo := topos[i]
+		n := float64(topo.TotalGPUs())
+		// Per-iteration global batch grows with n, so throughput
+		// scaling is n × (single / iter).
+		scaling := n * float64(single) / float64(r.Value)
+		fmt.Printf("%-8s %-10s %-14v %-12s %.0f%%\n",
+			topo.String(), fmt.Sprintf("%.0fGbps", topo.NICBandwidth*8/1e9), r.Value,
+			fmt.Sprintf("%.1fx of %.0fx", scaling, n), 100*scaling/n)
+		if (i+1)%5 == 0 {
+			fmt.Println()
+		}
 	}
 }

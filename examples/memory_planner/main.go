@@ -32,7 +32,9 @@ func main() {
 	}
 
 	fmt.Println("\nLargest ResNet-50 batch that fits:")
-	for _, dev := range []*xpu.Device{xpu.P4000(), xpu.RTX2080Ti(), xpu.V100()} {
+	// daydream.Devices lists every preset accelerator, so new presets
+	// show up here without touching the example.
+	for _, dev := range daydream.Devices() {
 		b := daydream.MaxBatchSize(func(batch int) *daydream.Model {
 			return dnn.ResNet50(batch)
 		}, dev.MemBytes)

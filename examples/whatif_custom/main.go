@@ -1,20 +1,23 @@
-// Custom what-ifs: the graph-transformation primitives (Select, Scale,
-// Insert, Remove) are a user-facing API, not just plumbing for the built-in
-// optimization models. This example asks three questions the paper's
-// introduction poses, directly against the primitives:
+// Custom what-ifs: user code extends the system with its own
+// daydream.Optimization values — the same first-class type the built-in
+// models use — so custom questions compose with the built-ins through
+// Stack, Compare and Sweep. This example asks three questions the
+// paper's introduction poses:
 //
 //  1. "Why did my DNN training workload run slowly?" — find the dominant
 //     kernels.
-//  2. "How much would a 2× faster CPU help?" — shrink every CPU task and
-//     every inter-task gap.
-//  3. "What if all element-wise kernels were fused away?" — remove them
-//     and their launches.
+//  2. "How much would a 2× faster CPU help?" — a custom timing-only
+//     optimization (shrink every CPU task and every inter-task gap),
+//     evaluated clone-free and stacked under AMP.
+//  3. "What if all element-wise kernels were fused away?" — a custom
+//     structural optimization built on the Remove primitive.
 package main
 
 import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 	"time"
 
 	"daydream"
@@ -29,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	baseline, err := g.Clone().PredictIteration()
+	baseline, err := g.PredictIteration()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,43 +57,44 @@ func main() {
 		fmt.Printf("  %-45s %v\n", e.name, e.d)
 	}
 
-	// 2. What if the CPU were 2× faster? Scale every CPU task and gap.
-	cpu2x := g.Clone()
-	for _, t := range cpu2x.Select(func(t *daydream.Task) bool { return t.OnCPU() }) {
-		t.Duration /= 2
-		t.Gap /= 2
+	// 2. What if the CPU were 2× faster? A custom timing-only
+	// optimization: it edits durations and gaps through the overlay, so
+	// Compare evaluates it clone-free — and it composes with the
+	// built-in AMP value like any registry optimization.
+	cpu2x := daydream.TimingOptimization("cpu2x", func(o *daydream.Overlay) error {
+		for _, t := range o.Base().Tasks() {
+			if t.OnCPU() {
+				o.SetDuration(t, o.Duration(t)/2)
+				o.SetGap(t, o.Gap(t)/2)
+			}
+		}
+		return nil
+	})
+	report := func(opt daydream.Optimization) {
+		_, pred, err := daydream.Compare(g, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %v (%.1f%% faster)\n",
+			opt.Name()+":", pred, 100*(1-float64(pred)/float64(baseline)))
 	}
-	p2, err := cpu2x.PredictIteration()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\n2x faster CPU:   %v (%.1f%% faster)\n",
-		p2, 100*(1-float64(p2)/float64(baseline)))
+	fmt.Println()
+	report(cpu2x)
+	report(daydream.Stack(cpu2x, daydream.OptAMP()))
 
 	// 3. What if every element-wise kernel were fused into its producer?
-	// Remove the kernels and the launch calls that trigger them.
-	fused := g.Clone()
-	for _, t := range fused.Select(func(t *daydream.Task) bool {
-		return t.OnGPU() && containsSubstr(t.Name, "elementwise")
-	}) {
-		if peer := t.Peer(); peer != nil {
-			fused.Remove(peer)
+	// Structural: the kernels and the launches that trigger them are
+	// removed, so Compare gives this value a private clone.
+	fused := daydream.StructuralOptimization("fuse-pointwise", func(c *daydream.Graph) error {
+		for _, t := range c.Select(func(t *daydream.Task) bool {
+			return t.OnGPU() && strings.Contains(t.Name, "elementwise")
+		}) {
+			if peer := t.Peer(); peer != nil {
+				c.Remove(peer)
+			}
+			c.Remove(t)
 		}
-		fused.Remove(t)
-	}
-	p3, err := fused.PredictIteration()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("fused pointwise: %v (%.1f%% faster)\n",
-		p3, 100*(1-float64(p3)/float64(baseline)))
-}
-
-func containsSubstr(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
+		return nil
+	})
+	report(fused)
 }

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// OptFootprint classifies how much of the graph an Optimization touches,
+// which decides the cheapest valid evaluation path: TimingOnly
+// optimizations ride the clone-free copy-on-write Overlay over a shared
+// baseline, Structural ones need a private Clone to mutate.
+type OptFootprint uint8
+
+const (
+	// TimingOnly marks an optimization that only rewrites per-task
+	// durations, gaps or priorities — AMP, kernel profiles, device
+	// upgrades, fused optimizers modeled as rescaling.
+	TimingOnly OptFootprint = iota
+	// Structural marks an optimization that inserts or removes tasks or
+	// edges — Distributed, P3, custom graph surgery.
+	Structural
+)
+
+// String returns "timing-only" or "structural".
+func (f OptFootprint) String() string {
+	if f == Structural {
+		return "structural"
+	}
+	return "timing-only"
+}
+
+// Optimization is a first-class what-if value: a self-describing graph
+// transformation that knows its own name, how much of the graph it
+// touches, and how to apply itself on either evaluation path. The same
+// value drives Compare, a sweep Scenario, the experiment grids and the
+// CLI; Stack composes several into one.
+type Optimization interface {
+	// Name labels the optimization in results and CLI output.
+	Name() string
+	// Footprint reports whether the optimization only rewrites timings
+	// (overlay-eligible) or changes graph structure (needs a clone).
+	Footprint() OptFootprint
+	// ApplyOverlay records the optimization's timing edits as
+	// copy-on-write deltas over the overlay's shared baseline. Only
+	// valid for TimingOnly footprints; Structural optimizations return
+	// an error.
+	ApplyOverlay(*Overlay) error
+	// ApplyGraph applies the optimization to a private graph in place.
+	// Valid for every footprint (a TimingOnly optimization writes its
+	// effective timings into the tasks), except for optimizations that
+	// must replace the graph — those implement GraphRewriter, and
+	// ApplyGraph reports that it cannot apply in place.
+	ApplyGraph(*Graph) error
+}
+
+// GraphRewriter is the optional interface of structural optimizations
+// that replace the graph instead of editing it in place (P3 repeats the
+// iteration graph before annotating it). ApplyOptimization prefers it
+// over ApplyGraph when present.
+type GraphRewriter interface {
+	RewriteGraph(*Graph) (*Graph, error)
+}
+
+// Measurer is the optional interface of optimizations that define their
+// own result metric. MeasureFunc returns the extractor to run on the
+// optimization's simulation, or nil for the default (the simulated
+// makespan). P3 uses it to report the steady-state round distance
+// instead of the multi-round makespan. On the structural path the
+// extractor receives the transformed graph; on the overlay path it
+// receives the shared, unmutated baseline and must treat it as
+// read-only, reading effective timings through the SimResult (Finish,
+// TaskDuration) rather than Task fields — the same contract as
+// sweep.Scenario.Measure.
+type Measurer interface {
+	MeasureFunc() func(*Graph, *SimResult) (time.Duration, error)
+}
+
+// OptMeasure returns opt's custom metric extractor, or nil when opt
+// measures the default makespan.
+func OptMeasure(opt Optimization) func(*Graph, *SimResult) (time.Duration, error) {
+	if m, ok := opt.(Measurer); ok {
+		return m.MeasureFunc()
+	}
+	return nil
+}
+
+// noopMarker is the internal interface of optimizations that are known
+// to change nothing (an empty Stack). Consumers use OptIsNoop to take
+// the replay fast path: simulate the shared baseline directly, no clone
+// and no overlay.
+type noopMarker interface {
+	noopOpt() bool
+}
+
+// OptIsNoop reports whether opt is known to leave the graph unchanged
+// (nil, or an empty Stack), so evaluation can replay the baseline
+// without cloning or overlaying.
+func OptIsNoop(opt Optimization) bool {
+	if opt == nil {
+		return true
+	}
+	if m, ok := opt.(noopMarker); ok {
+		return m.noopOpt()
+	}
+	return false
+}
+
+// ApplyOptimization applies opt to g — in place when the optimization
+// mutates, or through GraphRewriter when it replaces — and returns the
+// graph to simulate. g must be private to the caller (a clone when the
+// baseline is shared); rewriters may consume it.
+func ApplyOptimization(g *Graph, opt Optimization) (*Graph, error) {
+	if rw, ok := opt.(GraphRewriter); ok {
+		return rw.RewriteGraph(g)
+	}
+	if err := opt.ApplyGraph(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// funcOpt is the ready-made Optimization implementation behind
+// TimingOpt, StructuralOpt and RewriteOpt.
+type funcOpt struct {
+	name    string
+	fp      OptFootprint
+	overlay func(*Overlay) error
+	graph   func(*Graph) error
+	measure func(*Graph, *SimResult) (time.Duration, error)
+}
+
+func (f *funcOpt) Name() string            { return f.name }
+func (f *funcOpt) Footprint() OptFootprint { return f.fp }
+
+func (f *funcOpt) ApplyOverlay(o *Overlay) error {
+	if f.overlay == nil {
+		return fmt.Errorf("core: optimization %q is structural and cannot apply through an overlay", f.name)
+	}
+	return f.overlay(o)
+}
+
+func (f *funcOpt) ApplyGraph(g *Graph) error {
+	if f.graph != nil {
+		return f.graph(g)
+	}
+	if f.overlay != nil {
+		return applyOverlayInPlace(g, f.overlay)
+	}
+	return fmt.Errorf("core: optimization %q replaces the graph; apply it through RewriteGraph", f.name)
+}
+
+func (f *funcOpt) MeasureFunc() func(*Graph, *SimResult) (time.Duration, error) {
+	return f.measure
+}
+
+// applyOverlayInPlace derives a clone-path application from an overlay
+// form: record the edits over g, then write the effective timings into
+// g's own tasks. Correct because the overlay only reads the baseline
+// while edits are recorded.
+func applyOverlayInPlace(g *Graph, apply func(*Overlay) error) error {
+	o := NewOverlay(g)
+	if err := apply(o); err != nil {
+		return err
+	}
+	for _, t := range g.tasks {
+		if t == nil {
+			continue
+		}
+		t.Duration = o.Duration(t)
+		t.Gap = o.Gap(t)
+		t.Priority = o.Priority(t)
+	}
+	return nil
+}
+
+// TimingOpt builds a TimingOnly Optimization from its overlay form and
+// (optionally) its clone-path form. When graph is nil the clone path is
+// derived from the overlay form — apply the edits, write the effective
+// timings back — so a custom duration-only what-if only needs one
+// function.
+func TimingOpt(name string, overlay func(*Overlay) error, graph func(*Graph) error) Optimization {
+	return &funcOpt{name: name, fp: TimingOnly, overlay: overlay, graph: graph}
+}
+
+// StructuralOpt builds a Structural Optimization from an in-place graph
+// transformation.
+func StructuralOpt(name string, graph func(*Graph) error) Optimization {
+	return &funcOpt{name: name, fp: Structural, graph: graph}
+}
+
+// rewriteOpt is a structural optimization that replaces the graph.
+type rewriteOpt struct {
+	funcOpt
+	rewrite func(*Graph) (*Graph, error)
+}
+
+func (r *rewriteOpt) RewriteGraph(g *Graph) (*Graph, error) { return r.rewrite(g) }
+
+// RewriteOpt builds a Structural Optimization that replaces the graph
+// (e.g. repeating the iteration before annotating it) and optionally
+// defines its own result metric; a nil measure keeps the default (the
+// simulated makespan).
+func RewriteOpt(name string, rewrite func(*Graph) (*Graph, error), measure func(*Graph, *SimResult) (time.Duration, error)) Optimization {
+	return &rewriteOpt{
+		funcOpt: funcOpt{name: name, fp: Structural, measure: measure},
+		rewrite: rewrite,
+	}
+}
+
+// stack composes optimizations in application order.
+type stack struct {
+	parts []Optimization
+}
+
+// Stack composes several optimizations into one Optimization value,
+// applied in argument order — the paper's composed what-ifs (AMP +
+// FusedAdam as a single question). Nil parts are dropped and nested
+// stacks are flattened. The stack's footprint is the maximum of its
+// parts', so a stack of timing-only optimizations still rides the
+// clone-free overlay path; one structural part moves the whole stack to
+// the clone path. An empty Stack is a named no-op: evaluation replays
+// the baseline without cloning.
+func Stack(parts ...Optimization) Optimization {
+	ps := make([]Optimization, 0, len(parts))
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if s, ok := p.(*stack); ok {
+			ps = append(ps, s.parts...)
+			continue
+		}
+		ps = append(ps, p)
+	}
+	return &stack{parts: ps}
+}
+
+func (s *stack) Name() string {
+	if len(s.parts) == 0 {
+		return "baseline"
+	}
+	names := make([]string, len(s.parts))
+	for i, p := range s.parts {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+func (s *stack) Footprint() OptFootprint {
+	fp := TimingOnly
+	for _, p := range s.parts {
+		if p.Footprint() > fp {
+			fp = p.Footprint()
+		}
+	}
+	return fp
+}
+
+func (s *stack) noopOpt() bool { return len(s.parts) == 0 }
+
+func (s *stack) ApplyOverlay(o *Overlay) error {
+	for _, p := range s.parts {
+		if err := p.ApplyOverlay(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *stack) ApplyGraph(g *Graph) error {
+	for _, p := range s.parts {
+		if _, ok := p.(GraphRewriter); ok {
+			return fmt.Errorf("core: stack part %q replaces the graph; apply the stack through RewriteGraph", p.Name())
+		}
+		if err := p.ApplyGraph(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RewriteGraph applies every part in order, threading the graph through
+// rewriting parts, so a stack may mix in-place and graph-replacing
+// optimizations.
+func (s *stack) RewriteGraph(g *Graph) (*Graph, error) {
+	for _, p := range s.parts {
+		if rw, ok := p.(GraphRewriter); ok {
+			var err error
+			if g, err = rw.RewriteGraph(g); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.ApplyGraph(g); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// MeasureFunc returns the last part's custom metric, matching the
+// intuition that the final transformation decides what the composed
+// what-if measures (a stack ending in P3 reports P3's steady-state
+// round distance).
+func (s *stack) MeasureFunc() func(*Graph, *SimResult) (time.Duration, error) {
+	for i := len(s.parts) - 1; i >= 0; i-- {
+		if m := OptMeasure(s.parts[i]); m != nil {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"daydream/internal/trace"
+)
+
+// optTestGraph builds a small two-thread graph for optimization tests.
+func optTestGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		launch := g.NewTask("cudaLaunchKernel", trace.KindLaunch, CPU(1), 2*time.Microsecond)
+		g.AppendTask(launch)
+		kern := g.NewTask(fmt.Sprintf("k%d", i), trace.KindKernel, Stream(7), 10*time.Microsecond)
+		g.AppendTask(kern)
+		if err := g.Correlate(launch, kern); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// halveGPU is a timing-only test optimization.
+func halveGPU() Optimization {
+	return TimingOpt("halve-gpu", func(o *Overlay) error {
+		for _, u := range o.Base().Tasks() {
+			if u.OnGPU() {
+				o.SetDuration(u, o.Duration(u)/2)
+			}
+		}
+		return nil
+	}, nil)
+}
+
+func TestOptFootprintString(t *testing.T) {
+	if TimingOnly.String() != "timing-only" || Structural.String() != "structural" {
+		t.Fatalf("footprint strings: %q, %q", TimingOnly, Structural)
+	}
+}
+
+func TestTimingOptDerivedApplyGraph(t *testing.T) {
+	g := optTestGraph(t, 6)
+	opt := halveGPU()
+	if opt.Footprint() != TimingOnly {
+		t.Fatalf("footprint = %v", opt.Footprint())
+	}
+
+	// Overlay path.
+	o := NewOverlay(g)
+	if err := opt.ApplyOverlay(o); err != nil {
+		t.Fatal(err)
+	}
+	want, err := o.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clone path, derived from the overlay form.
+	c := g.Clone()
+	if err := opt.ApplyGraph(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("derived clone path %v, overlay path %v", got, want)
+	}
+	for _, u := range c.Tasks() {
+		if u.OnGPU() && u.Duration != 5*time.Microsecond {
+			t.Fatalf("derived ApplyGraph did not write back: %v", u)
+		}
+	}
+	// The baseline is untouched by both paths.
+	for _, u := range g.Tasks() {
+		if u.OnGPU() && u.Duration != 10*time.Microsecond {
+			t.Fatalf("baseline mutated: %v", u)
+		}
+	}
+}
+
+func TestStructuralOptRejectsOverlay(t *testing.T) {
+	opt := StructuralOpt("drop-all", func(g *Graph) error { return nil })
+	if opt.Footprint() != Structural {
+		t.Fatalf("footprint = %v", opt.Footprint())
+	}
+	if err := opt.ApplyOverlay(NewOverlay(optTestGraph(t, 1))); err == nil {
+		t.Fatal("structural optimization applied through an overlay")
+	}
+}
+
+func TestStackFootprintAndName(t *testing.T) {
+	timing := halveGPU()
+	structural := StructuralOpt("surgery", func(g *Graph) error { return nil })
+
+	if fp := Stack(timing, timing).Footprint(); fp != TimingOnly {
+		t.Fatalf("timing-only stack footprint = %v", fp)
+	}
+	if fp := Stack(timing, structural).Footprint(); fp != Structural {
+		t.Fatalf("mixed stack footprint = %v", fp)
+	}
+	if name := Stack(timing, structural).Name(); name != "halve-gpu+surgery" {
+		t.Fatalf("stack name = %q", name)
+	}
+	// Nested stacks flatten; nil parts drop.
+	nested := Stack(Stack(timing, nil), structural)
+	if name := nested.Name(); name != "halve-gpu+surgery" {
+		t.Fatalf("flattened stack name = %q", name)
+	}
+}
+
+func TestEmptyStackIsNoop(t *testing.T) {
+	empty := Stack()
+	if !OptIsNoop(empty) {
+		t.Fatal("empty stack not a no-op")
+	}
+	if OptIsNoop(halveGPU()) || OptIsNoop(Stack(halveGPU())) {
+		t.Fatal("non-empty optimization reported as no-op")
+	}
+	if !OptIsNoop(nil) {
+		t.Fatal("nil optimization not a no-op")
+	}
+	if empty.Name() != "baseline" {
+		t.Fatalf("empty stack name = %q", empty.Name())
+	}
+	// Applying the no-op changes nothing on either path.
+	g := optTestGraph(t, 3)
+	want, _ := g.PredictIteration()
+	o := NewOverlay(g)
+	if err := empty.ApplyOverlay(o); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := o.PredictIteration(); got != want {
+		t.Fatalf("no-op overlay changed prediction: %v vs %v", got, want)
+	}
+	c := g.Clone()
+	if err := empty.ApplyGraph(c); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.PredictIteration(); got != want {
+		t.Fatalf("no-op ApplyGraph changed prediction: %v vs %v", got, want)
+	}
+}
+
+func TestStackAppliesInOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Optimization {
+		return TimingOpt(name, func(*Overlay) error {
+			order = append(order, name)
+			return nil
+		}, nil)
+	}
+	s := Stack(mk("a"), mk("b"), mk("c"))
+	if err := s.ApplyOverlay(NewOverlay(optTestGraph(t, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, "") != "abc" {
+		t.Fatalf("application order = %v", order)
+	}
+}
+
+func TestRewriteOptAndStackRewrite(t *testing.T) {
+	g := optTestGraph(t, 4)
+	repeat := RewriteOpt("repeat2",
+		func(c *Graph) (*Graph, error) { return c.Repeat(2) },
+		func(rg *Graph, res *SimResult) (time.Duration, error) {
+			return RoundSpan(rg, res, 1) - RoundSpan(rg, res, 0), nil
+		})
+	if repeat.Footprint() != Structural {
+		t.Fatalf("rewriter footprint = %v", repeat.Footprint())
+	}
+	if err := repeat.ApplyGraph(g.Clone()); err == nil {
+		t.Fatal("rewriter applied in place")
+	}
+	if OptMeasure(repeat) == nil {
+		t.Fatal("rewriter lost its measure")
+	}
+
+	// ApplyOptimization routes through RewriteGraph.
+	rg, err := ApplyOptimization(g.Clone(), repeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.NumTasks() != 2*g.NumTasks() {
+		t.Fatalf("rewritten graph has %d tasks, want %d", rg.NumTasks(), 2*g.NumTasks())
+	}
+
+	// A stack mixing in-place and rewriting parts threads the graph
+	// through, keeps the rewriter's measure, and refuses ApplyGraph.
+	mixed := Stack(halveGPU(), repeat)
+	if err := mixed.ApplyGraph(g.Clone()); err == nil {
+		t.Fatal("stack with a rewriter applied in place")
+	}
+	if OptMeasure(mixed) == nil {
+		t.Fatal("stack lost the rewriter's measure")
+	}
+	mg, err := ApplyOptimization(g.Clone(), mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.NumTasks() != 2*g.NumTasks() {
+		t.Fatalf("mixed-stack graph has %d tasks, want %d", mg.NumTasks(), 2*g.NumTasks())
+	}
+}
+
+func TestStackOverlayRejectsStructuralPart(t *testing.T) {
+	s := Stack(halveGPU(), StructuralOpt("surgery", func(g *Graph) error { return nil }))
+	if err := s.ApplyOverlay(NewOverlay(optTestGraph(t, 1))); err == nil {
+		t.Fatal("structural stack applied through an overlay")
+	}
+}

@@ -25,15 +25,16 @@ type AblationRow struct {
 }
 
 // ablationVariants knock out one design ingredient the paper argues
-// for. Duration-only ablations declare a scale footprint and ride the
-// sweep's clone-free overlay path; only the structural one (dropping
-// CPU tasks) pays for a clone, and the full model replays the shared
-// baseline directly.
+// for. Each ablation is a custom core.Optimization value — built with
+// the same TimingOpt/StructuralOpt constructors user code extends the
+// system with — so the sweep dispatches it like any registry
+// optimization: duration-only ablations ride the clone-free overlay
+// path, only the structural one (dropping CPU tasks) pays for a clone,
+// and the full model (a nil Opt) replays the shared baseline directly.
 var ablationVariants = []struct {
-	name  string
-	note  string
-	apply func(*core.Graph)         // structural: mutates a private clone
-	scale func(*core.Overlay) error // duration-only: overlay deltas
+	name string
+	note string
+	opt  core.Optimization // nil: replay the full model
 }{
 	{
 		name: "full model",
@@ -44,12 +45,12 @@ var ablationVariants = []struct {
 		// "indispensable to simulation accuracy".
 		name: "no CPU gaps",
 		note: "drop the un-instrumented framework time between CUDA calls",
-		scale: func(o *core.Overlay) error {
+		opt: core.TimingOpt("no-cpu-gaps", func(o *core.Overlay) error {
 			for _, t := range o.Base().Tasks() {
 				o.SetGap(t, 0)
 			}
 			return nil
-		},
+		}, nil),
 	},
 	{
 		// Build decomposes a blocking call's traced duration into
@@ -57,7 +58,7 @@ var ablationVariants = []struct {
 		// duration double-counts the waiting.
 		name: "no sync decomposition",
 		note: "keep blocking calls' full traced durations (waiting counted twice)",
-		scale: func(o *core.Overlay) error {
+		opt: core.TimingOpt("no-sync-decomposition", func(o *core.Overlay) error {
 			for _, t := range o.Base().Tasks() {
 				if t.Kind == trace.KindSync ||
 					(t.Kind == trace.KindMemcpyAPI && t.Dir == trace.MemcpyD2H) {
@@ -65,7 +66,7 @@ var ablationVariants = []struct {
 				}
 			}
 			return nil
-		},
+		}, nil),
 	},
 	{
 		// §2.3/§3: framework built-in profilers "omit important
@@ -73,13 +74,14 @@ var ablationVariants = []struct {
 		// is what you get without the kernel-level CPU abstraction.
 		name: "GPU-only model",
 		note: "drop all CPU tasks (what layer-level profilers see)",
-		apply: func(g *core.Graph) {
+		opt: core.StructuralOpt("gpu-only", func(g *core.Graph) error {
 			for _, t := range g.Tasks() {
 				if t.OnCPU() {
 					g.Remove(t)
 				}
 			}
-		},
+			return nil
+		}),
 	},
 }
 
@@ -108,19 +110,11 @@ func RunAblation() ([]AblationRow, error) {
 				Variant: v.name,
 				Traced:  res.IterationTime,
 			}
-			sc := sweep.Scenario{
-				Name:           m.Name + "/" + v.name,
-				Base:           g,
-				ScaleTransform: v.scale,
+			scenarios[i] = sweep.Scenario{
+				Name: m.Name + "/" + v.name,
+				Base: g,
+				Opt:  v.opt,
 			}
-			if v.apply != nil {
-				apply := v.apply
-				sc.Transform = func(c *core.Graph) (*core.Graph, error) {
-					apply(c)
-					return c, nil
-				}
-			}
-			scenarios[i] = sc
 		}
 		return nil
 	})

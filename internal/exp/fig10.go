@@ -106,32 +106,22 @@ func RunFig10Model(label string, m *dnn.Model, bandwidths []float64) ([]P3Row, e
 // default and minimum): enough for one steady-state round distance.
 const p3Rounds = 2
 
-// P3Scenario wraps Algorithm 7 as a sweep scenario: the transform
+// P3Scenario wraps Algorithm 7 as a sweep scenario: the scenario
+// carries the registry's P3 Optimization value, a graph rewriter that
 // replaces the scenario's clone with the repeated, priority-annotated
-// graph, and the measure extracts the steady-state iteration time — the
-// distance between the last two rounds' completion frontiers — from the
-// simulation. The returned Scenario holds no shared state, so it is
-// reusable and safe across concurrent sweeps like any other.
+// graph and supplies its own measure — the steady-state iteration time,
+// the distance between the last two rounds' completion frontiers. The
+// returned Scenario holds no shared state, so it is reusable and safe
+// across concurrent sweeps like any other.
 func P3Scenario(base *core.Graph, topo comm.Topology) sweep.Scenario {
 	return sweep.Scenario{
 		Name: fmt.Sprintf("p3 %s @%.0fGbps", topo.String(), topo.NICBandwidth/comm.Gbps(1)),
 		Base: base,
-		Transform: func(c *core.Graph) (*core.Graph, error) {
-			r, err := whatif.P3(c, whatif.P3Options{
-				Topology:   topo,
-				SliceBytes: 800 << 10,
-				Rounds:     p3Rounds,
-			})
-			if err != nil {
-				return nil, err
-			}
-			return r.Graph, nil
-		},
-		Measure: func(rg *core.Graph, res *core.SimResult) (time.Duration, error) {
-			last := core.RoundSpan(rg, res, p3Rounds-1)
-			prev := core.RoundSpan(rg, res, p3Rounds-2)
-			return last - prev, nil
-		},
+		Opt: whatif.OptP3(whatif.P3Options{
+			Topology:   topo,
+			SliceBytes: 800 << 10,
+			Rounds:     p3Rounds,
+		}),
 	}
 }
 

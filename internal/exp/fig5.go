@@ -3,7 +3,6 @@ package exp
 import (
 	"time"
 
-	"daydream/internal/core"
 	"daydream/internal/framework"
 	"daydream/internal/sweep"
 	"daydream/internal/trace"
@@ -37,8 +36,8 @@ var ampModels = []struct{ label, zoo string }{
 // precision, and Daydream's prediction with Algorithm 3. The per-model
 // profiling and ground-truth engine runs fan out over a bounded pool;
 // the predictions then fan out through one sweep, each scenario carrying
-// its model's profile as Base and editing durations through the
-// clone-free overlay path (AMP never touches graph structure).
+// its model's profile as Base and the registry's AMP Optimization value
+// (timing-only, so the sweep rides the clone-free overlay path).
 func RunFig5AMP() ([]AMPRow, error) {
 	scenarios := make([]sweep.Scenario, len(ampModels))
 	rows := make([]AMPRow, len(ampModels))
@@ -61,10 +60,7 @@ func RunFig5AMP() ([]AMPRow, error) {
 		scenarios[i] = sweep.Scenario{
 			Name: mm.label,
 			Base: g,
-			ScaleTransform: func(o *core.Overlay) error {
-				whatif.AMPOverlay(o)
-				return nil
-			},
+			Opt:  whatif.OptAMP(),
 		}
 		return nil
 	})

@@ -25,8 +25,10 @@ type FusedAdamRow struct {
 // RunFig7FusedAdam computes Figure 7 for the Adam-trained models: the
 // per-model profiling and ground-truth engine runs fan out over a
 // bounded pool, then the Algorithm-4 predictions go through one sweep
-// on the clone-free overlay path (the fused optimizer is modeled as
-// rescaling: superseded kernels and launches drop to zero time).
+// as the registry's FusedAdam Optimization value — timing-only (the
+// fused optimizer is modeled as rescaling: superseded kernels and
+// launches drop to zero time), so the sweep stays on the clone-free
+// overlay path.
 func RunFig7FusedAdam() ([]FusedAdamRow, error) {
 	models := []struct{ label, zoo string }{
 		{"BERT_Base", "bert-base"},
@@ -54,9 +56,9 @@ func RunFig7FusedAdam() ([]FusedAdamRow, error) {
 			GroundTruth: gt.IterationTime,
 		}
 		scenarios[i] = sweep.Scenario{
-			Name:           mm.label,
-			Base:           g,
-			ScaleTransform: whatif.FusedAdamOverlay,
+			Name: mm.label,
+			Base: g,
+			Opt:  whatif.OptFusedAdam(),
 		}
 		return nil
 	})

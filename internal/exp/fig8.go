@@ -66,16 +66,15 @@ func Fig8Grid() []comm.Topology {
 
 // Fig8Scenario wraps one grid point as a sweep scenario over the
 // single-GPU baseline graph: the single-GPU point replays the baseline,
-// every other point applies Algorithm 6 for its topology.
+// every other point carries Algorithm 6 for its topology as an
+// Optimization value (structural, so the sweep clones).
 func Fig8Scenario(base *core.Graph, topo comm.Topology) sweep.Scenario {
 	sc := sweep.Scenario{
 		Name: fmt.Sprintf("%s @%s", topo.String(), gbpsLabel(topo)),
 		Base: base,
 	}
 	if topo.TotalGPUs() > 1 {
-		sc.Transform = func(c *core.Graph) (*core.Graph, error) {
-			return c, whatif.Distributed(c, whatif.DistributedOptions{Topology: topo})
-		}
+		sc.Opt = whatif.OptDistributed(whatif.DistributedOptions{Topology: topo})
 	}
 	return sc
 }

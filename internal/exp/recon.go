@@ -41,7 +41,7 @@ func RunBatchnormRecon() (*ReconResult, error) {
 		return nil, err
 	}
 	pred := g.Clone()
-	if err := whatif.ReconBatchnorm(pred, whatif.ReconBatchnormOptions{}); err != nil {
+	if err := whatif.OptReconBatchnorm(whatif.ReconBatchnormOptions{}).ApplyGraph(pred); err != nil {
 		return nil, err
 	}
 	predicted, err := pred.PredictIteration()

@@ -31,9 +31,10 @@ type UpgradeRow struct {
 // engine runs on those devices — the "would a faster GPU help?" question
 // from the paper's introduction, answered without access to the target
 // hardware. Profiling and the per-(model, target) ground-truth runs fan
-// out over a bounded pool; the device grid itself is a clone-free
-// overlay sweep over each model's shared profile (one replay scenario
-// for the source time, one rescale scenario per target).
+// out over a bounded pool; the device grid itself is one sweep over
+// each model's shared profile (one replay scenario for the source time,
+// one timing-only OptDeviceUpgrade value per target, so every
+// prediction stays on the clone-free overlay path).
 func RunUpgrade() ([]UpgradeRow, error) {
 	targets := []*xpu.Device{xpu.V100(), xpu.P4000()}
 	models := []string{"resnet50", "gnmt", "bert-base"}
@@ -56,13 +57,10 @@ func RunUpgrade() ([]UpgradeRow, error) {
 		g := graphs[i]
 		scenarios = append(scenarios, sweep.Scenario{Name: name + "/source", Base: g})
 		for _, target := range targets {
-			target := target
 			scenarios = append(scenarios, sweep.Scenario{
 				Name: name + "/" + target.Name,
 				Base: g,
-				ScaleTransform: func(o *core.Overlay) error {
-					return whatif.DeviceUpgradeOverlay(o, xpu.RTX2080Ti(), target)
-				},
+				Opt:  whatif.OptDeviceUpgrade(xpu.RTX2080Ti(), target),
 			})
 		}
 	}

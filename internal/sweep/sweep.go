@@ -8,13 +8,21 @@
 // Run fans a scenario list out over a worker pool. The baseline graph
 // is shared immutably, and a scenario takes one of three paths:
 //
-//   - Duration-only scenarios (ScaleTransform) record copy-on-write
-//     timing deltas in a worker-owned core.Overlay and simulate through
-//     it — zero clone, near-zero allocation per scenario.
-//   - Structural scenarios (Transform) mutate a private Graph.Clone as
-//     before.
-//   - Replay scenarios (neither) simulate the shared baseline directly,
-//     which never mutates it.
+//   - Duration-only scenarios (a TimingOnly Opt, or ScaleTransform)
+//     record copy-on-write timing deltas in a worker-owned core.Overlay
+//     and simulate through it — zero clone, near-zero allocation per
+//     scenario.
+//   - Structural scenarios (a Structural Opt, or Transform) mutate a
+//     private Graph.Clone as before.
+//   - Replay scenarios (no what-if at all, or a no-op Opt such as an
+//     empty core.Stack) simulate the shared baseline directly, which
+//     never mutates it.
+//
+// Scenarios should declare their what-if as a core.Optimization value
+// in Opt — the sweep picks the cheapest valid path from the value's
+// footprint, so a core.Stack of timing-only optimizations still runs
+// clone-free. The manual Transform/ScaleTransform fields remain for
+// one-off custom edits.
 //
 // Each worker owns one reusable core.SimScratch, one overlay and one
 // result buffer, so steady-state scenario evaluation allocates almost
@@ -37,15 +45,30 @@ import (
 // graph, an optional scheduling policy, and an optional metric to
 // extract from the simulation.
 type Scenario struct {
-	// Name labels the scenario in results.
+	// Name labels the scenario in results; when empty and Opt is set,
+	// the optimization's own name is used.
 	Name string
 	// Base optionally overrides the sweep-wide baseline for this
 	// scenario — e.g. a per-model profile in a models × configs grid.
 	Base *core.Graph
+	// Opt is the preferred way to declare the scenario's what-if: a
+	// self-describing core.Optimization value. The sweep dispatches on
+	// its footprint — timing-only optimizations (and stacks of them)
+	// ride the clone-free overlay path, structural ones get a private
+	// clone, and a known no-op (an empty core.Stack) replays the
+	// baseline without cloning. An optimization carrying its own metric
+	// (P3) supplies the Measure unless the scenario sets one. A Measure
+	// paired with a timing-only Opt follows the overlay contract
+	// documented on Measure: it receives the shared read-only baseline
+	// and reads effective timings through the SimResult. Setting Opt
+	// together with Transform or ScaleTransform is an error.
+	Opt core.Optimization
 	// Transform mutates the scenario's private clone, or returns a
 	// different graph to simulate (e.g. a Repeat-expanded one). A nil
-	// Transform with a nil ScaleTransform replays the baseline
-	// unchanged (without cloning — Simulate never mutates).
+	// Transform with a nil ScaleTransform and a nil Opt replays the
+	// baseline unchanged (without cloning — Simulate never mutates).
+	// Prefer Opt for anything expressible as an Optimization value;
+	// Transform remains for one-off custom structural edits.
 	Transform func(g *core.Graph) (*core.Graph, error)
 	// ScaleTransform declares a duration-only footprint: the scenario
 	// edits per-task durations, gaps and priorities through a
@@ -53,6 +76,7 @@ type Scenario struct {
 	// mutating a clone. Scenarios that never touch graph structure
 	// (AMP, kernel profiles, device upgrades, bandwidth/duration
 	// grids) should prefer this path — it skips the clone entirely.
+	// Prefer Opt for anything expressible as an Optimization value.
 	// Setting both Transform and ScaleTransform is an error.
 	ScaleTransform func(o *core.Overlay) error
 	// SimOptions are extra simulation options (e.g. a custom scheduler).
@@ -178,6 +202,9 @@ func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, 
 // runOne evaluates a single scenario with the worker-owned state.
 func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 	r := Result{Name: sc.Name}
+	if r.Name == "" && sc.Opt != nil {
+		r.Name = sc.Opt.Name()
+	}
 	base := sc.Base
 	if base == nil {
 		base = baseline
@@ -189,6 +216,32 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 	if sc.Transform != nil && sc.ScaleTransform != nil {
 		r.Err = fmt.Errorf("scenario sets both Transform and ScaleTransform")
 		return r
+	}
+	if sc.Opt != nil && (sc.Transform != nil || sc.ScaleTransform != nil) {
+		r.Err = fmt.Errorf("scenario sets Opt together with Transform/ScaleTransform")
+		return r
+	}
+
+	// Resolve the scenario's what-if into the three evaluation paths.
+	// An Optimization value dispatches on its footprint; a known no-op
+	// (empty stack) leaves both nil and takes the replay fast path.
+	measure := sc.Measure
+	scale := sc.ScaleTransform
+	transform := sc.Transform
+	if opt := sc.Opt; opt != nil {
+		if measure == nil {
+			measure = core.OptMeasure(opt)
+		}
+		switch {
+		case core.OptIsNoop(opt):
+			// Replay path: nothing to apply.
+		case opt.Footprint() == core.TimingOnly:
+			scale = opt.ApplyOverlay
+		default:
+			transform = func(c *core.Graph) (*core.Graph, error) {
+				return core.ApplyOptimization(c, opt)
+			}
+		}
 	}
 
 	simOpts := make([]core.SimOption, 0, len(sc.SimOptions)+2)
@@ -207,23 +260,23 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		err error
 	)
 	switch {
-	case sc.ScaleTransform != nil:
+	case scale != nil:
 		// Clone-free path: timing deltas over the shared baseline.
 		if w.overlay == nil {
 			w.overlay = core.NewOverlay(base)
 		} else {
 			w.overlay.Reset(base)
 		}
-		if err = sc.ScaleTransform(w.overlay); err != nil {
+		if err = scale(w.overlay); err != nil {
 			r.Err = err
 			return r
 		}
 		g = base
 		res, err = w.overlay.Simulate(simOpts...)
-	case sc.Transform != nil:
+	case transform != nil:
 		// Structural path: a private clone to mutate.
 		g = base.Clone()
-		g, err = sc.Transform(g)
+		g, err = transform(g)
 		if err != nil {
 			r.Err = err
 			return r
@@ -240,7 +293,7 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		// KeepGraphs, and when a Measure is set (Measure historically
 		// received a private clone).
 		g = base
-		if cfg.keepGraphs || sc.Measure != nil {
+		if cfg.keepGraphs || measure != nil {
 			g = base.Clone()
 		}
 		res, err = g.Simulate(simOpts...)
@@ -249,8 +302,8 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		r.Err = err
 		return r
 	}
-	if sc.Measure != nil {
-		r.Value, r.Err = sc.Measure(g, res)
+	if measure != nil {
+		r.Value, r.Err = measure(g, res)
 		if r.Err != nil {
 			return r
 		}
@@ -258,7 +311,7 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		r.Value = res.Makespan
 	}
 	if cfg.keepGraphs {
-		if sc.ScaleTransform != nil {
+		if scale != nil {
 			// Honor the private-graph contract: hand back a clone
 			// carrying the overlay's effective timings, never the
 			// shared baseline.

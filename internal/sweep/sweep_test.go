@@ -393,3 +393,175 @@ func TestSweepReplayMeasureGetsPrivateClone(t *testing.T) {
 		}
 	}
 }
+
+// gpuScaleOpt is scaleScenario's what-if as a timing-only Optimization
+// value.
+func gpuScaleOpt(factor float64) core.Optimization {
+	return core.TimingOpt(fmt.Sprintf("gpu-x%g", factor), func(o *core.Overlay) error {
+		for _, u := range o.Base().Tasks() {
+			if u.OnGPU() {
+				o.ScaleDuration(u, factor)
+			}
+		}
+		return nil
+	}, nil)
+}
+
+// TestSweepOptDispatch checks the footprint dispatch on Scenario.Opt: a
+// timing-only value, a stack of timing-only values, and a structural
+// value all predict bit-identically to the equivalent manual paths.
+func TestSweepOptDispatch(t *testing.T) {
+	g := testGraph(40)
+	structural := core.StructuralOpt("drop-first-kernel", func(c *core.Graph) error {
+		kernels := c.Select(core.OnGPUPred)
+		c.Remove(kernels[0])
+		return nil
+	})
+	opts := []Scenario{
+		{Opt: gpuScaleOpt(0.5)},
+		{Opt: core.Stack(gpuScaleOpt(0.5), gpuScaleOpt(0.5))},
+		{Opt: structural},
+	}
+	manual := []Scenario{
+		overlayScaleScenario("a", 0.5),
+		overlayScaleScenario("b", 0.25),
+		{Name: "c", Transform: func(c *core.Graph) (*core.Graph, error) {
+			return c, structural.ApplyGraph(c)
+		}},
+	}
+	got, err := Run(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(g, manual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Value != want[i].Value {
+			t.Fatalf("scenario %d: Opt dispatch %v, manual path %v", i, got[i].Value, want[i].Value)
+		}
+	}
+	// Default names come from the optimization values.
+	if got[0].Name != "gpu-x0.5" || got[1].Name != "gpu-x0.5+gpu-x0.5" {
+		t.Fatalf("default names = %q, %q", got[0].Name, got[1].Name)
+	}
+	// The baseline survives every path untouched.
+	for _, u := range g.Tasks() {
+		if u.OnGPU() && u.Duration != 10*time.Microsecond {
+			t.Fatalf("Opt sweep mutated baseline task %v", u)
+		}
+	}
+}
+
+// TestSweepOptRejectsManualTransforms checks the ambiguous shape (Opt
+// together with a manual transform) errors out.
+func TestSweepOptRejectsManualTransforms(t *testing.T) {
+	g := testGraph(4)
+	for _, sc := range []Scenario{
+		{Opt: gpuScaleOpt(0.5), Transform: func(c *core.Graph) (*core.Graph, error) { return c, nil }},
+		{Opt: gpuScaleOpt(0.5), ScaleTransform: func(*core.Overlay) error { return nil }},
+	} {
+		if _, err := Run(g, []Scenario{sc}); err == nil {
+			t.Fatal("scenario with Opt and a manual transform did not error")
+		}
+	}
+}
+
+// TestSweepOptCarriesMeasure checks an optimization's own metric is
+// used when the scenario sets none, and that an explicit Measure wins.
+func TestSweepOptCarriesMeasure(t *testing.T) {
+	g := testGraph(8)
+	repeat := core.RewriteOpt("repeat3",
+		func(c *core.Graph) (*core.Graph, error) { return c.Repeat(3) },
+		func(rg *core.Graph, res *core.SimResult) (time.Duration, error) {
+			return core.RoundSpan(rg, res, 2) - core.RoundSpan(rg, res, 1), nil
+		})
+	res, err := Run(g, []Scenario{{Opt: repeat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := g.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Value <= 0 || res[0].Value >= 3*single {
+		t.Fatalf("opt-carried measure = %v (single iteration %v)", res[0].Value, single)
+	}
+	override, err := Run(g, []Scenario{{
+		Opt:     repeat,
+		Measure: func(*core.Graph, *core.SimResult) (time.Duration, error) { return 42, nil },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if override[0].Value != 42 {
+		t.Fatalf("explicit Measure did not win: %v", override[0].Value)
+	}
+}
+
+// TestSweepNoopStackReplaysWithoutClone pins the replay-path fast path
+// for a no-op stack: a Scenario whose Opt is Stack() with zero parts
+// must predict the baseline exactly and allocate no more than the
+// existing "neither Transform" replay scenario — i.e. it takes the same
+// clone-free, overlay-free path.
+func TestSweepNoopStackReplaysWithoutClone(t *testing.T) {
+	g := testGraph(20)
+	want, err := g.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, []Scenario{{Opt: core.Stack()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Value != want {
+		t.Fatalf("no-op stack predicts %v, baseline %v", res[0].Value, want)
+	}
+	if res[0].Name != "baseline" {
+		t.Fatalf("no-op stack name = %q", res[0].Name)
+	}
+
+	// Allocation parity with the replay path, measured over identical
+	// single-worker sweeps (the scenario values are built outside the
+	// measurement): an overlay or clone dispatch would show up as extra
+	// allocations.
+	plainScenarios := []Scenario{{Name: "replay"}}
+	noopScenarios := []Scenario{{Name: "replay", Opt: core.Stack()}}
+	replay := testing.AllocsPerRun(50, func() {
+		if _, err := Run(g, plainScenarios, Workers(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	noop := testing.AllocsPerRun(50, func() {
+		if _, err := Run(g, noopScenarios, Workers(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if noop > replay {
+		t.Fatalf("no-op stack allocates %.0f/run, plain replay %.0f/run — it is not on the replay fast path", noop, replay)
+	}
+}
+
+// TestSweepStackedOptRace drives concurrent sweeps of stacked
+// optimizations over one shared baseline. Run under -race (the CI does)
+// this verifies stacks inside Sweep never write to the shared graph.
+func TestSweepStackedOptRace(t *testing.T) {
+	g := testGraph(50)
+	stacked := core.Stack(gpuScaleOpt(0.5), gpuScaleOpt(0.9))
+	var scenarios []Scenario
+	for i := 0; i < 16; i++ {
+		scenarios = append(scenarios, Scenario{Name: fmt.Sprintf("s%d", i), Opt: stacked})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Run(g, scenarios, Workers(4)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,111 @@
+package whatif
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/comm"
+	"daydream/internal/core"
+	"daydream/internal/xpu"
+)
+
+// First-class Optimization values for every optimization model in this
+// package. Each constructor wraps the model's overlay form and clone
+// form into one self-describing core.Optimization, so the same value
+// drives Compare, sweep scenarios, the experiment grids and the CLIs,
+// and core.Stack composes them into single composed what-ifs.
+
+// OptAMP returns automatic mixed precision (Algorithm 3) as an
+// Optimization value. Timing-only: evaluation rides the clone-free
+// overlay path.
+func OptAMP() core.Optimization {
+	return core.TimingOpt("amp",
+		func(o *core.Overlay) error { AMPOverlay(o); return nil },
+		func(g *core.Graph) error { AMP(g); return nil })
+}
+
+// OptFusedAdam returns Apex's fused Adam optimizer (Algorithm 4) as an
+// Optimization value. Timing-only: the overlay form zeroes superseded
+// kernels instead of removing them, which simulates identically.
+func OptFusedAdam() core.Optimization {
+	return core.TimingOpt("fusedadam", FusedAdamOverlay, FusedAdam)
+}
+
+// OptReconBatchnorm returns batchnorm restructuring (Algorithm 5) as an
+// Optimization value.
+func OptReconBatchnorm(opts ReconBatchnormOptions) core.Optimization {
+	return core.TimingOpt("reconbn",
+		func(o *core.Overlay) error { return ReconBatchnormOverlay(o, opts) },
+		func(g *core.Graph) error { return ReconBatchnorm(g, opts) })
+}
+
+// OptDistributed returns the data-parallel prediction (Algorithm 6) as
+// an Optimization value. Structural: it inserts all-reduce tasks, so
+// evaluation clones.
+func OptDistributed(opts DistributedOptions) core.Optimization {
+	t := opts.Topology
+	name := fmt.Sprintf("distributed %s @%.0fGbps", t.String(), t.NICBandwidth/comm.Gbps(1))
+	return core.StructuralOpt(name,
+		func(g *core.Graph) error { return Distributed(g, opts) })
+}
+
+// OptP3 returns the parameter-server prediction (Algorithm 7) as an
+// Optimization value: a graph rewriter (the iteration is repeated
+// before annotation) carrying its own metric — the steady-state round
+// distance rather than the multi-round makespan. SliceBytes follows
+// P3Options: positive enables P3's slicing and priorities, zero models
+// the plain FIFO parameter server.
+func OptP3(opts P3Options) core.Optimization {
+	rounds := opts.Rounds
+	if rounds < 2 {
+		rounds = 2
+	}
+	opts.Rounds = rounds
+	t := opts.Topology
+	label := "p3"
+	if opts.SliceBytes <= 0 {
+		label = "ps-fifo"
+	}
+	name := fmt.Sprintf("%s %s @%.0fGbps", label, t.String(), t.NICBandwidth/comm.Gbps(1))
+	return core.RewriteOpt(name,
+		func(g *core.Graph) (*core.Graph, error) {
+			r, err := P3(g, opts)
+			if err != nil {
+				return nil, err
+			}
+			return r.Graph, nil
+		},
+		func(g *core.Graph, res *core.SimResult) (time.Duration, error) {
+			return core.RoundSpan(g, res, rounds-1) - core.RoundSpan(g, res, rounds-2), nil
+		})
+}
+
+// OptDeviceUpgrade returns the device-upgrade what-if as an Optimization
+// value. Timing-only: device grids over one shared profile stay
+// clone-free.
+func OptDeviceUpgrade(from, to *xpu.Device) core.Optimization {
+	name := "upgrade"
+	if to != nil {
+		name = fmt.Sprintf("upgrade to %s", to.Name)
+	}
+	return core.TimingOpt(name,
+		func(o *core.Overlay) error { return DeviceUpgradeOverlay(o, from, to) },
+		func(g *core.Graph) error { return DeviceUpgrade(g, from, to) })
+}
+
+// OptKernelProfile returns the externally-profiled-kernel what-if
+// (paper §7.4) as an Optimization value.
+func OptKernelProfile(p KernelProfile) core.Optimization {
+	return core.TimingOpt("kprofile",
+		func(o *core.Overlay) error { ApplyKernelProfileOverlay(o, p); return nil },
+		func(g *core.Graph) error { ApplyKernelProfile(g, p); return nil })
+}
+
+// OptScale returns the COZ-style "what if kernels matching sub were
+// factor× their duration" question as an Optimization value.
+func OptScale(sub string, factor float64) core.Optimization {
+	name := fmt.Sprintf("scale %q x%g", sub, factor)
+	return core.TimingOpt(name,
+		func(o *core.Overlay) error { ScaleByNameOverlay(o, sub, factor); return nil },
+		func(g *core.Graph) error { ScaleByName(g, sub, factor); return nil })
+}

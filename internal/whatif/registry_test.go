@@ -1,0 +1,155 @@
+package whatif_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/framework"
+	"daydream/internal/whatif"
+)
+
+func TestRegistryNamesAndFootprints(t *testing.T) {
+	want := map[string]core.OptFootprint{
+		"amp":         core.TimingOnly,
+		"fusedadam":   core.TimingOnly,
+		"reconbn":     core.TimingOnly,
+		"distributed": core.Structural,
+		"p3":          core.Structural,
+		"upgrade":     core.TimingOnly,
+		"kprofile":    core.TimingOnly,
+		"scale":       core.TimingOnly,
+	}
+	specs := whatif.Registry()
+	if len(specs) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(specs), len(want))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate registry name %q", s.Name)
+		}
+		seen[s.Name] = true
+		fp, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected registry entry %q", s.Name)
+		}
+		if s.Footprint != fp {
+			t.Fatalf("%s footprint = %v, want %v", s.Name, s.Footprint, fp)
+		}
+		if s.Summary == "" || s.Build == nil {
+			t.Fatalf("registry entry %q missing summary or builder", s.Name)
+		}
+	}
+	// Cluster marking drives the CLI's single-GPU battery.
+	for _, name := range []string{"distributed", "p3"} {
+		if s, _ := whatif.SpecByName(name); !s.Cluster {
+			t.Fatalf("%s not marked Cluster", name)
+		}
+	}
+}
+
+func TestRegistryBuildValidation(t *testing.T) {
+	topo := topo4x1(10)
+	cases := []struct {
+		name string
+		p    whatif.OptParams
+		ok   bool
+	}{
+		{"amp", whatif.OptParams{}, true},
+		{"fusedadam", whatif.OptParams{}, true},
+		{"reconbn", whatif.OptParams{}, true},
+		{"distributed", whatif.OptParams{}, false},
+		{"distributed", whatif.OptParams{Topology: topo}, true},
+		{"p3", whatif.OptParams{}, false},
+		{"p3", whatif.OptParams{Topology: topo}, true},
+		{"upgrade", whatif.OptParams{}, false},
+		{"upgrade", whatif.OptParams{FromDevice: "2080ti", ToDevice: "v100"}, true},
+		{"upgrade", whatif.OptParams{FromDevice: "2080ti", ToDevice: "tpu"}, false},
+		{"kprofile", whatif.OptParams{}, false},
+		{"kprofile", whatif.OptParams{Profile: whatif.KernelProfile{"sgemm": time.Millisecond}}, true},
+		{"scale", whatif.OptParams{}, false},
+		{"scale", whatif.OptParams{ScaleTarget: "conv", ScaleFactor: 0.5}, true},
+		{"scale", whatif.OptParams{ScaleTarget: "conv", ScaleFactor: -1}, false},
+	}
+	for _, tc := range cases {
+		opt, err := whatif.BuildByName(tc.name, tc.p)
+		if tc.ok && (err != nil || opt == nil) {
+			t.Fatalf("%s with %+v: unexpected error %v", tc.name, tc.p, err)
+		}
+		if !tc.ok && err == nil {
+			t.Fatalf("%s with %+v: expected a validation error", tc.name, tc.p)
+		}
+	}
+	if _, err := whatif.BuildByName("bogus", whatif.OptParams{}); err == nil ||
+		!strings.Contains(err.Error(), "amp") {
+		t.Fatalf("unknown name error should list registry names, got %v", err)
+	}
+}
+
+func TestParseStackExpressions(t *testing.T) {
+	opt, err := whatif.ParseStack("amp", whatif.OptParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Name() != "amp" {
+		t.Fatalf("single element name = %q", opt.Name())
+	}
+
+	stacked, err := whatif.ParseStack("amp+fusedadam", whatif.OptParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stacked.Name() != "amp+fusedadam" {
+		t.Fatalf("stack name = %q", stacked.Name())
+	}
+	if stacked.Footprint() != core.TimingOnly {
+		t.Fatalf("amp+fusedadam footprint = %v", stacked.Footprint())
+	}
+
+	mixed, err := whatif.ParseStack("amp + distributed", whatif.OptParams{Topology: topo4x1(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Footprint() != core.Structural {
+		t.Fatalf("amp+distributed footprint = %v", mixed.Footprint())
+	}
+
+	for _, bad := range []string{"", "+", "amp+", "amp+bogus"} {
+		if _, err := whatif.ParseStack(bad, whatif.OptParams{}); err == nil {
+			t.Fatalf("expression %q did not error", bad)
+		}
+	}
+}
+
+// TestParsedStackPredicts pins the registry end to end: a parsed
+// amp+fusedadam stack predicts the same iteration as the sequential
+// clone application on a real profile.
+func TestParsedStackPredicts(t *testing.T) {
+	g := profile(t, "bert-base", framework.PyTorch)
+	opt, err := whatif.ParseStack("amp+fusedadam", whatif.OptParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.NewOverlay(g)
+	if err := opt.ApplyOverlay(o); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	whatif.AMP(c)
+	if err := whatif.FusedAdam(c); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("parsed stack predicts %v, sequential %v", got, want)
+	}
+}

@@ -1,0 +1,133 @@
+package whatif_test
+
+// Stack equivalence suite: for every zoo model, the composed
+// Stack(OptAMP(), OptFusedAdam()) what-if must be bit-identical to
+// applying the two optimizations sequentially on a clone — on both of
+// the stack's evaluation paths. Same makespan and same start time for
+// every task alive in the sequentially-mutated clone; the overlay path
+// keeps zeroed tasks in the graph (FusedAdam's zeroing model), so like
+// the single-optimization equivalence suite only makespan+starts are
+// compared there.
+
+import (
+	"testing"
+
+	"daydream/internal/core"
+	"daydream/internal/dnn"
+	"daydream/internal/framework"
+	"daydream/internal/whatif"
+)
+
+// stackCases lists composed what-ifs checked zoo-wide against their
+// sequential clone-path application.
+func stackCases() []struct {
+	name       string
+	stack      core.Optimization
+	sequential []func(*core.Graph) error
+} {
+	profile := whatif.KernelProfile{"sgemm": 0}
+	return []struct {
+		name       string
+		stack      core.Optimization
+		sequential []func(*core.Graph) error
+	}{
+		{
+			name:  "amp+fusedadam",
+			stack: core.Stack(whatif.OptAMP(), whatif.OptFusedAdam()),
+			sequential: []func(*core.Graph) error{
+				func(g *core.Graph) error { whatif.AMP(g); return nil },
+				whatif.FusedAdam,
+			},
+		},
+		{
+			name:  "amp+kprofile+reconbn",
+			stack: core.Stack(whatif.OptAMP(), whatif.OptKernelProfile(profile), whatif.OptReconBatchnorm(whatif.ReconBatchnormOptions{})),
+			sequential: []func(*core.Graph) error{
+				func(g *core.Graph) error { whatif.AMP(g); return nil },
+				func(g *core.Graph) error { whatif.ApplyKernelProfile(g, profile); return nil },
+				func(g *core.Graph) error { return whatif.ReconBatchnorm(g, whatif.ReconBatchnormOptions{}) },
+			},
+		},
+	}
+}
+
+func TestStackEquivalenceAcrossZoo(t *testing.T) {
+	for _, name := range dnn.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g := profile(t, name, framework.PyTorch)
+			for _, tc := range stackCases() {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					assertStackEquivalence(t, g, tc.stack, tc.sequential)
+				})
+			}
+		})
+	}
+}
+
+func assertStackEquivalence(t *testing.T, g *core.Graph, stack core.Optimization, sequential []func(*core.Graph) error) {
+	t.Helper()
+	if fp := stack.Footprint(); fp != core.TimingOnly {
+		t.Fatalf("stack of timing-only optimizations has footprint %v", fp)
+	}
+
+	// Reference: the optimizations applied one after the other on a
+	// clone, the way pre-Stack callers composed them.
+	seq := g.Clone()
+	var seqErr error
+	for _, apply := range sequential {
+		if seqErr = apply(seq); seqErr != nil {
+			break
+		}
+	}
+
+	// Stack clone path.
+	sc := g.Clone()
+	cloneErr := stack.ApplyGraph(sc)
+	// Stack overlay path over the shared baseline.
+	o := core.NewOverlay(g)
+	overlayErr := stack.ApplyOverlay(o)
+
+	if (seqErr == nil) != (cloneErr == nil) || (seqErr == nil) != (overlayErr == nil) {
+		t.Fatalf("error mismatch: sequential=%v stack-clone=%v stack-overlay=%v",
+			seqErr, cloneErr, overlayErr)
+	}
+	if seqErr != nil {
+		return // all three forms reject the workload the same way
+	}
+
+	want, err := seq.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotClone, err := sc.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOverlay, err := o.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotClone.Makespan != want.Makespan {
+		t.Fatalf("makespan: stack clone path %v, sequential %v", gotClone.Makespan, want.Makespan)
+	}
+	if gotOverlay.Makespan != want.Makespan {
+		t.Fatalf("makespan: stack overlay path %v, sequential %v", gotOverlay.Makespan, want.Makespan)
+	}
+	// Start times of every task alive in the sequentially-mutated clone
+	// (IDs are preserved by Clone and left as holes by Remove).
+	for id := 0; id < seq.IDSpan(); id++ {
+		if seq.Task(id) == nil {
+			continue
+		}
+		if gotClone.Start[id] != want.Start[id] {
+			t.Fatalf("task %d start: stack clone path %v, sequential %v",
+				id, gotClone.Start[id], want.Start[id])
+		}
+		if gotOverlay.Start[id] != want.Start[id] {
+			t.Fatalf("task %d start: stack overlay path %v, sequential %v",
+				id, gotOverlay.Start[id], want.Start[id])
+		}
+	}
+}

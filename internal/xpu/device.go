@@ -1,6 +1,10 @@
 package xpu
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
 // Precision is the numeric precision a kernel executes in.
 type Precision int
@@ -136,16 +140,70 @@ func EPYC7601() *Host {
 	}
 }
 
+// presets is the single table every device-name lookup reads: one short
+// preset name per accelerator model. Adding a device here makes it
+// visible to DeviceByName, Devices, DeviceNames and FindDevice at once.
+var presets = []struct {
+	Short string
+	Build func() *Device
+}{
+	{"2080ti", RTX2080Ti},
+	{"p4000", P4000},
+	{"v100", V100},
+}
+
+// Devices returns a fresh model of every preset accelerator, in preset
+// order.
+func Devices() []*Device {
+	out := make([]*Device, len(presets))
+	for i, p := range presets {
+		out[i] = p.Build()
+	}
+	return out
+}
+
+// PresetNames returns the short preset names, in preset order.
+func PresetNames() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.Short
+	}
+	return out
+}
+
+// DeviceNames returns every accepted device name: the short preset names
+// followed by the full marketing names, in preset order.
+func DeviceNames() []string {
+	out := make([]string, 0, 2*len(presets))
+	out = append(out, PresetNames()...)
+	for _, p := range presets {
+		out = append(out, p.Build().Name)
+	}
+	return out
+}
+
 // DeviceByName returns a preset device model by (case-sensitive) short
 // name: "2080ti", "p4000", "v100". It returns false for unknown names.
 func DeviceByName(name string) (*Device, bool) {
-	switch name {
-	case "2080ti":
-		return RTX2080Ti(), true
-	case "p4000":
-		return P4000(), true
-	case "v100":
-		return V100(), true
+	for _, p := range presets {
+		if p.Short == name {
+			return p.Build(), true
+		}
 	}
 	return nil, false
+}
+
+// FindDevice resolves a short preset name or a full marketing name (the
+// form trace metadata records). Unknown names error with the complete
+// accepted-name list, so callers never maintain their own.
+func FindDevice(name string) (*Device, error) {
+	for _, p := range presets {
+		if p.Short == name {
+			return p.Build(), nil
+		}
+		if d := p.Build(); d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("xpu: unknown device %q (known: %s)", name, strings.Join(DeviceNames(), ", "))
 }

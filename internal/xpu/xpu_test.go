@@ -1,6 +1,7 @@
 package xpu
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -230,5 +231,54 @@ func TestClassProperties(t *testing.T) {
 	}
 	if ClassElementwise.fp32Accum() {
 		t.Error("elementwise should not keep fp32 accumulators")
+	}
+}
+
+func TestDevicePresetTable(t *testing.T) {
+	devs := Devices()
+	if len(devs) != 3 {
+		t.Fatalf("Devices() = %d entries", len(devs))
+	}
+	names := DeviceNames()
+	if len(names) != 2*len(devs) {
+		t.Fatalf("DeviceNames() = %v", names)
+	}
+	// Every preset short name and every marketing name resolves, and
+	// both spellings agree.
+	for i, short := range PresetNames() {
+		byShort, ok := DeviceByName(short)
+		if !ok {
+			t.Fatalf("preset %q does not resolve", short)
+		}
+		if byShort.Name != devs[i].Name {
+			t.Fatalf("preset %q resolves to %q, Devices()[%d] is %q",
+				short, byShort.Name, i, devs[i].Name)
+		}
+		found, err := FindDevice(short)
+		if err != nil || found.Name != byShort.Name {
+			t.Fatalf("FindDevice(%q) = %v, %v", short, found, err)
+		}
+		byFull, err := FindDevice(byShort.Name)
+		if err != nil || byFull.Name != byShort.Name {
+			t.Fatalf("FindDevice(%q) = %v, %v", byShort.Name, byFull, err)
+		}
+	}
+	// Devices() hands out fresh models: mutating one does not poison
+	// later lookups.
+	devs[0].MemBytes = 1
+	if d, _ := DeviceByName("2080ti"); d.MemBytes == 1 {
+		t.Fatal("Devices() shares state with the preset table")
+	}
+}
+
+func TestFindDeviceErrorListsAllNames(t *testing.T) {
+	_, err := FindDevice("tpu")
+	if err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	for _, name := range DeviceNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list known name %q", err, name)
+		}
 	}
 }

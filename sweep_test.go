@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"daydream"
+	"daydream/internal/core"
 	"daydream/internal/exp"
 	"daydream/internal/sweep"
 )
@@ -28,18 +29,24 @@ func fig8Predictions(tb testing.TB, zoo string) (*daydream.Graph, []daydream.Sce
 }
 
 // runSequential evaluates the scenarios one by one the way the seed
-// harness did: fresh clone, transform, simulate, no scratch reuse.
+// harness did: fresh clone, apply the what-if, simulate, no scratch
+// reuse. Optimization values apply through the clone path regardless of
+// footprint, so the sweep's overlay dispatch is checked against
+// clone-and-mutate.
 func runSequential(tb testing.TB, scenarios []daydream.Scenario) []daydream.SweepResult {
 	tb.Helper()
 	out := make([]daydream.SweepResult, len(scenarios))
 	for i, sc := range scenarios {
 		g := sc.Base.Clone()
 		var err error
-		if sc.Transform != nil {
+		switch {
+		case sc.Opt != nil:
+			g, err = core.ApplyOptimization(g, sc.Opt)
+		case sc.Transform != nil:
 			g, err = sc.Transform(g)
-			if err != nil {
-				tb.Fatal(err)
-			}
+		}
+		if err != nil {
+			tb.Fatal(err)
 		}
 		v, err := g.PredictIteration()
 		if err != nil {
