@@ -13,7 +13,10 @@
 // With -micro, the pipeline stages (trace collection, graph construction,
 // simulation, clone, AMP transform, clone-path, overlay-path and
 // stacked-overlay (AMP+FusedAdam via one Stack value) scenario
-// evaluation, and Figure-8-sized concurrent sweeps) are measured with
+// evaluation, the structural clone-vs-patch pair (Algorithm-6
+// Distributed on bert-large via a private clone vs copy-on-write
+// structural patch deltas), and Figure-8-sized concurrent sweeps) are
+// measured with
 // testing.Benchmark and written as machine-readable JSON (ns/op,
 // bytes/op, allocs/op, and scenarios/sec for the sweep benchmarks), so
 // the performance trajectory is tracked across changes. With -against,
@@ -214,10 +217,41 @@ func runMicro(path, against string, tolerance float64) error {
 			buf := &daydream.SimResult{}
 			for i := 0; i < b.N; i++ {
 				o.Reset(g)
-				if err := stacked.ApplyOverlay(o); err != nil {
+				if err := core.ApplyOverlay(stacked, o); err != nil {
 					b.Fatal(err)
 				}
 				if _, err := o.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// One structural scenario (Algorithm-6 Distributed, 4×2 @
+		// 10Gbps) end to end on both evaluation paths — the
+		// clone-vs-patch headline for structural what-ifs.
+		{"StructuralCloneScenario", 0, func(b *testing.B) {
+			topo := daydream.NewTopology(4, 2, 10)
+			scratch := core.NewSimScratch()
+			for i := 0; i < b.N; i++ {
+				c := g.Clone()
+				if err := daydream.Distributed(c, topo); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Simulate(core.WithScratch(scratch)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"StructuralPatchScenario", 0, func(b *testing.B) {
+			opt := daydream.OptDistributed(daydream.NewTopology(4, 2, 10))
+			scratch := core.NewSimScratch()
+			p := daydream.NewPatch(g)
+			buf := &daydream.SimResult{}
+			for i := 0; i < b.N; i++ {
+				p.Reset(g)
+				if err := opt.Apply(p); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -15,7 +15,11 @@
 //
 // The -opt argument is a stack expression over the optimization
 // registry (daydream.Optimizations): names joined with '+' compose via
-// daydream.Stack; run `daydream predict -h` for the generated list.
+// daydream.Stack (each name may appear once); run `daydream predict -h`
+// for the generated list. Every optimization applies through the
+// unified copy-on-write Patch surface, so predict and sweep evaluate
+// timing-only and structural what-ifs alike without cloning the
+// profiled graph — only graph-replacing rewrites (p3) clone.
 package main
 
 import (

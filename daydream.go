@@ -52,18 +52,32 @@ type (
 	// SimScratch is the reusable per-simulation working set.
 	SimScratch = core.SimScratch
 	// Overlay is a copy-on-write timing view over a shared baseline
-	// graph, the clone-free path for duration-only what-ifs.
+	// graph, the clone-free path for duration-only what-ifs (and the
+	// timing tier of a Patch).
 	Overlay = core.Overlay
+	// Patch is a copy-on-write view of a shared baseline graph that
+	// layers structural deltas (task and edge additions/removals) on
+	// top of an Overlay's timing deltas — the unified application
+	// surface every Optimization applies through, making structural
+	// what-ifs (Distributed, P3's annotation, removal-form batchnorm
+	// restructuring) clone-free too.
+	Patch = core.Patch
+	// TaskView is the read-only task set a Measure reads from: a
+	// *Graph, or a *Patch viewing one through deltas.
+	TaskView = core.TaskView
 	// LayerPhaseIndex is the memoized per-graph layer/phase index.
 	LayerPhaseIndex = core.LayerPhaseIndex
 	// Optimization is a first-class what-if value: a self-describing
-	// graph transformation carrying its name and evaluation footprint.
-	// The same value drives Compare, sweep Scenarios and the CLIs, and
-	// Stack composes several into one composed what-if.
+	// graph transformation carrying its name and footprint, applied
+	// through the unified Apply(*Patch) surface. The same value drives
+	// Compare, sweep Scenarios and the CLIs, and Stack composes
+	// several into one composed what-if.
 	Optimization = core.Optimization
 	// OptFootprint classifies how much of the graph an Optimization
-	// touches: TimingOnly values evaluate clone-free through an
-	// Overlay, Structural ones get a private clone.
+	// touches — a fast-path hint and display label: TimingOnly values
+	// write only the Patch's Overlay timing tier, Structural ones
+	// record structural deltas too. Neither clones; only
+	// graph-replacing rewrites and legacy in-place transforms do.
 	OptFootprint = core.OptFootprint
 	// OptimizationSpec describes one entry of the optimization
 	// registry (see Optimizations).
@@ -108,6 +122,16 @@ func Sweep(baseline *Graph, scenarios []Scenario, opts ...SweepOption) ([]SweepR
 // with Overlay.Simulate — no clone, and any number of overlays may
 // share one baseline concurrently as long as nothing mutates it.
 func NewOverlay(g *Graph) *Overlay { return core.NewOverlay(g) }
+
+// NewPatch returns an empty copy-on-write patch over the baseline
+// graph: the unified what-if application surface. Timing edits ride the
+// embedded overlay tier; structural edits (NewTask/AppendTask/
+// InsertAfter/AddDependency/RemoveDependency/RemoveTask) are recorded
+// as deltas. Patch.Simulate runs Algorithm 1 over the composite view,
+// bit-identical to cloning the baseline and mutating the clone — and
+// any number of patches may share one baseline concurrently as long as
+// nothing mutates it.
+func NewPatch(g *Graph) *Patch { return core.NewPatch(g) }
 
 // SweepWorkers caps the sweep worker pool; values below 1 select
 // GOMAXPROCS.
@@ -229,10 +253,12 @@ func ComputeBreakdown(t *Trace) Breakdown { return trace.ComputeBreakdown(t) }
 
 // Optimization values (paper §5, §7). Every optimization model is
 // available as a first-class, self-describing Optimization value: it
-// knows its name, whether it only rewrites timings (TimingOnly — the
-// clone-free overlay path) or changes graph structure (Structural — a
-// private clone), and how to apply itself on either path. One value
-// drives every consumer:
+// knows its name, whether it only rewrites timings (TimingOnly) or
+// changes graph structure (Structural), and applies itself through the
+// one clone-free Patch surface — timing edits in the copy-on-write
+// timing tier, structural edits as task/edge deltas; only values that
+// must replace the graph (OptP3's Repeat form) evaluate on a private
+// clone. One value drives every consumer:
 //
 //	opt := daydream.Stack(daydream.OptAMP(), daydream.OptFusedAdam())
 //	base, pred, _ := daydream.Compare(g, opt)            // one question
@@ -252,6 +278,14 @@ func OptFusedAdam() Optimization { return whatif.OptFusedAdam() }
 // Optimization value, with the zoo's default layer classification.
 func OptReconBatchnorm() Optimization {
 	return whatif.OptReconBatchnorm(whatif.ReconBatchnormOptions{})
+}
+
+// OptReconBatchnormRemoval is OptReconBatchnorm's removal form as a
+// patch-form structural value: ReLU kernels are removed (with Remove's
+// reconnection edges) as copy-on-write deltas instead of zeroed — same
+// prediction, true restructured graph shape, still clone-free.
+func OptReconBatchnormRemoval() Optimization {
+	return whatif.OptReconBatchnormRemoval(whatif.ReconBatchnormOptions{})
 }
 
 // OptDistributed returns the data-parallel prediction (Algorithm 6) for
@@ -315,8 +349,21 @@ func TimingOptimization(name string, apply func(*Overlay) error) Optimization {
 	return core.TimingOpt(name, apply, nil)
 }
 
-// StructuralOptimization builds a custom structural Optimization from an
-// in-place graph transformation.
+// PatchOptimization builds a custom Optimization from its unified patch
+// form — the native constructor of the Apply(*Patch) interface. A
+// structural what-if records its surgery through the patch primitives
+// (NewTask, AppendTask, AddDependency, RemoveTask, …) and evaluates
+// clone-free everywhere an Optimization value goes: Compare, Sweep,
+// Stack.
+func PatchOptimization(name string, fp OptFootprint, apply func(*Patch) error) Optimization {
+	return core.PatchOpt(name, fp, apply, nil)
+}
+
+// StructuralOptimization builds a custom structural Optimization from a
+// legacy in-place graph transformation. The arbitrary mutation cannot
+// be expressed as patch deltas, so evaluation hands the value a private
+// clone; prefer PatchOptimization for structural what-ifs that should
+// ride the clone-free patch path.
 func StructuralOptimization(name string, apply func(*Graph) error) Optimization {
 	return core.StructuralOpt(name, apply)
 }
@@ -484,13 +531,16 @@ func Diagnose(g *Graph) (byResource, byPhase []PathAttribution, err error) {
 // Compare answers one what-if question against the baseline graph and
 // reports (baseline, predicted) iteration times. The what-if is one of:
 //
-//   - an Optimization value — the preferred form. Compare picks the
-//     fastest valid path from the value's footprint: timing-only
-//     optimizations (and Stacks of them) evaluate clone-free through a
-//     copy-on-write overlay, structural ones transform a private clone,
-//     and a no-op (an empty Stack) replays the baseline. An
-//     optimization carrying its own metric (OptP3) reports it instead
-//     of the makespan.
+//   - an Optimization value — the preferred form. Every value applies
+//     through one copy-on-write Patch over the baseline: timing-only
+//     and patch-form structural optimizations (and Stacks of them)
+//     evaluate clone-free, a value that demands a materialized graph
+//     (a GraphRewriter like OptP3, or a legacy in-place transform)
+//     gets a private clone, and a no-op (an empty Stack) replays the
+//     baseline. An optimization carrying its own metric (OptP3)
+//     reports it instead of the makespan.
+//   - func(*Patch) error — a one-off unified what-if: timing and
+//     structural deltas over the baseline, clone-free.
 //   - func(*Graph) error — the pre-Optimization structural form,
 //     applied to a private clone (retained for compatibility).
 //   - func(*Overlay) error — the duration-only overlay form
@@ -501,7 +551,7 @@ func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) 
 	// Defined function types (type myWhatIf func(*Graph) error) don't
 	// match the exact type switch below; normalize them first.
 	switch what.(type) {
-	case Optimization, func(*Graph) error, func(*Overlay) error, nil:
+	case Optimization, func(*Patch) error, func(*Graph) error, func(*Overlay) error, nil:
 	default:
 		if conv, ok := convertWhatIf(what); ok {
 			what = conv
@@ -518,6 +568,15 @@ func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) 
 			return baseline, baseline, nil
 		}
 		predicted, err = predictOptimization(g, w)
+	case func(*Patch) error:
+		if w == nil {
+			return 0, 0, fmt.Errorf("daydream: Compare: nil what-if")
+		}
+		p := core.NewPatch(g)
+		if err := w(p); err != nil {
+			return 0, 0, err
+		}
+		predicted, err = p.PredictIteration()
 	case func(*Graph) error:
 		if w == nil {
 			return 0, 0, fmt.Errorf("daydream: Compare: nil what-if")
@@ -539,17 +598,20 @@ func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) 
 	case nil:
 		err = fmt.Errorf("daydream: Compare: nil what-if")
 	default:
-		err = fmt.Errorf("daydream: Compare: unsupported what-if type %T (want Optimization, func(*Graph) error, or func(*Overlay) error)", what)
+		err = fmt.Errorf("daydream: Compare: unsupported what-if type %T (want Optimization, func(*Patch) error, func(*Graph) error, or func(*Overlay) error)", what)
 	}
 	return baseline, predicted, err
 }
 
 // convertWhatIf converts defined function types whose underlying type
-// is one of Compare's two function shapes.
+// is one of Compare's function shapes.
 func convertWhatIf(what any) (any, bool) {
 	v := reflect.ValueOf(what)
 	if v.Kind() != reflect.Func || v.IsNil() {
 		return nil, false
+	}
+	if pt := reflect.TypeOf((func(*Patch) error)(nil)); v.Type().ConvertibleTo(pt) {
+		return v.Convert(pt).Interface(), true
 	}
 	if gt := reflect.TypeOf((func(*Graph) error)(nil)); v.Type().ConvertibleTo(gt) {
 		return v.Convert(gt).Interface(), true
@@ -561,33 +623,34 @@ func convertWhatIf(what any) (any, bool) {
 }
 
 // predictOptimization evaluates a non-noop Optimization on its cheapest
-// valid path and extracts its metric.
+// valid path — the clone-free patch unless the value demands a
+// materialized graph — and extracts its metric.
 func predictOptimization(g *Graph, opt Optimization) (time.Duration, error) {
 	measure := core.OptMeasure(opt)
-	if opt.Footprint() == TimingOnly {
-		o := core.NewOverlay(g)
-		if err := opt.ApplyOverlay(o); err != nil {
+	if core.OptNeedsGraph(opt) {
+		c, err := core.ApplyOptimization(g.Clone(), opt)
+		if err != nil {
 			return 0, err
 		}
-		res, err := o.Simulate()
+		res, err := c.Simulate()
 		if err != nil {
 			return 0, err
 		}
 		if measure != nil {
-			return measure(g, res)
+			return measure(c, res)
 		}
 		return res.Makespan, nil
 	}
-	c, err := core.ApplyOptimization(g.Clone(), opt)
-	if err != nil {
+	p := core.NewPatch(g)
+	if err := opt.Apply(p); err != nil {
 		return 0, err
 	}
-	res, err := c.Simulate()
+	res, err := p.Simulate()
 	if err != nil {
 		return 0, err
 	}
 	if measure != nil {
-		return measure(c, res)
+		return measure(p, res)
 	}
 	return res.Makespan, nil
 }

@@ -35,12 +35,18 @@
 //	both := daydream.Stack(daydream.OptAMP(), daydream.OptFusedAdam())
 //	base, pred, _ = daydream.Compare(g, both)
 //
-// A value is self-describing: it knows its name and whether it only
+// A value is self-describing — it knows its name and whether it only
 // rewrites task timings (TimingOnly) or changes graph structure
-// (Structural), so every consumer — Compare, Sweep, the CLIs — picks
-// the cheapest valid evaluation path without being told. The registry
+// (Structural) — and applies itself through one unified surface:
+// Apply(*Patch). A Patch is a copy-on-write view of the shared
+// immutable baseline layering structural deltas (task additions in an
+// appendix ID range, task removals, edge additions/removals with
+// kinds) on top of an Overlay's timing deltas, and Patch.Simulate runs
+// Algorithm 1 over the composite view bit-identically to cloning and
+// mutating — so no optimization ever needs a clone. The registry
 // (Optimizations, OptimizationByName, ParseOptimization) resolves names
-// and "amp+fusedadam"-style stack expressions, and TimingOptimization /
+// and "amp+fusedadam"-style stack expressions (duplicate names are
+// rejected), and TimingOptimization / PatchOptimization /
 // StructuralOptimization build custom values that compose with the
 // built-ins.
 //
@@ -48,26 +54,32 @@
 // the package is built to make each additional question cheap. The
 // dependency graph uses dense slice-indexed storage (task IDs are array
 // indices, adjacency is CSR-style on the tasks), so Clone is a
-// near-memcpy and Simulate runs a binary-heap frontier over flat arrays.
-// TimingOnly values — AMP, fused optimizers, kernel profiles, device
-// upgrades, duration grids, and Stacks of them — skip even the clone: a
-// copy-on-write Overlay records per-task duration/gap/priority deltas
-// over the shared immutable baseline and simulates through them,
-// bit-identical to clone-and-mutate at a fraction of the cost. Sweep
-// fans a whole scenario grid out over a worker pool sharing one
-// baseline, dispatching each scenario on its optimization's footprint:
+// near-memcpy and Simulate runs a binary-heap frontier over flat
+// arrays; a Patch simulates timing-only edits on the pure-overlay fast
+// path and structural edits through masked/appendix arrays. Sweep fans
+// a whole scenario grid out over a worker pool sharing one baseline,
+// with every Opt on the clone-free patch path — only graph-replacing
+// rewriters (OptP3's Repeat form) and legacy in-place transforms get a
+// private clone:
 //
 //	results, _ := daydream.Sweep(g, []daydream.Scenario{
-//	    {Opt: daydream.OptAMP()},                                  // overlay path
-//	    {Opt: both},                                               // still overlay
-//	    {Opt: daydream.OptDistributed(daydream.NewTopology(4, 2, 10))}, // clone path
+//	    {Opt: daydream.OptAMP()},                                  // timing tier
+//	    {Opt: both},                                               // one shared patch
+//	    {Opt: daydream.OptDistributed(daydream.NewTopology(4, 2, 10))}, // structural deltas, no clone
 //	})
 //
-// The pre-Optimization API remains: the free functions (AMP, FusedAdam,
-// Distributed, …), their *Overlay forms, and the func-typed Compare /
-// CompareScale / Scenario.Transform / Scenario.ScaleTransform shapes
-// all still compile and behave identically — they are the same models
-// the values wrap.
+// Migration from the previous per-path interface: the ApplyOverlay and
+// ApplyGraph methods are now package-level adapters in internal/core
+// synthesized from Apply (core.ApplyOverlay(opt, o) errors if the
+// value records structural deltas; core.ApplyGraph(opt, g)
+// materializes the patch into g), GraphRewriter is unchanged, and
+// Measurer / Scenario.Measure take a read-only TaskView (a *Graph or
+// *Patch) instead of a *Graph. The pre-Optimization API also remains:
+// the free functions (AMP, FusedAdam, Distributed, …), their *Overlay
+// forms, and the func-typed Compare / CompareScale /
+// Scenario.Transform / Scenario.ScaleTransform shapes all still
+// compile and behave identically — they are the same models the values
+// wrap, and Compare additionally accepts a one-off func(*Patch) error.
 //
 // See the examples/ directory for complete programs, and cmd/daydream-bench
 // for the harness that regenerates every table and figure of the paper's

@@ -10,7 +10,8 @@
 //     optimization (shrink every CPU task and every inter-task gap),
 //     evaluated clone-free and stacked under AMP.
 //  3. "What if all element-wise kernels were fused away?" — a custom
-//     structural optimization built on the Remove primitive.
+//     structural optimization built on the Remove primitive through the
+//     unified Patch surface, so even graph surgery evaluates clone-free.
 package main
 
 import (
@@ -83,18 +84,21 @@ func main() {
 	report(daydream.Stack(cpu2x, daydream.OptAMP()))
 
 	// 3. What if every element-wise kernel were fused into its producer?
-	// Structural: the kernels and the launches that trigger them are
-	// removed, so Compare gives this value a private clone.
-	fused := daydream.StructuralOptimization("fuse-pointwise", func(c *daydream.Graph) error {
-		for _, t := range c.Select(func(t *daydream.Task) bool {
-			return t.OnGPU() && strings.Contains(t.Name, "elementwise")
-		}) {
-			if peer := t.Peer(); peer != nil {
-				c.Remove(peer)
+	// Structural — but still clone-free: the kernels and the launches
+	// that trigger them are removed as copy-on-write patch deltas over
+	// the shared baseline. (StructuralOptimization remains for legacy
+	// in-place transforms, at the cost of a private clone.)
+	fused := daydream.PatchOptimization("fuse-pointwise", daydream.Structural,
+		func(p *daydream.Patch) error {
+			for _, t := range p.Base().Select(func(t *daydream.Task) bool {
+				return t.OnGPU() && strings.Contains(t.Name, "elementwise")
+			}) {
+				if peer := t.Peer(); peer != nil {
+					p.RemoveTask(peer)
+				}
+				p.RemoveTask(t)
 			}
-			c.Remove(t)
-		}
-		return nil
-	})
+			return nil
+		})
 	report(fused)
 }

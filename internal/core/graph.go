@@ -219,6 +219,17 @@ func (g *Graph) AddDependency(from, to *Task, kind DepKind) error {
 	return nil
 }
 
+// RemoveDependency removes the edge from → to if present, reporting
+// whether an edge was removed — the inverse of AddDependency, and the
+// Graph form of Patch.RemoveDependency.
+func (g *Graph) RemoveDependency(from, to *Task) bool {
+	if from == nil || to == nil || !hasEdge(from, to) {
+		return false
+	}
+	g.removeEdge(from, to)
+	return true
+}
+
 // hasEdge reports whether the edge from → to exists, scanning whichever
 // endpoint has the smaller adjacency list.
 func hasEdge(from, to *Task) bool {

@@ -6,10 +6,12 @@ import (
 	"time"
 )
 
-// OptFootprint classifies how much of the graph an Optimization touches,
-// which decides the cheapest valid evaluation path: TimingOnly
-// optimizations ride the clone-free copy-on-write Overlay over a shared
-// baseline, Structural ones need a private Clone to mutate.
+// OptFootprint classifies how much of the graph an Optimization touches.
+// Since every optimization now applies through a single Patch, the
+// footprint is a fast-path hint (and display label) rather than a
+// dispatch decision: TimingOnly optimizations write only the patch's
+// timing tier (and stay eligible for the pure-overlay simulation fast
+// path), Structural ones record structural deltas too.
 type OptFootprint uint8
 
 const (
@@ -32,53 +34,80 @@ func (f OptFootprint) String() string {
 
 // Optimization is a first-class what-if value: a self-describing graph
 // transformation that knows its own name, how much of the graph it
-// touches, and how to apply itself on either evaluation path. The same
-// value drives Compare, a sweep Scenario, the experiment grids and the
-// CLI; Stack composes several into one.
+// touches, and how to apply itself. The same value drives Compare, a
+// sweep Scenario, the experiment grids and the CLI; Stack composes
+// several into one.
+//
+// Apply is the single application surface: the optimization records its
+// timing edits and structural deltas (task/edge additions and removals)
+// on the Patch, which views the shared immutable baseline copy-on-write
+// — no optimization ever needs to clone. The deprecated per-path
+// methods of the previous interface are now package-level adapters
+// synthesized from Apply: ApplyOverlay applies the timing tier into a
+// caller-owned Overlay, ApplyGraph materializes the patch into a
+// private graph for legacy callers.
+//
+// Two optional interfaces extend the contract: GraphRewriter for
+// transformations that must replace the graph (P3's Repeat), and
+// Measurer for optimizations that define their own result metric.
 type Optimization interface {
 	// Name labels the optimization in results and CLI output.
 	Name() string
 	// Footprint reports whether the optimization only rewrites timings
-	// (overlay-eligible) or changes graph structure (needs a clone).
+	// or changes graph structure — a fast-path hint and display label.
 	Footprint() OptFootprint
-	// ApplyOverlay records the optimization's timing edits as
-	// copy-on-write deltas over the overlay's shared baseline. Only
-	// valid for TimingOnly footprints; Structural optimizations return
-	// an error.
-	ApplyOverlay(*Overlay) error
-	// ApplyGraph applies the optimization to a private graph in place.
-	// Valid for every footprint (a TimingOnly optimization writes its
-	// effective timings into the tasks), except for optimizations that
-	// must replace the graph — those implement GraphRewriter, and
-	// ApplyGraph reports that it cannot apply in place.
-	ApplyGraph(*Graph) error
+	// Apply records the optimization's edits as copy-on-write deltas
+	// over the patch's shared baseline: timing edits in the timing
+	// tier, structural edits as patch deltas. Apply must not mutate
+	// the baseline graph.
+	Apply(*Patch) error
 }
 
-// GraphRewriter is the optional interface of structural optimizations
-// that replace the graph instead of editing it in place (P3 repeats the
-// iteration graph before annotating it). ApplyOptimization prefers it
-// over ApplyGraph when present.
+// GraphRewriter is the optional interface of optimizations that must
+// replace the graph instead of patching over it (P3 repeats the
+// iteration graph before annotating it, and legacy in-place transforms
+// built from func(*Graph) funcs mutate arbitrary task state a patch
+// cannot express). ApplyOptimization prefers it over the patch path;
+// the sweep gives such optimizations a private clone.
 type GraphRewriter interface {
 	RewriteGraph(*Graph) (*Graph, error)
+}
+
+// graphDemander lets composite optimizations (Stack) report precisely
+// whether any part demands a materialized graph; a bare GraphRewriter
+// implementation otherwise implies it.
+type graphDemander interface {
+	needsGraph() bool
+}
+
+// OptNeedsGraph reports whether opt demands a materialized private
+// graph (a GraphRewriter, a legacy in-place transform, or a Stack
+// containing one) instead of the clone-free patch path.
+func OptNeedsGraph(opt Optimization) bool {
+	if d, ok := opt.(graphDemander); ok {
+		return d.needsGraph()
+	}
+	_, ok := opt.(GraphRewriter)
+	return ok
 }
 
 // Measurer is the optional interface of optimizations that define their
 // own result metric. MeasureFunc returns the extractor to run on the
 // optimization's simulation, or nil for the default (the simulated
 // makespan). P3 uses it to report the steady-state round distance
-// instead of the multi-round makespan. On the structural path the
-// extractor receives the transformed graph; on the overlay path it
-// receives the shared, unmutated baseline and must treat it as
-// read-only, reading effective timings through the SimResult (Finish,
-// TaskDuration) rather than Task fields — the same contract as
+// instead of the multi-round makespan. The extractor receives the task
+// view the simulation ran over — the transformed private graph on the
+// rewrite path, the shared Patch on the patch path — and must treat it
+// as read-only, reading effective timings through the SimResult
+// (Finish, TaskDuration) rather than Task fields: the same contract as
 // sweep.Scenario.Measure.
 type Measurer interface {
-	MeasureFunc() func(*Graph, *SimResult) (time.Duration, error)
+	MeasureFunc() func(TaskView, *SimResult) (time.Duration, error)
 }
 
 // OptMeasure returns opt's custom metric extractor, or nil when opt
 // measures the default makespan.
-func OptMeasure(opt Optimization) func(*Graph, *SimResult) (time.Duration, error) {
+func OptMeasure(opt Optimization) func(TaskView, *SimResult) (time.Duration, error) {
 	if m, ok := opt.(Measurer); ok {
 		return m.MeasureFunc()
 	}
@@ -88,14 +117,14 @@ func OptMeasure(opt Optimization) func(*Graph, *SimResult) (time.Duration, error
 // noopMarker is the internal interface of optimizations that are known
 // to change nothing (an empty Stack). Consumers use OptIsNoop to take
 // the replay fast path: simulate the shared baseline directly, no clone
-// and no overlay.
+// and no patch.
 type noopMarker interface {
 	noopOpt() bool
 }
 
 // OptIsNoop reports whether opt is known to leave the graph unchanged
 // (nil, or an empty Stack), so evaluation can replay the baseline
-// without cloning or overlaying.
+// without cloning or patching.
 func OptIsNoop(opt Optimization) bool {
 	if opt == nil {
 		return true
@@ -106,51 +135,113 @@ func OptIsNoop(opt Optimization) bool {
 	return false
 }
 
-// ApplyOptimization applies opt to g — in place when the optimization
-// mutates, or through GraphRewriter when it replaces — and returns the
-// graph to simulate. g must be private to the caller (a clone when the
-// baseline is shared); rewriters may consume it.
+// ApplyOverlay is the deprecated timing-tier adapter, synthesized from
+// Apply: it binds a transient Patch whose timing tier is the
+// caller-owned overlay and applies opt through it, so the edits land in
+// o. Only valid for TimingOnly footprints; structural optimizations
+// (and any Apply that records structural deltas) return an error.
+func ApplyOverlay(opt Optimization, o *Overlay) error {
+	if opt.Footprint() != TimingOnly {
+		return fmt.Errorf("core: optimization %q is structural and cannot apply through an overlay", opt.Name())
+	}
+	p := patchOverOverlay(o)
+	if err := opt.Apply(p); err != nil {
+		return err
+	}
+	if p.Structural() {
+		return fmt.Errorf("core: optimization %q recorded structural deltas and cannot apply through an overlay", opt.Name())
+	}
+	return nil
+}
+
+// ApplyGraph is the deprecated in-place adapter, synthesized from
+// Apply: it records opt on a Patch over g and materializes the patch
+// back into g. g must be private to the caller (a clone when the
+// baseline is shared). Optimizations that must replace the graph
+// (GraphRewriter) report that they cannot apply in place — use
+// ApplyOptimization.
+func ApplyGraph(opt Optimization, g *Graph) error {
+	if ga, ok := opt.(graphApplier); ok {
+		return ga.applyGraphInPlace(g)
+	}
+	if _, ok := opt.(GraphRewriter); ok {
+		return fmt.Errorf("core: optimization %q replaces the graph; apply it through RewriteGraph", opt.Name())
+	}
+	p := NewPatch(g)
+	if err := opt.Apply(p); err != nil {
+		return err
+	}
+	return p.materializeInto(g)
+}
+
+// graphApplier is the internal fast path of ApplyGraph: built-in
+// optimization values that carry a direct in-place form apply it
+// without the patch round trip.
+type graphApplier interface {
+	applyGraphInPlace(*Graph) error
+}
+
+// ApplyOptimization applies opt to g — through GraphRewriter when it
+// replaces the graph, in place otherwise — and returns the graph to
+// simulate. g must be private to the caller (a clone when the baseline
+// is shared); rewriters may consume it.
 func ApplyOptimization(g *Graph, opt Optimization) (*Graph, error) {
 	if rw, ok := opt.(GraphRewriter); ok {
 		return rw.RewriteGraph(g)
 	}
-	if err := opt.ApplyGraph(g); err != nil {
+	if err := ApplyGraph(opt, g); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
 
 // funcOpt is the ready-made Optimization implementation behind
-// TimingOpt, StructuralOpt and RewriteOpt.
+// PatchOpt, TimingOpt, StructuralOpt and RewriteOpt.
 type funcOpt struct {
 	name    string
 	fp      OptFootprint
+	apply   func(*Patch) error
 	overlay func(*Overlay) error
 	graph   func(*Graph) error
-	measure func(*Graph, *SimResult) (time.Duration, error)
+	measure func(TaskView, *SimResult) (time.Duration, error)
 }
 
 func (f *funcOpt) Name() string            { return f.name }
 func (f *funcOpt) Footprint() OptFootprint { return f.fp }
 
-func (f *funcOpt) ApplyOverlay(o *Overlay) error {
-	if f.overlay == nil {
-		return fmt.Errorf("core: optimization %q is structural and cannot apply through an overlay", f.name)
-	}
-	return f.overlay(o)
-}
-
-func (f *funcOpt) ApplyGraph(g *Graph) error {
-	if f.graph != nil {
-		return f.graph(g)
-	}
-	if f.overlay != nil {
-		return applyOverlayInPlace(g, f.overlay)
+func (f *funcOpt) Apply(p *Patch) error {
+	switch {
+	case f.apply != nil:
+		return f.apply(p)
+	case f.overlay != nil:
+		return f.overlay(p.Timing())
+	case f.graph != nil:
+		return fmt.Errorf("core: optimization %q is a legacy in-place transform and needs a materialized graph; apply it through ApplyGraph or ApplyOptimization", f.name)
 	}
 	return fmt.Errorf("core: optimization %q replaces the graph; apply it through RewriteGraph", f.name)
 }
 
-func (f *funcOpt) MeasureFunc() func(*Graph, *SimResult) (time.Duration, error) {
+// needsGraph reports whether the value lacks a patch form entirely
+// (legacy in-place transforms and rewriters).
+func (f *funcOpt) needsGraph() bool { return f.apply == nil && f.overlay == nil }
+
+func (f *funcOpt) applyGraphInPlace(g *Graph) error {
+	switch {
+	case f.graph != nil:
+		return f.graph(g)
+	case f.overlay != nil:
+		return applyOverlayInPlace(g, f.overlay)
+	case f.apply != nil:
+		p := NewPatch(g)
+		if err := f.apply(p); err != nil {
+			return err
+		}
+		return p.materializeInto(g)
+	}
+	return fmt.Errorf("core: optimization %q replaces the graph; apply it through RewriteGraph", f.name)
+}
+
+func (f *funcOpt) MeasureFunc() func(TaskView, *SimResult) (time.Duration, error) {
 	return f.measure
 }
 
@@ -174,17 +265,31 @@ func applyOverlayInPlace(g *Graph, apply func(*Overlay) error) error {
 	return nil
 }
 
+// PatchOpt builds an Optimization from its unified patch form — the
+// native constructor of the redesigned interface. Timing-only
+// optimizations should write only the patch's timing tier (and declare
+// TimingOnly); structural ones record task/edge deltas through the
+// patch primitives. The optional measure defines the value's own result
+// metric (nil keeps the default, the simulated makespan).
+func PatchOpt(name string, fp OptFootprint, apply func(*Patch) error, measure func(TaskView, *SimResult) (time.Duration, error)) Optimization {
+	return &funcOpt{name: name, fp: fp, apply: apply, measure: measure}
+}
+
 // TimingOpt builds a TimingOnly Optimization from its overlay form and
-// (optionally) its clone-path form. When graph is nil the clone path is
-// derived from the overlay form — apply the edits, write the effective
-// timings back — so a custom duration-only what-if only needs one
-// function.
+// (optionally) a direct clone-path form. Apply writes the overlay form
+// into the patch's timing tier; when graph is nil the in-place adapter
+// is derived from the overlay form — apply the edits, write the
+// effective timings back — so a custom duration-only what-if only needs
+// one function.
 func TimingOpt(name string, overlay func(*Overlay) error, graph func(*Graph) error) Optimization {
 	return &funcOpt{name: name, fp: TimingOnly, overlay: overlay, graph: graph}
 }
 
-// StructuralOpt builds a Structural Optimization from an in-place graph
-// transformation.
+// StructuralOpt builds a Structural Optimization from a legacy in-place
+// graph transformation. The arbitrary mutation cannot be expressed as
+// patch deltas, so the value demands a materialized private graph
+// (OptNeedsGraph reports true and evaluation clones); prefer PatchOpt
+// for structural what-ifs that should ride the clone-free patch path.
 func StructuralOpt(name string, graph func(*Graph) error) Optimization {
 	return &funcOpt{name: name, fp: Structural, graph: graph}
 }
@@ -201,7 +306,7 @@ func (r *rewriteOpt) RewriteGraph(g *Graph) (*Graph, error) { return r.rewrite(g
 // (e.g. repeating the iteration before annotating it) and optionally
 // defines its own result metric; a nil measure keeps the default (the
 // simulated makespan).
-func RewriteOpt(name string, rewrite func(*Graph) (*Graph, error), measure func(*Graph, *SimResult) (time.Duration, error)) Optimization {
+func RewriteOpt(name string, rewrite func(*Graph) (*Graph, error), measure func(TaskView, *SimResult) (time.Duration, error)) Optimization {
 	return &rewriteOpt{
 		funcOpt: funcOpt{name: name, fp: Structural, measure: measure},
 		rewrite: rewrite,
@@ -217,8 +322,10 @@ type stack struct {
 // applied in argument order — the paper's composed what-ifs (AMP +
 // FusedAdam as a single question). Nil parts are dropped and nested
 // stacks are flattened. The stack's footprint is the maximum of its
-// parts', so a stack of timing-only optimizations still rides the
-// clone-free overlay path; one structural part moves the whole stack to
+// parts', and a stack applies through one shared Patch, so any mix of
+// timing-only and patch-form structural optimizations still evaluates
+// clone-free; only a part that demands a materialized graph
+// (GraphRewriter, legacy in-place transforms) moves the whole stack to
 // the clone path. An empty Stack is a named no-op: evaluation replays
 // the baseline without cloning.
 func Stack(parts ...Optimization) Optimization {
@@ -259,21 +366,33 @@ func (s *stack) Footprint() OptFootprint {
 
 func (s *stack) noopOpt() bool { return len(s.parts) == 0 }
 
-func (s *stack) ApplyOverlay(o *Overlay) error {
+func (s *stack) needsGraph() bool {
 	for _, p := range s.parts {
-		if err := p.ApplyOverlay(o); err != nil {
+		if OptNeedsGraph(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *stack) Apply(p *Patch) error {
+	for _, part := range s.parts {
+		if OptNeedsGraph(part) {
+			return fmt.Errorf("core: stack part %q needs a materialized graph; apply the stack through ApplyOptimization", part.Name())
+		}
+		if err := part.Apply(p); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (s *stack) ApplyGraph(g *Graph) error {
+func (s *stack) applyGraphInPlace(g *Graph) error {
 	for _, p := range s.parts {
 		if _, ok := p.(GraphRewriter); ok {
 			return fmt.Errorf("core: stack part %q replaces the graph; apply the stack through RewriteGraph", p.Name())
 		}
-		if err := p.ApplyGraph(g); err != nil {
+		if err := ApplyGraph(p, g); err != nil {
 			return err
 		}
 	}
@@ -281,8 +400,8 @@ func (s *stack) ApplyGraph(g *Graph) error {
 }
 
 // RewriteGraph applies every part in order, threading the graph through
-// rewriting parts, so a stack may mix in-place and graph-replacing
-// optimizations.
+// rewriting parts, so a stack may mix in-place, patch-form and
+// graph-replacing optimizations.
 func (s *stack) RewriteGraph(g *Graph) (*Graph, error) {
 	for _, p := range s.parts {
 		if rw, ok := p.(GraphRewriter); ok {
@@ -292,7 +411,7 @@ func (s *stack) RewriteGraph(g *Graph) (*Graph, error) {
 			}
 			continue
 		}
-		if err := p.ApplyGraph(g); err != nil {
+		if err := ApplyGraph(p, g); err != nil {
 			return nil, err
 		}
 	}
@@ -303,7 +422,7 @@ func (s *stack) RewriteGraph(g *Graph) (*Graph, error) {
 // intuition that the final transformation decides what the composed
 // what-if measures (a stack ending in P3 reports P3's steady-state
 // round distance).
-func (s *stack) MeasureFunc() func(*Graph, *SimResult) (time.Duration, error) {
+func (s *stack) MeasureFunc() func(TaskView, *SimResult) (time.Duration, error) {
 	for i := len(s.parts) - 1; i >= 0; i-- {
 		if m := OptMeasure(s.parts[i]); m != nil {
 			return m

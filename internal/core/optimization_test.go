@@ -37,32 +37,64 @@ func halveGPU() Optimization {
 	}, nil)
 }
 
+// dropFirstKernel is a patch-form structural test optimization.
+func dropFirstKernel() Optimization {
+	return PatchOpt("drop-first-kernel", Structural, func(p *Patch) error {
+		for _, u := range p.Base().Tasks() {
+			if u.OnGPU() {
+				p.RemoveTask(u)
+				return nil
+			}
+		}
+		return fmt.Errorf("no GPU task")
+	}, nil)
+}
+
 func TestOptFootprintString(t *testing.T) {
 	if TimingOnly.String() != "timing-only" || Structural.String() != "structural" {
 		t.Fatalf("footprint strings: %q, %q", TimingOnly, Structural)
 	}
 }
 
-func TestTimingOptDerivedApplyGraph(t *testing.T) {
+func TestTimingOptAppliesThroughPatchAndAdapters(t *testing.T) {
 	g := optTestGraph(t, 6)
 	opt := halveGPU()
 	if opt.Footprint() != TimingOnly {
 		t.Fatalf("footprint = %v", opt.Footprint())
 	}
+	if OptNeedsGraph(opt) {
+		t.Fatal("timing-only optimization demands a materialized graph")
+	}
 
-	// Overlay path.
-	o := NewOverlay(g)
-	if err := opt.ApplyOverlay(o); err != nil {
+	// Unified patch path.
+	p := NewPatch(g)
+	if err := opt.Apply(p); err != nil {
 		t.Fatal(err)
 	}
-	want, err := o.PredictIteration()
+	if p.Structural() {
+		t.Fatal("timing-only Apply recorded structural deltas")
+	}
+	want, err := p.PredictIteration()
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	// Clone path, derived from the overlay form.
+	// Deprecated overlay adapter: edits land in the caller's overlay.
+	o := NewOverlay(g)
+	if err := ApplyOverlay(opt, o); err != nil {
+		t.Fatal(err)
+	}
+	fromOverlay, err := o.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromOverlay != want {
+		t.Fatalf("overlay adapter %v, patch path %v", fromOverlay, want)
+	}
+
+	// Deprecated in-place adapter, derived from the overlay form.
 	c := g.Clone()
-	if err := opt.ApplyGraph(c); err != nil {
+	if err := ApplyGraph(opt, c); err != nil {
 		t.Fatal(err)
 	}
 	got, err := c.PredictIteration()
@@ -70,14 +102,14 @@ func TestTimingOptDerivedApplyGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got != want {
-		t.Fatalf("derived clone path %v, overlay path %v", got, want)
+		t.Fatalf("derived clone path %v, patch path %v", got, want)
 	}
 	for _, u := range c.Tasks() {
 		if u.OnGPU() && u.Duration != 5*time.Microsecond {
 			t.Fatalf("derived ApplyGraph did not write back: %v", u)
 		}
 	}
-	// The baseline is untouched by both paths.
+	// The baseline is untouched by every path.
 	for _, u := range g.Tasks() {
 		if u.OnGPU() && u.Duration != 10*time.Microsecond {
 			t.Fatalf("baseline mutated: %v", u)
@@ -85,13 +117,68 @@ func TestTimingOptDerivedApplyGraph(t *testing.T) {
 	}
 }
 
-func TestStructuralOptRejectsOverlay(t *testing.T) {
+func TestPatchOptAppliesStructurally(t *testing.T) {
+	g := optTestGraph(t, 4)
+	opt := dropFirstKernel()
+	if opt.Footprint() != Structural {
+		t.Fatalf("footprint = %v", opt.Footprint())
+	}
+	if OptNeedsGraph(opt) {
+		t.Fatal("patch-form structural optimization demands a materialized graph")
+	}
+
+	// Patch path.
+	p := NewPatch(g)
+	if err := opt.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Structural() {
+		t.Fatal("structural Apply recorded no structural deltas")
+	}
+	want, err := p.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ApplyGraph adapter materializes the same deltas in place.
+	c := g.Clone()
+	if err := ApplyGraph(opt, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTasks() != g.NumTasks()-1 {
+		t.Fatalf("adapter removed %d tasks, want 1", g.NumTasks()-c.NumTasks())
+	}
+	got, err := c.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("materialized path %v, patch path %v", got, want)
+	}
+
+	// The overlay adapter refuses structural footprints.
+	if err := ApplyOverlay(opt, NewOverlay(g)); err == nil {
+		t.Fatal("structural optimization applied through an overlay")
+	}
+}
+
+func TestStructuralOptNeedsGraph(t *testing.T) {
 	opt := StructuralOpt("drop-all", func(g *Graph) error { return nil })
 	if opt.Footprint() != Structural {
 		t.Fatalf("footprint = %v", opt.Footprint())
 	}
-	if err := opt.ApplyOverlay(NewOverlay(optTestGraph(t, 1))); err == nil {
+	if !OptNeedsGraph(opt) {
+		t.Fatal("legacy in-place transform does not demand a materialized graph")
+	}
+	if err := ApplyOverlay(opt, NewOverlay(optTestGraph(t, 1))); err == nil {
 		t.Fatal("structural optimization applied through an overlay")
+	}
+	if err := opt.Apply(NewPatch(optTestGraph(t, 1))); err == nil {
+		t.Fatal("legacy in-place transform applied through a patch")
+	}
+	// ApplyGraph still runs the legacy func directly.
+	if err := ApplyGraph(opt, optTestGraph(t, 1)); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -113,6 +200,14 @@ func TestStackFootprintAndName(t *testing.T) {
 	if name := nested.Name(); name != "halve-gpu+surgery" {
 		t.Fatalf("flattened stack name = %q", name)
 	}
+	// A stack of patch-capable parts does not demand a graph; one
+	// legacy part moves the whole stack to the clone path.
+	if OptNeedsGraph(Stack(timing, dropFirstKernel())) {
+		t.Fatal("patch-capable stack demands a materialized graph")
+	}
+	if !OptNeedsGraph(Stack(timing, structural)) {
+		t.Fatal("stack with a legacy part does not demand a materialized graph")
+	}
 }
 
 func TestEmptyStackIsNoop(t *testing.T) {
@@ -132,15 +227,15 @@ func TestEmptyStackIsNoop(t *testing.T) {
 	// Applying the no-op changes nothing on either path.
 	g := optTestGraph(t, 3)
 	want, _ := g.PredictIteration()
-	o := NewOverlay(g)
-	if err := empty.ApplyOverlay(o); err != nil {
+	p := NewPatch(g)
+	if err := empty.Apply(p); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := o.PredictIteration(); got != want {
-		t.Fatalf("no-op overlay changed prediction: %v vs %v", got, want)
+	if got, _ := p.PredictIteration(); got != want {
+		t.Fatalf("no-op patch changed prediction: %v vs %v", got, want)
 	}
 	c := g.Clone()
-	if err := empty.ApplyGraph(c); err != nil {
+	if err := ApplyGraph(empty, c); err != nil {
 		t.Fatal(err)
 	}
 	if got, _ := c.PredictIteration(); got != want {
@@ -157,7 +252,7 @@ func TestStackAppliesInOrder(t *testing.T) {
 		}, nil)
 	}
 	s := Stack(mk("a"), mk("b"), mk("c"))
-	if err := s.ApplyOverlay(NewOverlay(optTestGraph(t, 1))); err != nil {
+	if err := s.Apply(NewPatch(optTestGraph(t, 1))); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Join(order, "") != "abc" {
@@ -165,18 +260,57 @@ func TestStackAppliesInOrder(t *testing.T) {
 	}
 }
 
+// TestStackMixesTimingAndPatchParts checks a stack of a timing-only and
+// a patch-form structural part applies through ONE patch, and predicts
+// identically to the sequential clone application.
+func TestStackMixesTimingAndPatchParts(t *testing.T) {
+	g := optTestGraph(t, 6)
+	s := Stack(halveGPU(), dropFirstKernel())
+	if OptNeedsGraph(s) {
+		t.Fatal("mixed patch-capable stack demands a materialized graph")
+	}
+	p := NewPatch(g)
+	if err := s.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if err := ApplyGraph(halveGPU(), c); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyGraph(dropFirstKernel(), c); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("mixed stack via one patch %v, sequential clone %v", got, want)
+	}
+}
+
 func TestRewriteOptAndStackRewrite(t *testing.T) {
 	g := optTestGraph(t, 4)
 	repeat := RewriteOpt("repeat2",
 		func(c *Graph) (*Graph, error) { return c.Repeat(2) },
-		func(rg *Graph, res *SimResult) (time.Duration, error) {
-			return RoundSpan(rg, res, 1) - RoundSpan(rg, res, 0), nil
+		func(v TaskView, res *SimResult) (time.Duration, error) {
+			return RoundSpan(v, res, 1) - RoundSpan(v, res, 0), nil
 		})
 	if repeat.Footprint() != Structural {
 		t.Fatalf("rewriter footprint = %v", repeat.Footprint())
 	}
-	if err := repeat.ApplyGraph(g.Clone()); err == nil {
+	if !OptNeedsGraph(repeat) {
+		t.Fatal("rewriter does not demand a materialized graph")
+	}
+	if err := ApplyGraph(repeat, g.Clone()); err == nil {
 		t.Fatal("rewriter applied in place")
+	}
+	if err := repeat.Apply(NewPatch(g)); err == nil {
+		t.Fatal("rewriter applied through a patch")
 	}
 	if OptMeasure(repeat) == nil {
 		t.Fatal("rewriter lost its measure")
@@ -194,7 +328,7 @@ func TestRewriteOptAndStackRewrite(t *testing.T) {
 	// A stack mixing in-place and rewriting parts threads the graph
 	// through, keeps the rewriter's measure, and refuses ApplyGraph.
 	mixed := Stack(halveGPU(), repeat)
-	if err := mixed.ApplyGraph(g.Clone()); err == nil {
+	if err := ApplyGraph(mixed, g.Clone()); err == nil {
 		t.Fatal("stack with a rewriter applied in place")
 	}
 	if OptMeasure(mixed) == nil {
@@ -211,7 +345,16 @@ func TestRewriteOptAndStackRewrite(t *testing.T) {
 
 func TestStackOverlayRejectsStructuralPart(t *testing.T) {
 	s := Stack(halveGPU(), StructuralOpt("surgery", func(g *Graph) error { return nil }))
-	if err := s.ApplyOverlay(NewOverlay(optTestGraph(t, 1))); err == nil {
+	if err := ApplyOverlay(s, NewOverlay(optTestGraph(t, 1))); err == nil {
 		t.Fatal("structural stack applied through an overlay")
+	}
+	// A timing-only Apply that sneaks structural deltas in is also
+	// rejected by the overlay adapter.
+	sneaky := PatchOpt("sneaky", TimingOnly, func(p *Patch) error {
+		p.NewTask("x", trace.KindKernel, Stream(1), time.Microsecond)
+		return nil
+	}, nil)
+	if err := ApplyOverlay(sneaky, NewOverlay(optTestGraph(t, 1))); err == nil {
+		t.Fatal("structural deltas leaked through the overlay adapter")
 	}
 }

@@ -234,12 +234,13 @@ func (g *Graph) Repeat(n int) (*Graph, error) {
 	return out, nil
 }
 
-// RoundSpan returns, for a simulated repeated graph, the completion time
-// of the last task of the given round. The steady-state iteration time of
-// an n-round graph is RoundSpan(r) − RoundSpan(r−1).
-func RoundSpan(g *Graph, res *SimResult, round int) time.Duration {
+// RoundSpan returns, for a simulated repeated graph (or a Patch viewing
+// one), the completion time of the last task of the given round. The
+// steady-state iteration time of an n-round graph is RoundSpan(r) −
+// RoundSpan(r−1).
+func RoundSpan(v TaskView, res *SimResult, round int) time.Duration {
 	var end time.Duration
-	for _, t := range g.Tasks() {
+	for _, t := range v.Tasks() {
 		if t.Round != round {
 			continue
 		}

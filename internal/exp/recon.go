@@ -3,6 +3,7 @@ package exp
 import (
 	"time"
 
+	"daydream/internal/core"
 	"daydream/internal/framework"
 	"daydream/internal/whatif"
 )
@@ -41,7 +42,7 @@ func RunBatchnormRecon() (*ReconResult, error) {
 		return nil, err
 	}
 	pred := g.Clone()
-	if err := whatif.OptReconBatchnorm(whatif.ReconBatchnormOptions{}).ApplyGraph(pred); err != nil {
+	if err := core.ApplyGraph(whatif.OptReconBatchnorm(whatif.ReconBatchnormOptions{}), pred); err != nil {
 		return nil, err
 	}
 	predicted, err := pred.PredictIteration()

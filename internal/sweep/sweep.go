@@ -8,28 +8,31 @@
 // Run fans a scenario list out over a worker pool. The baseline graph
 // is shared immutably, and a scenario takes one of three paths:
 //
-//   - Duration-only scenarios (a TimingOnly Opt, or ScaleTransform)
-//     record copy-on-write timing deltas in a worker-owned core.Overlay
-//     and simulate through it — zero clone, near-zero allocation per
-//     scenario.
-//   - Structural scenarios (a Structural Opt, or Transform) mutate a
-//     private Graph.Clone as before.
+//   - Patch scenarios (an Opt value, or ScaleTransform) record
+//     copy-on-write deltas in a worker-owned core.Patch and simulate
+//     through it — zero clone for timing edits AND structural edits
+//     (task/edge additions and removals). Timing-only patches keep the
+//     pure-overlay fast path.
+//   - Rewrite scenarios (a Transform, or an Opt that demands a
+//     materialized graph: a core.GraphRewriter such as P3's Repeat, or
+//     a legacy in-place transform) mutate a private Graph.Clone.
 //   - Replay scenarios (no what-if at all, or a no-op Opt such as an
 //     empty core.Stack) simulate the shared baseline directly, which
 //     never mutates it.
 //
 // Scenarios should declare their what-if as a core.Optimization value
-// in Opt — the sweep picks the cheapest valid path from the value's
-// footprint, so a core.Stack of timing-only optimizations still runs
-// clone-free. The manual Transform/ScaleTransform fields remain for
-// one-off custom edits.
+// in Opt — every value applies through the one Patch surface, so a
+// core.Stack mixing timing-only and patch-form structural optimizations
+// still runs clone-free; the sweep materializes a private graph only
+// when a rewrite demands one. The manual Transform/ScaleTransform
+// fields remain for one-off custom edits.
 //
-// Each worker owns one reusable core.SimScratch, one overlay and one
+// Each worker owns one reusable core.SimScratch, one patch and one
 // result buffer, so steady-state scenario evaluation allocates almost
 // nothing. Results come back in scenario order regardless of worker
 // count, and every scenario is deterministic, so a sweep is
-// bit-identical to the equivalent sequential loop — and the overlay
-// path is bit-identical to the clone path for the same timing edits.
+// bit-identical to the equivalent sequential loop — and the patch path
+// is bit-identical to the clone path for the same edits.
 package sweep
 
 import (
@@ -45,23 +48,24 @@ import (
 // graph, an optional scheduling policy, and an optional metric to
 // extract from the simulation.
 type Scenario struct {
-	// Name labels the scenario in results; when empty and Opt is set,
-	// the optimization's own name is used.
+	// Name labels the scenario in results; it always wins over the
+	// optimization's own name — when empty and Opt is set, the
+	// optimization's Name() fills in.
 	Name string
 	// Base optionally overrides the sweep-wide baseline for this
 	// scenario — e.g. a per-model profile in a models × configs grid.
 	Base *core.Graph
 	// Opt is the preferred way to declare the scenario's what-if: a
-	// self-describing core.Optimization value. The sweep dispatches on
-	// its footprint — timing-only optimizations (and stacks of them)
-	// ride the clone-free overlay path, structural ones get a private
-	// clone, and a known no-op (an empty core.Stack) replays the
-	// baseline without cloning. An optimization carrying its own metric
-	// (P3) supplies the Measure unless the scenario sets one. A Measure
-	// paired with a timing-only Opt follows the overlay contract
-	// documented on Measure: it receives the shared read-only baseline
-	// and reads effective timings through the SimResult. Setting Opt
-	// together with Transform or ScaleTransform is an error.
+	// self-describing core.Optimization value. Every value applies
+	// through a worker-owned core.Patch over the shared baseline —
+	// timing-only and patch-form structural optimizations alike run
+	// clone-free; only values that demand a materialized graph (a
+	// core.GraphRewriter such as P3's Repeat form, or a legacy in-place
+	// transform) get a private clone, and a known no-op (an empty
+	// core.Stack) replays the baseline without cloning. An optimization
+	// carrying its own metric (P3) supplies the Measure unless the
+	// scenario sets one. Setting Opt together with Transform or
+	// ScaleTransform is an error.
 	Opt core.Optimization
 	// Transform mutates the scenario's private clone, or returns a
 	// different graph to simulate (e.g. a Repeat-expanded one). A nil
@@ -70,40 +74,40 @@ type Scenario struct {
 	// Prefer Opt for anything expressible as an Optimization value;
 	// Transform remains for one-off custom structural edits.
 	Transform func(g *core.Graph) (*core.Graph, error)
-	// ScaleTransform declares a duration-only footprint: the scenario
-	// edits per-task durations, gaps and priorities through a
-	// copy-on-write overlay over the shared baseline instead of
-	// mutating a clone. Scenarios that never touch graph structure
-	// (AMP, kernel profiles, device upgrades, bandwidth/duration
-	// grids) should prefer this path — it skips the clone entirely.
-	// Prefer Opt for anything expressible as an Optimization value.
-	// Setting both Transform and ScaleTransform is an error.
+	// ScaleTransform declares a duration-only what-if as a function of
+	// the patch's timing tier: the scenario edits per-task durations,
+	// gaps and priorities through the copy-on-write overlay over the
+	// shared baseline. Prefer Opt for anything expressible as an
+	// Optimization value. Setting both Transform and ScaleTransform is
+	// an error.
 	ScaleTransform func(o *core.Overlay) error
 	// SimOptions are extra simulation options (e.g. a custom scheduler).
 	SimOptions []core.SimOption
 	// Measure extracts the scenario's value from the simulation; nil
-	// means the makespan (the predicted iteration time). For overlay
-	// scenarios the graph argument is the shared (unmutated) baseline
-	// and MUST be treated as read-only; read effective timings through
-	// the SimResult (Finish, TaskDuration), never from Task fields.
-	// Replay scenarios (no transform at all) keep the old contract — a
-	// Measure there receives a private clone it may mutate. Unless
+	// means the makespan (the predicted iteration time). The TaskView
+	// is whatever the simulation ran over — the shared baseline for
+	// replay scenarios, the worker's Patch for patch scenarios, the
+	// transformed private graph for rewrite scenarios — and MUST be
+	// treated as read-only; read effective timings through the
+	// SimResult (Finish, TaskDuration), never from Task fields. Unless
 	// KeepSims is set, the SimResult's storage is reused for the
-	// worker's next scenario, so Measure must not retain it.
-	Measure func(g *core.Graph, res *core.SimResult) (time.Duration, error)
+	// worker's next scenario, so Measure must not retain it (nor a
+	// Patch view's Tasks() slice).
+	Measure func(v core.TaskView, res *core.SimResult) (time.Duration, error)
 }
 
 // Result is one scenario's outcome, delivered in scenario order.
 type Result struct {
-	// Name echoes the scenario label.
+	// Name echoes the scenario label (Scenario.Name when set, the
+	// optimization's name otherwise) — including on error results.
 	Name string
 	// Value is the measured prediction (makespan unless the scenario
 	// set a Measure).
 	Value time.Duration
 	// Graph is the transformed graph, retained only under KeepGraphs,
 	// and always private to the caller: replay scenarios retain a
-	// clone of the baseline, and overlay scenarios retain a
-	// materialized clone carrying the overlay's effective timings.
+	// clone of the baseline, and patch scenarios retain a materialized
+	// clone carrying the patch's timing and structural deltas.
 	Graph *core.Graph
 	// Sim is the simulation result, retained only under KeepSims.
 	Sim *core.SimResult
@@ -137,11 +141,11 @@ func KeepSims() Option {
 }
 
 // worker is the per-goroutine reusable state: the simulation scratch,
-// the copy-on-write overlay for duration-only scenarios, and the result
+// the copy-on-write patch for clone-free scenarios, and the result
 // buffer reused when results are not retained.
 type worker struct {
 	scratch *core.SimScratch
-	overlay *core.Overlay
+	patch   *core.Patch
 	buf     *core.SimResult
 }
 
@@ -151,8 +155,7 @@ type worker struct {
 // scenario order, if any; per-scenario errors are also in the results.
 //
 // The baseline (and any scenario Base) must not be mutated while the
-// sweep runs; the sweep itself clones it only for structural
-// transforms.
+// sweep runs; the sweep itself clones it only for rewrite transforms.
 func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, error) {
 	cfg := config{}
 	for _, o := range opts {
@@ -201,6 +204,8 @@ func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, 
 
 // runOne evaluates a single scenario with the worker-owned state.
 func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
+	// Name precedence is fixed up front so every result — including
+	// error results below — carries the scenario's own Name when set.
 	r := Result{Name: sc.Name}
 	if r.Name == "" && sc.Opt != nil {
 		r.Name = sc.Opt.Name()
@@ -222,12 +227,16 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		return r
 	}
 
-	// Resolve the scenario's what-if into the three evaluation paths.
-	// An Optimization value dispatches on its footprint; a known no-op
-	// (empty stack) leaves both nil and takes the replay fast path.
+	// Resolve the scenario's what-if onto the unified evaluation paths:
+	// one patch branch for every Opt (and ScaleTransform), a rewrite
+	// branch only when a transform demands a materialized graph, and
+	// the replay fast path for no-ops.
 	measure := sc.Measure
-	scale := sc.ScaleTransform
+	var patchApply func(*core.Patch) error
 	transform := sc.Transform
+	if st := sc.ScaleTransform; st != nil {
+		patchApply = func(p *core.Patch) error { return st(p.Timing()) }
+	}
 	if opt := sc.Opt; opt != nil {
 		if measure == nil {
 			measure = core.OptMeasure(opt)
@@ -235,12 +244,12 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		switch {
 		case core.OptIsNoop(opt):
 			// Replay path: nothing to apply.
-		case opt.Footprint() == core.TimingOnly:
-			scale = opt.ApplyOverlay
-		default:
+		case core.OptNeedsGraph(opt):
 			transform = func(c *core.Graph) (*core.Graph, error) {
 				return core.ApplyOptimization(c, opt)
 			}
+		default:
+			patchApply = opt.Apply
 		}
 	}
 
@@ -255,27 +264,28 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 	}
 
 	var (
-		g   *core.Graph
-		res *core.SimResult
-		err error
+		view core.TaskView
+		res  *core.SimResult
+		err  error
 	)
 	switch {
-	case scale != nil:
-		// Clone-free path: timing deltas over the shared baseline.
-		if w.overlay == nil {
-			w.overlay = core.NewOverlay(base)
+	case patchApply != nil:
+		// Clone-free path: timing and structural deltas over the
+		// shared baseline through the worker-owned patch.
+		if w.patch == nil {
+			w.patch = core.NewPatch(base)
 		} else {
-			w.overlay.Reset(base)
+			w.patch.Reset(base)
 		}
-		if err = scale(w.overlay); err != nil {
+		if err = patchApply(w.patch); err != nil {
 			r.Err = err
 			return r
 		}
-		g = base
-		res, err = w.overlay.Simulate(simOpts...)
+		view = w.patch
+		res, err = w.patch.Simulate(simOpts...)
 	case transform != nil:
-		// Structural path: a private clone to mutate.
-		g = base.Clone()
+		// Rewrite path: a private clone to mutate or replace.
+		g := base.Clone()
 		g, err = transform(g)
 		if err != nil {
 			r.Err = err
@@ -285,25 +295,22 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 			r.Err = fmt.Errorf("transform returned a nil graph")
 			return r
 		}
+		view = g
 		res, err = g.Simulate(simOpts...)
 	default:
 		// Replay path: Simulate never mutates, so the baseline is
-		// simulated in place. Cloning still happens where a caller
-		// could observe (and legally mutate) the graph: under
-		// KeepGraphs, and when a Measure is set (Measure historically
-		// received a private clone).
-		g = base
-		if cfg.keepGraphs || measure != nil {
-			g = base.Clone()
-		}
-		res, err = g.Simulate(simOpts...)
+		// simulated in place and handed to Measure read-only. Cloning
+		// still happens under KeepGraphs, where the caller receives a
+		// graph it may legally mutate.
+		view = base
+		res, err = base.Simulate(simOpts...)
 	}
 	if err != nil {
 		r.Err = err
 		return r
 	}
 	if measure != nil {
-		r.Value, r.Err = measure(g, res)
+		r.Value, r.Err = measure(view, res)
 		if r.Err != nil {
 			return r
 		}
@@ -311,13 +318,19 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		r.Value = res.Makespan
 	}
 	if cfg.keepGraphs {
-		if scale != nil {
+		switch {
+		case patchApply != nil:
 			// Honor the private-graph contract: hand back a clone
-			// carrying the overlay's effective timings, never the
-			// shared baseline.
-			r.Graph = w.overlay.Materialize()
-		} else {
-			r.Graph = g
+			// carrying the patch's timing and structural deltas, never
+			// the shared baseline.
+			r.Graph, r.Err = w.patch.Materialize()
+			if r.Err != nil {
+				return r
+			}
+		case transform != nil:
+			r.Graph = view.(*core.Graph)
+		default:
+			r.Graph = base.Clone()
 		}
 	}
 	if cfg.keepSims {

@@ -59,7 +59,7 @@ func sequential(t *testing.T, baseline *core.Graph, scenarios []Scenario) []time
 			t.Fatal(err)
 		}
 		if sc.Measure != nil {
-			out[i], err = sc.Measure(g, res)
+			out[i], err = sc.Measure(core.TaskView(g), res)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,7 +146,7 @@ func TestSweepMeasureAndKeep(t *testing.T) {
 		Transform: func(c *core.Graph) (*core.Graph, error) {
 			return c.Repeat(3)
 		},
-		Measure: func(rg *core.Graph, res *core.SimResult) (time.Duration, error) {
+		Measure: func(rg core.TaskView, res *core.SimResult) (time.Duration, error) {
 			return core.RoundSpan(rg, res, 2) - core.RoundSpan(rg, res, 1), nil
 		},
 	}}, KeepGraphs(), KeepSims())
@@ -278,8 +278,9 @@ func TestSweepReplayPathSkipsClone(t *testing.T) {
 	}
 }
 
-// TestSweepOverlayMeasureSeesEffectiveTimings checks Measure reads the
-// overlay's timings through the SimResult.
+// TestSweepOverlayMeasureSeesEffectiveTimings checks Measure receives
+// the worker's patch as its TaskView on the clone-free path and reads
+// the effective timings through the SimResult.
 func TestSweepOverlayMeasureSeesEffectiveTimings(t *testing.T) {
 	g := testGraph(5)
 	kernels := g.Select(core.OnGPUPred)
@@ -290,9 +291,12 @@ func TestSweepOverlayMeasureSeesEffectiveTimings(t *testing.T) {
 			o.SetDuration(last, time.Millisecond)
 			return nil
 		},
-		Measure: func(mg *core.Graph, res *core.SimResult) (time.Duration, error) {
-			if mg != g {
-				t.Error("overlay Measure did not receive the baseline graph")
+		Measure: func(v core.TaskView, res *core.SimResult) (time.Duration, error) {
+			p, ok := v.(*core.Patch)
+			if !ok {
+				t.Errorf("clone-free Measure received %T, want *core.Patch", v)
+			} else if p.Base() != g {
+				t.Error("patch view is not over the shared baseline")
 			}
 			if d := res.TaskDuration(last); d != time.Millisecond {
 				t.Errorf("TaskDuration through result = %v, want 1ms", d)
@@ -367,30 +371,59 @@ func TestSweepOverlayKeepGraphsIsPrivate(t *testing.T) {
 	}
 }
 
-// TestSweepReplayMeasureGetsPrivateClone pins the historical Measure
-// contract on the replay path: a Measure (which may legally mutate the
-// graph it receives) must never be handed the shared baseline.
-func TestSweepReplayMeasureGetsPrivateClone(t *testing.T) {
+// TestSweepReplayMeasureSeesBaseline pins the Measure contract on the
+// replay path: the TaskView is the shared baseline itself (read-only —
+// Simulate never mutates, and neither may the Measure), with no clone
+// spent on it.
+func TestSweepReplayMeasureSeesBaseline(t *testing.T) {
 	g := testGraph(5)
 	sc := Scenario{
 		Name: "replay-measure",
-		Measure: func(mg *core.Graph, res *core.SimResult) (time.Duration, error) {
-			if mg == g {
-				t.Error("replay Measure received the shared baseline")
+		Measure: func(v core.TaskView, res *core.SimResult) (time.Duration, error) {
+			if v.(*core.Graph) != g {
+				t.Error("replay Measure did not receive the shared baseline view")
 			}
-			// Mutating the received graph was legal before the replay
-			// optimization and must stay safe.
-			core.Scale(mg.Select(core.OnGPUPred), 0)
 			return res.Makespan, nil
 		},
 	}
-	if _, err := Run(g, []Scenario{sc}); err != nil {
+	res, err := Run(g, []Scenario{sc})
+	if err != nil {
 		t.Fatal(err)
 	}
-	for _, u := range g.Tasks() {
-		if u.OnGPU() && u.Duration == 0 {
-			t.Fatal("Measure mutation reached the shared baseline")
-		}
+	want, _ := g.PredictIteration()
+	if res[0].Value != want {
+		t.Fatalf("replay measure value %v, want %v", res[0].Value, want)
+	}
+}
+
+// TestSweepNamePrecedence pins the Result naming rule: an explicit
+// Scenario.Name always wins over the optimization's own name — on
+// success AND on error results.
+func TestSweepNamePrecedence(t *testing.T) {
+	g := testGraph(4)
+	failing := core.PatchOpt("opt-name-fail", core.Structural, func(*core.Patch) error {
+		return fmt.Errorf("boom")
+	}, nil)
+	results, err := Run(g, []Scenario{
+		{Name: "explicit", Opt: gpuScaleOpt(0.5)},
+		{Opt: gpuScaleOpt(0.5)},
+		{Name: "explicit-error", Opt: failing},
+		{Opt: failing},
+	})
+	if err == nil {
+		t.Fatal("sweep with failing scenarios returned nil error")
+	}
+	if results[0].Name != "explicit" {
+		t.Fatalf("result 0 name = %q, want %q (Scenario.Name must win)", results[0].Name, "explicit")
+	}
+	if results[1].Name != "gpu-x0.5" {
+		t.Fatalf("result 1 name = %q, want opt name", results[1].Name)
+	}
+	if results[2].Err == nil || results[2].Name != "explicit-error" {
+		t.Fatalf("error result name = %q (err %v), want %q", results[2].Name, results[2].Err, "explicit-error")
+	}
+	if results[3].Err == nil || results[3].Name != "opt-name-fail" {
+		t.Fatalf("error result name = %q (err %v), want opt name", results[3].Name, results[3].Err)
 	}
 }
 
@@ -426,7 +459,7 @@ func TestSweepOptDispatch(t *testing.T) {
 		overlayScaleScenario("a", 0.5),
 		overlayScaleScenario("b", 0.25),
 		{Name: "c", Transform: func(c *core.Graph) (*core.Graph, error) {
-			return c, structural.ApplyGraph(c)
+			return c, core.ApplyGraph(structural, c)
 		}},
 	}
 	got, err := Run(g, opts)
@@ -474,7 +507,7 @@ func TestSweepOptCarriesMeasure(t *testing.T) {
 	g := testGraph(8)
 	repeat := core.RewriteOpt("repeat3",
 		func(c *core.Graph) (*core.Graph, error) { return c.Repeat(3) },
-		func(rg *core.Graph, res *core.SimResult) (time.Duration, error) {
+		func(rg core.TaskView, res *core.SimResult) (time.Duration, error) {
 			return core.RoundSpan(rg, res, 2) - core.RoundSpan(rg, res, 1), nil
 		})
 	res, err := Run(g, []Scenario{{Opt: repeat}})
@@ -490,7 +523,7 @@ func TestSweepOptCarriesMeasure(t *testing.T) {
 	}
 	override, err := Run(g, []Scenario{{
 		Opt:     repeat,
-		Measure: func(*core.Graph, *core.SimResult) (time.Duration, error) { return 42, nil },
+		Measure: func(core.TaskView, *core.SimResult) (time.Duration, error) { return 42, nil },
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -541,6 +574,119 @@ func TestSweepNoopStackReplaysWithoutClone(t *testing.T) {
 	if noop > replay {
 		t.Fatalf("no-op stack allocates %.0f/run, plain replay %.0f/run — it is not on the replay fast path", noop, replay)
 	}
+}
+
+// insertCommOpt is a patch-form structural test what-if: one comm task
+// appended to a fresh channel, gated by the last GPU kernel.
+func insertCommOpt(d time.Duration) core.Optimization {
+	return core.PatchOpt(fmt.Sprintf("comm-%v", d), core.Structural, func(p *core.Patch) error {
+		kernels := p.Base().Select(core.OnGPUPred)
+		if len(kernels) == 0 {
+			return fmt.Errorf("no kernels")
+		}
+		c := p.NewTask("comm", trace.KindComm, core.Channel("test"), d)
+		p.AppendTask(c)
+		return p.AddDependency(kernels[len(kernels)-1], c, core.DepComm)
+	}, nil)
+}
+
+// TestSweepStructuralPatchMatchesClonePath checks the unified patch
+// dispatch for structural optimizations: a patch-form value evaluates
+// without cloning and predicts bit-identically to the same surgery on a
+// private clone, and KeepGraphs hands back a materialized private graph
+// carrying the structural deltas.
+func TestSweepStructuralPatchMatchesClonePath(t *testing.T) {
+	g := testGraph(30)
+	opt := insertCommOpt(3 * time.Millisecond)
+	got, err := Run(g, []Scenario{{Opt: opt}}, KeepGraphs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(g, []Scenario{{Name: "clone", Transform: func(c *core.Graph) (*core.Graph, error) {
+		return core.ApplyOptimization(c, opt)
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Value != want[0].Value {
+		t.Fatalf("patch dispatch %v, clone path %v", got[0].Value, want[0].Value)
+	}
+	// KeepGraphs: a private materialized graph with the comm task.
+	kept := got[0].Graph
+	if kept == g {
+		t.Fatal("KeepGraphs returned the shared baseline for a patch scenario")
+	}
+	if kept.NumTasks() != g.NumTasks()+1 {
+		t.Fatalf("materialized graph has %d tasks, want %d", kept.NumTasks(), g.NumTasks()+1)
+	}
+	mk, err := kept.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk != got[0].Value {
+		t.Fatalf("materialized graph makespan %v, scenario value %v", mk, got[0].Value)
+	}
+	// The baseline survives untouched.
+	if g.NumTasks() != 30*2 {
+		t.Fatalf("baseline task count changed: %d", g.NumTasks())
+	}
+}
+
+// lifoSched is a trivial non-default scheduler for the fallback test.
+type lifoSched struct{}
+
+func (lifoSched) Pick(frontier []*core.Task, _ func(*core.Task) time.Duration) *core.Task {
+	return frontier[len(frontier)-1]
+}
+
+// TestSweepStructuralOptWithCustomScheduler pins the pre-patch
+// capability: a structural Opt combined with a custom Scheduler in
+// SimOptions must still evaluate (Patch.Simulate falls back to a
+// materialized clone) and match the explicit clone-path result.
+func TestSweepStructuralOptWithCustomScheduler(t *testing.T) {
+	g := testGraph(20)
+	opt := insertCommOpt(2 * time.Millisecond)
+	simOpts := []core.SimOption{core.WithScheduler(lifoSched{})}
+	got, err := Run(g, []Scenario{{Opt: opt, SimOptions: simOpts}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(g, []Scenario{{
+		Name: "clone",
+		Transform: func(c *core.Graph) (*core.Graph, error) {
+			return core.ApplyOptimization(c, opt)
+		},
+		SimOptions: simOpts,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Value != want[0].Value {
+		t.Fatalf("custom-scheduler patch fallback %v, clone path %v", got[0].Value, want[0].Value)
+	}
+}
+
+// TestSweepConcurrentPatchRace drives many concurrent structural patch
+// sweeps over one shared baseline. Run under -race (the CI does) this
+// verifies the copy-on-write structural sharing model: workers record
+// task/edge deltas without ever writing to the baseline.
+func TestSweepConcurrentPatchRace(t *testing.T) {
+	g := testGraph(50)
+	var scenarios []Scenario
+	for i := 0; i < 16; i++ {
+		scenarios = append(scenarios, Scenario{Opt: insertCommOpt(time.Duration(i+1) * time.Millisecond)})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Run(g, scenarios, Workers(4)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestSweepStackedOptRace drives concurrent sweeps of stacked

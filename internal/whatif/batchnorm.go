@@ -37,15 +37,12 @@ func (o *ReconBatchnormOptions) defaults(g *core.Graph) {
 	}
 }
 
-// ReconBatchnorm models the batchnorm-restructuring optimization of Jung
-// et al. per the paper's §5.1 and Algorithm 5: activation (ReLU) GPU
-// kernels disappear — they are memory-bound kernels now fused with the
-// neighbouring compute-intensive convolutions — and batch-normalization
-// GPU kernels shrink 2× because the split sub-layers halve the input data
-// they load from GPU memory. As §6.4 discusses, this idealized model does
-// not know the re-implementation's new memory copies and allocations, so
-// it overestimates the real gain.
-func ReconBatchnorm(g *core.Graph, opts ReconBatchnormOptions) error {
+// reconBatchnormInto is the one body behind both structural forms of
+// Algorithm 5: it classifies the baseline's GPU kernels and emits the
+// removal/halving edits through the supplied sinks, so the in-place
+// and patch forms cannot drift apart (the same sharing pattern as
+// distributedInto / p3AnnotateInto).
+func reconBatchnormInto(g *core.Graph, opts ReconBatchnormOptions, remove, halve func(*core.Task)) error {
 	if err := requireLayers(g, "ReconBatchnorm"); err != nil {
 		return err
 	}
@@ -56,12 +53,42 @@ func ReconBatchnorm(g *core.Graph, opts ReconBatchnormOptions) error {
 		}
 		switch {
 		case opts.IsReLU(u.Layer):
-			g.Remove(u)
+			remove(u)
 		case opts.IsBatchNorm(u.Layer):
-			u.Duration /= 2
+			halve(u)
 		}
 	}
 	return nil
+}
+
+// ReconBatchnorm models the batchnorm-restructuring optimization of Jung
+// et al. per the paper's §5.1 and Algorithm 5: activation (ReLU) GPU
+// kernels disappear — they are memory-bound kernels now fused with the
+// neighbouring compute-intensive convolutions — and batch-normalization
+// GPU kernels shrink 2× because the split sub-layers halve the input data
+// they load from GPU memory. As §6.4 discusses, this idealized model does
+// not know the re-implementation's new memory copies and allocations, so
+// it overestimates the real gain.
+func ReconBatchnorm(g *core.Graph, opts ReconBatchnormOptions) error {
+	return reconBatchnormInto(g, opts,
+		func(u *core.Task) { g.Remove(u) },
+		func(u *core.Task) { u.Duration /= 2 })
+}
+
+// ReconBatchnormPatch is Algorithm 5's removal form as a copy-on-write
+// structural patch: activation (ReLU) GPU kernels are removed through
+// the patch's Remove delta — reproducing Graph.Remove's reconnection
+// edges over the shared baseline — and batch-normalization kernels
+// halve through the timing tier. Both forms run the same
+// reconBatchnormInto body, so simulating the patch is bit-identical to
+// cloning the baseline and applying ReconBatchnorm to the clone,
+// including the critical path's routing around the removed kernels
+// (which the zeroing form ReconBatchnormOverlay only matches on
+// makespan and start times).
+func ReconBatchnormPatch(p *core.Patch, opts ReconBatchnormOptions) error {
+	return reconBatchnormInto(p.Base(), opts,
+		p.RemoveTask,
+		func(u *core.Task) { p.SetDuration(u, p.Duration(u)/2) })
 }
 
 // ReconBatchnormOverlay is the duration-only part of Algorithm 5 as a

@@ -54,6 +54,9 @@ func (r *P3Result) IterationTime(res *core.SimResult) time.Duration {
 // scheduler resolves channel contention by priority, modeling P3's
 // preemptive transfers. Push tasks ride the "ps.send" channel and pull
 // tasks "ps.recv" (Algorithm 7's comm.send / comm.receive).
+//
+// P3 repeats the graph itself (a rewrite); P3Annotate is the clone-free
+// form for grids that share one pre-repeated baseline across scenarios.
 func P3(g *core.Graph, opts P3Options) (*P3Result, error) {
 	if opts.Topology.TotalGPUs() <= 1 {
 		return nil, fmt.Errorf("whatif: P3 requires a multi-worker topology")
@@ -69,6 +72,43 @@ func P3(g *core.Graph, opts P3Options) (*P3Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := p3AnnotateInto(rep, rep, opts, rounds); err != nil {
+		return nil, err
+	}
+	return &P3Result{Graph: rep, Rounds: rounds}, nil
+}
+
+// P3Annotate is Algorithm 7's annotation phase as a copy-on-write
+// structural patch over an already-repeated baseline: the push/pull
+// tasks, their channel sequences, priorities and cross-round dependency
+// edges are recorded as deltas instead of being inserted into a private
+// copy. The patch's baseline must be a Repeat-expanded graph with at
+// least two rounds (P3's Rounds default); a sweep grid repeats the
+// single-worker profile once and shares the result across every
+// bandwidth point, so no scenario clones. Simulating the patch is
+// bit-identical to P3's rewrite form on the same rounds.
+func P3Annotate(p *core.Patch, opts P3Options) error {
+	if opts.Topology.TotalGPUs() <= 1 {
+		return fmt.Errorf("whatif: P3 requires a multi-worker topology")
+	}
+	rep := p.Base()
+	if err := requireLayers(rep, "P3"); err != nil {
+		return err
+	}
+	rounds := opts.Rounds
+	if rounds < 2 {
+		rounds = 2
+	}
+	if have := rep.LayerPhaseIndex().Rounds(); have != rounds {
+		return fmt.Errorf("whatif: P3Annotate: baseline has %d rounds, want %d (Repeat the profile first)", have, rounds)
+	}
+	return p3AnnotateInto(rep, p, opts, rounds)
+}
+
+// p3AnnotateInto reads the repeated baseline rep and emits Algorithm
+// 7's push/pull annotation through ed (the repeated graph itself, or a
+// patch over it).
+func p3AnnotateInto(rep *core.Graph, ed graphEditor, opts P3Options, rounds int) error {
 	grads := gradientsByIndex(rep)
 	layers := sortedLayerIndices(grads)
 	bw := opts.Topology.NICBandwidth
@@ -78,7 +118,8 @@ func P3(g *core.Graph, opts P3Options) (*P3Result, error) {
 
 	// One index build answers every (layer, round) query; the push/pull
 	// tasks inserted below have no layer mapping, so the held snapshot
-	// stays correct throughout.
+	// stays correct throughout (and the patch path never mutates the
+	// shared baseline at all).
 	idx := rep.LayerPhaseIndex()
 	for r := 0; r < rounds; r++ {
 		for _, li := range layers {
@@ -103,27 +144,27 @@ func P3(g *core.Graph, opts P3Options) (*P3Result, error) {
 				priority = -li
 			}
 			for _, sz := range comm.Slices(gr.Bytes, sliceBytes) {
-				push := rep.NewTask(fmt.Sprintf("push %s", gr.Layer), trace.KindComm, send, comm.TransferTime(sz, bw, lat))
+				push := ed.NewTask(fmt.Sprintf("push %s", gr.Layer), trace.KindComm, send, comm.TransferTime(sz, bw, lat))
 				push.Bytes = sz
 				push.Priority = priority
 				push.Round = r
-				pull := rep.NewTask(fmt.Sprintf("pull %s", gr.Layer), trace.KindComm, recv, comm.TransferTime(sz, bw, lat))
+				pull := ed.NewTask(fmt.Sprintf("pull %s", gr.Layer), trace.KindComm, recv, comm.TransferTime(sz, bw, lat))
 				pull.Bytes = sz
 				pull.Priority = priority
 				pull.Round = r
-				if err := rep.AddDependency(u, push, core.DepComm); err != nil {
-					return nil, err
+				if err := ed.AddDependency(u, push, core.DepComm); err != nil {
+					return err
 				}
-				if err := rep.AddDependency(push, pull, core.DepComm); err != nil {
-					return nil, err
+				if err := ed.AddDependency(push, pull, core.DepComm); err != nil {
+					return err
 				}
 				if v != nil {
-					if err := rep.AddDependency(pull, v, core.DepComm); err != nil {
-						return nil, err
+					if err := ed.AddDependency(pull, v, core.DepComm); err != nil {
+						return err
 					}
 				}
 			}
 		}
 	}
-	return &P3Result{Graph: rep, Rounds: rounds}, nil
+	return nil
 }

@@ -1,0 +1,247 @@
+package whatif_test
+
+// Structural patch equivalence suite: for every zoo model and every
+// structural what-if with a patch form — Distributed (Algorithm 6),
+// P3's annotation over a pre-repeated baseline (Algorithm 7, non-rewrite
+// form), and removal-form batchnorm restructuring (Algorithm 5) — the
+// clone-free patch must reproduce the clone+mutate form bit for bit:
+// same makespan, same start time for every task (baseline and appendix
+// IDs alike; Patch.NewTask allocates exactly the IDs a clone would
+// have), same per-thread end times, and an identical materialized
+// graph prediction. A -race sweep drives concurrent structural patches
+// over one shared baseline.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"daydream/internal/core"
+	"daydream/internal/dnn"
+	"daydream/internal/framework"
+	"daydream/internal/sweep"
+	"daydream/internal/whatif"
+)
+
+// patchEquivCase pairs a clone-path structural transform with its patch
+// form. base lets a case substitute a derived baseline (P3's annotation
+// runs over the Repeat-expanded graph).
+type patchEquivCase struct {
+	name  string
+	base  func(t *testing.T, g *core.Graph) *core.Graph
+	clone func(*core.Graph) error
+	patch func(*core.Patch) error
+}
+
+func patchEquivCases() []patchEquivCase {
+	dist := whatif.DistributedOptions{Topology: topo4x1(10)}
+	p3 := whatif.P3Options{Topology: topo4x1(5), SliceBytes: 800 << 10, Rounds: 2}
+	fifo := whatif.P3Options{Topology: topo4x1(5), Rounds: 2}
+	repeated := func(t *testing.T, g *core.Graph) *core.Graph {
+		t.Helper()
+		rep, err := g.Repeat(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	// The p3 clone forms route through core.ApplyGraph, which replays
+	// the recorded journal onto the private graph through the real
+	// Graph primitives — genuine surgery, so the comparison pits the
+	// patch's composite simulation view against a truly mutated graph.
+	return []patchEquivCase{
+		{
+			name:  "distributed",
+			clone: func(c *core.Graph) error { return whatif.Distributed(c, dist) },
+			patch: func(p *core.Patch) error { return whatif.DistributedPatch(p, dist) },
+		},
+		{
+			name: "p3-annotate",
+			base: repeated,
+			clone: func(c *core.Graph) error {
+				return core.ApplyGraph(whatif.OptP3Annotate(p3), c)
+			},
+			patch: func(p *core.Patch) error { return whatif.P3Annotate(p, p3) },
+		},
+		{
+			name: "ps-fifo-annotate",
+			base: repeated,
+			clone: func(c *core.Graph) error {
+				return core.ApplyGraph(whatif.OptP3Annotate(fifo), c)
+			},
+			patch: func(p *core.Patch) error { return whatif.P3Annotate(p, fifo) },
+		},
+		{
+			name: "reconbn-removal",
+			clone: func(c *core.Graph) error {
+				return whatif.ReconBatchnorm(c, whatif.ReconBatchnormOptions{})
+			},
+			patch: func(p *core.Patch) error {
+				return whatif.ReconBatchnormPatch(p, whatif.ReconBatchnormOptions{})
+			},
+		},
+	}
+}
+
+func TestStructuralPatchEquivalenceAcrossZoo(t *testing.T) {
+	for _, name := range dnn.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g := profile(t, name, framework.PyTorch)
+			for _, tc := range patchEquivCases() {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					base := g
+					if tc.base != nil {
+						base = tc.base(t, g)
+					}
+					assertPatchEquivalence(t, base, tc)
+				})
+			}
+		})
+	}
+}
+
+func assertPatchEquivalence(t *testing.T, g *core.Graph, tc patchEquivCase) {
+	t.Helper()
+	c := g.Clone()
+	cloneErr := tc.clone(c)
+	p := core.NewPatch(g)
+	patchErr := tc.patch(p)
+	if (cloneErr == nil) != (patchErr == nil) {
+		t.Fatalf("error mismatch: clone=%v patch=%v", cloneErr, patchErr)
+	}
+	if cloneErr != nil {
+		return // both forms reject the workload the same way
+	}
+
+	want, err := c.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("makespan: patch %v, clone %v", got.Makespan, want.Makespan)
+	}
+	// The patch's effective ID span must equal the clone's after its
+	// insertions — Patch.NewTask hands out the clone's IDs.
+	if p.IDSpan() != c.IDSpan() {
+		t.Fatalf("ID span: patch %d, clone %d", p.IDSpan(), c.IDSpan())
+	}
+	// Start times of every live task, baseline and appendix alike (IDs
+	// are preserved by Clone and left as holes by Remove).
+	for id := 0; id < c.IDSpan(); id++ {
+		ct := c.Task(id)
+		pt := p.Task(id)
+		if (ct == nil) != (pt == nil) {
+			t.Fatalf("task %d liveness: patch %v, clone %v", id, pt, ct)
+		}
+		if ct == nil {
+			continue
+		}
+		if got.Start[id] != want.Start[id] {
+			t.Fatalf("task %d start: patch %v, clone %v", id, got.Start[id], want.Start[id])
+		}
+		if gd, wd := got.TaskDuration(pt), want.TaskDuration(ct); gd != wd {
+			t.Fatalf("task %d duration: patch %v, clone %v", id, gd, wd)
+		}
+	}
+	// Per-thread completion must agree (including threads that exist
+	// only in the patch's appendix, e.g. fresh comm channels).
+	if len(got.ThreadEnd) != len(want.ThreadEnd) {
+		t.Fatalf("thread-end count: patch %d, clone %d", len(got.ThreadEnd), len(want.ThreadEnd))
+	}
+	for tid, end := range want.ThreadEnd {
+		if got.ThreadEnd[tid] != end {
+			t.Fatalf("thread %v end: patch %v, clone %v", tid, got.ThreadEnd[tid], end)
+		}
+	}
+	// The materialized patch is the clone-path graph: same prediction.
+	m, err := p.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := m.PredictIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp != want.Makespan {
+		t.Fatalf("materialized prediction %v, clone %v", mp, want.Makespan)
+	}
+}
+
+// TestOptP3AnnotateMatchesOptP3 pins the two P3 forms against each
+// other end to end: the rewrite form (repeat inside the scenario) and
+// the annotate form (patch over a shared pre-repeated baseline) must
+// report the same steady-state iteration time through the sweep.
+func TestOptP3AnnotateMatchesOptP3(t *testing.T) {
+	g := profile(t, "resnet50", framework.MXNet)
+	rep, err := g.Repeat(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slice := range []int64{800 << 10, 0} {
+		opts := whatif.P3Options{Topology: topo4x1(5), SliceBytes: slice, Rounds: 2}
+		rewrite, err := sweep.Run(g, []sweep.Scenario{{Opt: whatif.OptP3(opts)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		patched, err := sweep.Run(rep, []sweep.Scenario{{Opt: whatif.OptP3Annotate(opts)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rewrite[0].Value != patched[0].Value {
+			t.Fatalf("slice=%d: rewrite form %v, annotate form %v", slice, rewrite[0].Value, patched[0].Value)
+		}
+	}
+	// The annotate form refuses a baseline that was never repeated.
+	p := core.NewPatch(g)
+	if err := whatif.P3Annotate(p, whatif.P3Options{Topology: topo4x1(5), Rounds: 2}); err == nil {
+		t.Fatal("P3Annotate accepted a single-round baseline")
+	}
+}
+
+// TestConcurrentStructuralPatchSweepRace fans structural patch
+// scenarios (Distributed grids and removal-form batchnorm) over one
+// shared baseline from several goroutines at once. Run under -race
+// (the CI does) this verifies the structural copy-on-write sharing
+// model: no worker ever writes to the shared graph or its memoized
+// layer index.
+func TestConcurrentStructuralPatchSweepRace(t *testing.T) {
+	g := profile(t, "resnet50", framework.PyTorch)
+	var scenarios []sweep.Scenario
+	for i, gbps := range []float64{5, 10, 20, 40} {
+		scenarios = append(scenarios, sweep.Scenario{
+			Name: fmt.Sprintf("dist%d", i),
+			Opt:  whatif.OptDistributed(whatif.DistributedOptions{Topology: topo4x1(gbps)}),
+		})
+	}
+	scenarios = append(scenarios, sweep.Scenario{
+		Opt: whatif.OptReconBatchnormRemoval(whatif.ReconBatchnormOptions{}),
+	})
+	want, err := sweep.Run(g, scenarios, sweep.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := sweep.Run(g, scenarios, sweep.Workers(3))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := range want {
+				if got[j].Value != want[j].Value {
+					t.Errorf("scenario %d: concurrent %v, sequential %v", j, got[j].Value, want[j].Value)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

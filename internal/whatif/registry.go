@@ -102,6 +102,14 @@ var registry = []OptSpec{
 		},
 	},
 	{
+		Name:      "reconbn-removal",
+		Summary:   "batchnorm restructuring, removal form (Algorithm 5; true graph shape, patch deltas)",
+		Footprint: core.Structural,
+		Build: func(p OptParams) (core.Optimization, error) {
+			return OptReconBatchnormRemoval(p.ReconBatchnorm), nil
+		},
+	},
+	{
 		Name:      "distributed",
 		Summary:   "data-parallel scaling from a single-GPU profile (Algorithm 6)",
 		Params:    "topology",
@@ -212,15 +220,22 @@ func BuildByName(name string, p OptParams) (core.Optimization, error) {
 // ParseStack resolves a '+'-separated stack expression ("amp+fusedadam")
 // against the registry: each element is built with the same parameters,
 // and multiple elements compose with core.Stack in expression order. A
-// single element returns the optimization itself.
+// single element returns the optimization itself. A name may appear at
+// most once — "amp+amp" would silently apply the model twice (squaring
+// its scaling), so duplicates are rejected with an error instead.
 func ParseStack(expr string, p OptParams) (core.Optimization, error) {
 	parts := strings.Split(expr, "+")
 	opts := make([]core.Optimization, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
 	for _, part := range parts {
 		name := strings.TrimSpace(part)
 		if name == "" {
 			return nil, fmt.Errorf("whatif: empty element in optimization expression %q", expr)
 		}
+		if seen[name] {
+			return nil, fmt.Errorf("whatif: duplicate optimization %q in expression %q (each model may appear once; applying it twice would double its effect)", name, expr)
+		}
+		seen[name] = true
 		opt, err := BuildByName(name, p)
 		if err != nil {
 			return nil, err

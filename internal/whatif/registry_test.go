@@ -12,14 +12,15 @@ import (
 
 func TestRegistryNamesAndFootprints(t *testing.T) {
 	want := map[string]core.OptFootprint{
-		"amp":         core.TimingOnly,
-		"fusedadam":   core.TimingOnly,
-		"reconbn":     core.TimingOnly,
-		"distributed": core.Structural,
-		"p3":          core.Structural,
-		"upgrade":     core.TimingOnly,
-		"kprofile":    core.TimingOnly,
-		"scale":       core.TimingOnly,
+		"amp":             core.TimingOnly,
+		"fusedadam":       core.TimingOnly,
+		"reconbn":         core.TimingOnly,
+		"reconbn-removal": core.Structural,
+		"distributed":     core.Structural,
+		"p3":              core.Structural,
+		"upgrade":         core.TimingOnly,
+		"kprofile":        core.TimingOnly,
+		"scale":           core.TimingOnly,
 	}
 	specs := whatif.Registry()
 	if len(specs) != len(want) {
@@ -123,6 +124,25 @@ func TestParseStackExpressions(t *testing.T) {
 	}
 }
 
+// TestParseStackRejectsDuplicates pins the duplicate-name guard: a
+// repeated element ("amp+amp") would silently apply the model twice,
+// so ParseStack errors out with the duplicate's name instead.
+func TestParseStackRejectsDuplicates(t *testing.T) {
+	for _, expr := range []string{"amp+amp", "amp+fusedadam+amp", "fusedadam + fusedadam"} {
+		_, err := whatif.ParseStack(expr, whatif.OptParams{})
+		if err == nil {
+			t.Fatalf("duplicate expression %q did not error", expr)
+		}
+		if !strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("duplicate expression %q error %q does not name the problem", expr, err)
+		}
+	}
+	// Distinct names still parse.
+	if _, err := whatif.ParseStack("amp+fusedadam", whatif.OptParams{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestParsedStackPredicts pins the registry end to end: a parsed
 // amp+fusedadam stack predicts the same iteration as the sequential
 // clone application on a real profile.
@@ -133,7 +153,7 @@ func TestParsedStackPredicts(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := core.NewOverlay(g)
-	if err := opt.ApplyOverlay(o); err != nil {
+	if err := core.ApplyOverlay(opt, o); err != nil {
 		t.Fatal(err)
 	}
 	got, err := o.PredictIteration()

@@ -82,12 +82,13 @@ func assertStackEquivalence(t *testing.T, g *core.Graph, stack core.Optimization
 		}
 	}
 
-	// Stack clone path.
+	// Stack clone path (through the deprecated in-place adapter).
 	sc := g.Clone()
-	cloneErr := stack.ApplyGraph(sc)
-	// Stack overlay path over the shared baseline.
+	cloneErr := core.ApplyGraph(stack, sc)
+	// Stack overlay path over the shared baseline (through the
+	// deprecated timing-tier adapter).
 	o := core.NewOverlay(g)
-	overlayErr := stack.ApplyOverlay(o)
+	overlayErr := core.ApplyOverlay(stack, o)
 
 	if (seqErr == nil) != (cloneErr == nil) || (seqErr == nil) != (overlayErr == nil) {
 		t.Fatalf("error mismatch: sequential=%v stack-clone=%v stack-overlay=%v",
