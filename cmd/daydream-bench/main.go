@@ -15,7 +15,9 @@
 // stacked-overlay (AMP+FusedAdam via one Stack value) scenario
 // evaluation, the structural clone-vs-patch pair (Algorithm-6
 // Distributed on bert-large via a private clone vs copy-on-write
-// structural patch deltas), and Figure-8-sized concurrent sweeps) are
+// structural patch deltas), the scheduled clone-vs-patch pair (the same
+// scenario under a custom Scheduler, run view-generically over the
+// patch), and Figure-8-sized concurrent sweeps) are
 // measured with
 // testing.Benchmark and written as machine-readable JSON (ns/op,
 // bytes/op, allocs/op, and scenarios/sec for the sweep benchmarks), so
@@ -104,6 +106,12 @@ type microResult struct {
 // benchSweepWorkers pins the sweep benchmarks' worker count so their
 // allocs/op do not vary with the machine's GOMAXPROCS.
 const benchSweepWorkers = 4
+
+// benchSched is the earliest-start policy forced onto the
+// custom-scheduler slice path (the default-policy fast path only
+// matches core.EarliestStart itself), so the scheduled benchmarks
+// measure the view-generic scheduled simulator.
+type benchSched struct{ core.EarliestStart }
 
 // benchFile is the BENCH.json schema.
 type benchFile struct {
@@ -252,6 +260,40 @@ func runMicro(path, against string, tolerance float64) error {
 					b.Fatal(err)
 				}
 				if _, err := p.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The same structural scenario under a custom (non-default)
+		// Scheduler on both evaluation paths — the clone-vs-patch
+		// headline for scheduled what-ifs. Before schedulers were
+		// view-generic, the patch form fell back to materializing a
+		// private clone per scenario; now it runs the slice-frontier
+		// policy directly over the composite view.
+		{"ScheduledCloneScenario", 0, func(b *testing.B) {
+			topo := daydream.NewTopology(4, 2, 10)
+			scratch := core.NewSimScratch()
+			for i := 0; i < b.N; i++ {
+				c := g.Clone()
+				if err := daydream.Distributed(c, topo); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Simulate(core.WithScratch(scratch), core.WithScheduler(benchSched{})); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ScheduledPatchScenario", 0, func(b *testing.B) {
+			opt := daydream.OptDistributed(daydream.NewTopology(4, 2, 10))
+			scratch := core.NewSimScratch()
+			p := daydream.NewPatch(g)
+			buf := &daydream.SimResult{}
+			for i := 0; i < b.N; i++ {
+				p.Reset(g)
+				if err := opt.Apply(p); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf), core.WithScheduler(benchSched{})); err != nil {
 					b.Fatal(err)
 				}
 			}

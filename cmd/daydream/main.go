@@ -19,7 +19,10 @@
 // for the generated list. Every optimization applies through the
 // unified copy-on-write Patch surface, so predict and sweep evaluate
 // timing-only and structural what-ifs alike without cloning the
-// profiled graph — only graph-replacing rewrites (p3) clone.
+// profiled graph — only graph-replacing rewrites (p3) clone. That
+// includes what-ifs that carry a scheduling policy (vdnn's copy-stream
+// ordering): schedulers are view-generic, so scheduled scenarios stay
+// clone-free too.
 package main
 
 import (
@@ -411,14 +414,21 @@ func cmdSweep(args []string) error {
 	}
 
 	start := time.Now()
-	results, err := daydream.Sweep(g, scenarios, daydream.SweepWorkers(*workers))
-	if err != nil {
-		return err
+	// Per-scenario failures (e.g. vdnn on a model without offloadable
+	// conv activations) are reported as rows, not a battery abort: the
+	// sweep still returns every other scenario's prediction.
+	results, sweepErr := daydream.Sweep(g, scenarios, daydream.SweepWorkers(*workers))
+	if results == nil {
+		return sweepErr
 	}
 	fmt.Printf("traced iteration: %v — %d scenarios in %v\n\n",
 		tr.IterationTime, len(scenarios), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("%-34s %14s %10s\n", "scenario", "predicted", "change")
 	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-34s skipped: %v\n", r.Name, r.Err)
+			continue
+		}
 		fmt.Printf("%-34s %14v %+9.1f%%\n",
 			r.Name, r.Value, 100*(float64(r.Value)/float64(tr.IterationTime)-1))
 	}

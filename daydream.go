@@ -33,8 +33,21 @@ type (
 	// SimResult is a simulation outcome (per-task start times and
 	// makespan).
 	SimResult = core.SimResult
-	// Scheduler overrides Algorithm 1's task-picking policy.
+	// Scheduler overrides Algorithm 1's task-picking policy. Pick
+	// returns the index of the frontier task to dispatch and reads the
+	// effective per-task state (timings, priorities, earliest starts)
+	// through the SchedContext, so one policy runs clone-free over a
+	// Graph, an Overlay or a structural Patch alike.
 	Scheduler = core.Scheduler
+	// SchedContext is the read surface a Scheduler picks through.
+	SchedContext = core.SchedContext
+	// LegacyScheduler is the pre-TaskView scheduler contract
+	// (Pick(frontier, effStart) *Task); wrap values with AdaptScheduler.
+	LegacyScheduler = core.LegacyScheduler
+	// EarliestStart is the default scheduling policy.
+	EarliestStart = core.EarliestStart
+	// SimOption configures a simulation (WithScheduler, …).
+	SimOption = core.SimOption
 	// Topology describes a data-parallel cluster.
 	Topology = comm.Topology
 	// Model is a DNN workload description.
@@ -98,13 +111,14 @@ const (
 // Sweep answers many what-if questions from one shared baseline graph
 // concurrently on a worker pool, with results in scenario order —
 // bit-identical to the equivalent sequential loop. Scenarios declare
-// their what-if as an Optimization value; the sweep picks the cheapest
-// valid path from the value's footprint — timing-only optimizations
-// (and Stacks of them) evaluate clone-free through a copy-on-write
-// Overlay over the shared baseline, structural ones get a private
-// clone. Scenarios may carry their own Base graph for model × config
-// grids, and the manual Transform/ScaleTransform fields remain for
-// one-off custom edits.
+// their what-if as an Optimization value; every value applies through a
+// worker-owned copy-on-write Patch over the shared baseline, so
+// timing-only AND structural optimizations (and Stacks of them)
+// evaluate clone-free — including under a custom Scheduler, supplied in
+// SimOptions or carried by the value itself (OptVDNN) — and only
+// graph-replacing rewriters (OptP3) get a private clone. Scenarios may
+// carry their own Base graph for model × config grids, and the manual
+// Transform/ScaleTransform fields remain for one-off custom edits.
 //
 //	results, err := daydream.Sweep(g, []daydream.Scenario{
 //	    {Opt: daydream.OptAMP()},
@@ -122,6 +136,22 @@ func Sweep(baseline *Graph, scenarios []Scenario, opts ...SweepOption) ([]SweepR
 // with Overlay.Simulate — no clone, and any number of overlays may
 // share one baseline concurrently as long as nothing mutates it.
 func NewOverlay(g *Graph) *Overlay { return core.NewOverlay(g) }
+
+// WithScheduler overrides the default earliest-start scheduling policy
+// for one simulation — a Scenario's SimOptions or a direct
+// Graph/Overlay/Patch Simulate call. Custom schedulers are
+// view-generic: the same policy runs clone-free over a structural
+// Patch, bit-identical to scheduling the materialized graph.
+func WithScheduler(s Scheduler) SimOption { return core.WithScheduler(s) }
+
+// AdaptScheduler wraps a pre-TaskView scheduler (the legacy
+// Pick(frontier, effStart) *Task contract) as a view-generic Scheduler.
+// Adapted policies read raw Task fields, so simulations whose view
+// overlays state those fields cannot see — priorities on an Overlay,
+// any timing or priority overlay on a structural Patch — reject them
+// loudly; migrate field-reading policies to the native
+// Pick(frontier, ctx) int form.
+func AdaptScheduler(s LegacyScheduler) Scheduler { return core.AdaptScheduler(s) }
 
 // NewPatch returns an empty copy-on-write patch over the baseline
 // graph: the unified what-if application surface. Timing edits ride the
@@ -305,6 +335,16 @@ func OptP3(topo Topology, sliceBytes int64) Optimization {
 		SliceBytes: whatif.P3SliceBytes(sliceBytes),
 	})
 }
+
+// OptVDNN returns the vDNN what-if (Rhu et al., paper §5.2 and
+// Algorithm 10) as an Optimization value: activation offload and
+// delayed-prefetch copies are inserted as clone-free patch deltas, and
+// the value carries vDNN's copy-stream scheduling policy — compute
+// preempts PCIe copy traffic that could start at the same instant — so
+// Compare and Sweep simulate under it automatically. Schedulers are
+// view-generic, so even this scheduled structural scenario runs with
+// zero per-scenario clones.
+func OptVDNN() Optimization { return whatif.OptVDNN(whatif.VDNNOptions{}) }
 
 // OptDeviceUpgrade returns the device-upgrade what-if as an Optimization
 // value. Names resolve like DeviceUpgrade's: short presets and full
@@ -523,10 +563,48 @@ func Diagnose(g *Graph) (byResource, byPhase []PathAttribution, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	path := core.CriticalPath(g, res)
-	return core.AttributePath(path, core.ByThreadKind),
-		core.AttributePath(path, core.ByPhase), nil
+	return DiagnoseSim(g, res)
 }
+
+// DiagnoseSim is Diagnose over an existing simulation of any task view
+// — the shared baseline, or the Overlay/Patch of a clone-free scenario.
+// KeepSims sweep consumers use it to diagnose patch scenarios straight
+// from the retained SimResult, without materializing a graph: the
+// critical path reads effective adjacency and sequence links through
+// the view, and the attribution uses the simulation's effective
+// timings.
+func DiagnoseSim(v TaskView, res *SimResult) (byResource, byPhase []PathAttribution, err error) {
+	path := core.CriticalPathView(v, res)
+	return core.AttributePathSim(res, path, core.ByThreadKind),
+		core.AttributePathSim(res, path, core.ByPhase), nil
+}
+
+// CriticalPath returns the simulated critical path of any task view —
+// the chain of tasks whose starts coincide with the constraints that
+// determine the makespan. For patch or overlay simulations the walk
+// reads the view's effective adjacency, so no materialization is
+// needed.
+func CriticalPath(v TaskView, res *SimResult) []*Task {
+	return core.CriticalPathView(v, res)
+}
+
+// AttributePathSim groups a critical path's time by the labeling
+// function using the simulation's effective per-task timings, sorted by
+// descending time. ByThreadKind, ByPhase and ByLayer are ready-made
+// labelers.
+func AttributePathSim(res *SimResult, path []*Task, label func(*Task) string) []PathAttribution {
+	return core.AttributePathSim(res, path, label)
+}
+
+// ByThreadKind labels tasks by execution-resource kind (cpu/stream/
+// channel), for AttributePathSim.
+func ByThreadKind(t *Task) string { return core.ByThreadKind(t) }
+
+// ByPhase labels mapped tasks by training phase, for AttributePathSim.
+func ByPhase(t *Task) string { return core.ByPhase(t) }
+
+// ByLayer labels mapped tasks by layer name, for AttributePathSim.
+func ByLayer(t *Task) string { return core.ByLayer(t) }
 
 // Compare answers one what-if question against the baseline graph and
 // reports (baseline, predicted) iteration times. The what-if is one of:
@@ -624,15 +702,20 @@ func convertWhatIf(what any) (any, bool) {
 
 // predictOptimization evaluates a non-noop Optimization on its cheapest
 // valid path — the clone-free patch unless the value demands a
-// materialized graph — and extracts its metric.
+// materialized graph — under any scheduling policy the value carries,
+// and extracts its metric.
 func predictOptimization(g *Graph, opt Optimization) (time.Duration, error) {
 	measure := core.OptMeasure(opt)
+	var simOpts []core.SimOption
+	if s := core.OptScheduler(opt); s != nil {
+		simOpts = append(simOpts, core.WithScheduler(s))
+	}
 	if core.OptNeedsGraph(opt) {
 		c, err := core.ApplyOptimization(g.Clone(), opt)
 		if err != nil {
 			return 0, err
 		}
-		res, err := c.Simulate()
+		res, err := c.Simulate(simOpts...)
 		if err != nil {
 			return 0, err
 		}
@@ -645,7 +728,7 @@ func predictOptimization(g *Graph, opt Optimization) (time.Duration, error) {
 	if err := opt.Apply(p); err != nil {
 		return 0, err
 	}
-	res, err := p.Simulate()
+	res, err := p.Simulate(simOpts...)
 	if err != nil {
 		return 0, err
 	}

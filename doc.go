@@ -68,6 +68,25 @@
 //	    {Opt: daydream.OptDistributed(daydream.NewTopology(4, 2, 10))}, // structural deltas, no clone
 //	})
 //
+// Scheduling policies are first-class too. A Scheduler overrides
+// Algorithm 1's schedule(): Pick(frontier, ctx) returns the index of
+// the frontier task to dispatch and reads the simulation's effective
+// state — timings, priorities, earliest starts — through the
+// SchedContext, which makes policies view-generic: the same policy runs
+// clone-free over a Graph, an Overlay or a structural Patch,
+// bit-identical to scheduling the materialized graph. Supply one with
+// WithScheduler (directly or in a Scenario's SimOptions), or let the
+// optimization carry its own (OptVDNN pairs vDNN's offload/prefetch
+// surgery with its copy-stream policy via core.SchedulerCarrier).
+// Pre-TaskView schedulers (the Pick(frontier, effStart) *Task shape)
+// wrap with AdaptScheduler; since they read raw Task fields, they are
+// rejected where those fields diverge from the view — priority
+// overlays, and any timing overlay on a structural patch — instead of
+// silently diverging.
+// KeepSims consumers diagnose any scenario without materializing:
+// CriticalPath and DiagnoseSim walk the effective adjacency of the
+// TaskView the simulation ran over.
+//
 // Migration from the previous per-path interface: the ApplyOverlay and
 // ApplyGraph methods are now package-level adapters in internal/core
 // synthesized from Apply (core.ApplyOverlay(opt, o) errors if the

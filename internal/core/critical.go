@@ -11,22 +11,35 @@ import (
 // the paper's first what-if question ("Why did my DNN training workload
 // run slowly?") quantitatively: shrinking any task off this path cannot
 // improve the iteration.
+func CriticalPath(g *Graph, res *SimResult) []*Task {
+	return CriticalPathView(g, res)
+}
+
+// CriticalPathView is CriticalPath over any task view — the *Graph the
+// simulation ran on, or the *Overlay/*Patch of a clone-free scenario,
+// whose effective adjacency and sequence links the reconstruction reads
+// without materializing anything. KeepSims sweep consumers use it to
+// diagnose patch scenarios directly from the retained SimResult.
 //
 // The path is reconstructed backwards from the task that finishes last:
 // at each step the binding constraint is either a dependency parent whose
 // finish (plus gap) equals the task's start, or the previous task on the
-// same execution thread.
-func CriticalPath(g *Graph, res *SimResult) []*Task {
-	// End times read through the result, so an overlay simulation's
-	// effective timings drive the reconstruction (TaskDuration/TaskGap
-	// fall back to the Task fields for plain simulations).
+// same execution thread. A task that started at time zero still walks to
+// a binding zero-duration parent when one exists (zero-cost roots do not
+// truncate the chain); only a task with no binding constraint at all
+// ends it.
+func CriticalPathView(v TaskView, res *SimResult) []*Task {
+	// End times read through the result, so an overlay or patch
+	// simulation's effective timings drive the reconstruction
+	// (TaskDuration/TaskGap fall back to the Task fields for plain
+	// simulations).
 	end := func(t *Task) time.Duration {
 		return res.Start[t.ID] + res.TaskDuration(t) + res.TaskGap(t)
 	}
 	// Find the last-finishing task.
 	var last *Task
 	var lastEnd time.Duration
-	for _, t := range g.Tasks() {
+	for _, t := range v.Tasks() {
 		if e := end(t); last == nil || e > lastEnd {
 			last, lastEnd = t, e
 		}
@@ -38,12 +51,10 @@ func CriticalPath(g *Graph, res *SimResult) []*Task {
 	for t := last; t != nil; {
 		path = append(path, t)
 		start := res.Start[t.ID]
-		if start == 0 {
-			break
-		}
-		// Binding dependency parent?
+		// Binding dependency parent? (Checked even at start == 0: a
+		// zero-duration parent finishing at 0 is still the constraint.)
 		var next *Task
-		for _, p := range t.Parents() {
+		for _, p := range v.Parents(t) {
 			if end(p) == start {
 				next = p
 				break
@@ -51,7 +62,7 @@ func CriticalPath(g *Graph, res *SimResult) []*Task {
 		}
 		// Otherwise the thread predecessor paced it.
 		if next == nil {
-			if prev := t.SeqPrev(); prev != nil && end(prev) == start {
+			if prev := v.SeqPrev(t); prev != nil && end(prev) == start {
 				next = prev
 			}
 		}
@@ -80,8 +91,26 @@ type PathAttribution struct {
 }
 
 // AttributePath groups a critical path's time by the given labeling
-// function, sorted by descending time.
+// function, sorted by descending time. Times come from the raw Task
+// fields; for paths over an overlay or patch simulation use
+// AttributePathSim, which reads the effective timings.
 func AttributePath(path []*Task, label func(*Task) string) []PathAttribution {
+	return attributePath(path, label, func(t *Task) time.Duration {
+		return t.Duration + t.Gap
+	})
+}
+
+// AttributePathSim is AttributePath with the simulation's effective
+// per-task timings: each task contributes res.TaskDuration+res.TaskGap,
+// so paths from clone-free overlay or patch scenarios attribute the
+// scenario's timings rather than the shared baseline's.
+func AttributePathSim(res *SimResult, path []*Task, label func(*Task) string) []PathAttribution {
+	return attributePath(path, label, func(t *Task) time.Duration {
+		return res.TaskDuration(t) + res.TaskGap(t)
+	})
+}
+
+func attributePath(path []*Task, label func(*Task) string, cost func(*Task) time.Duration) []PathAttribution {
 	byLabel := map[string]*PathAttribution{}
 	for _, t := range path {
 		l := label(t)
@@ -90,7 +119,7 @@ func AttributePath(path []*Task, label func(*Task) string) []PathAttribution {
 			a = &PathAttribution{Label: l}
 			byLabel[l] = a
 		}
-		a.Time += t.Duration + t.Gap
+		a.Time += cost(t)
 		a.Tasks++
 	}
 	out := make([]PathAttribution, 0, len(byLabel))

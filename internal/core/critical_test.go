@@ -90,6 +90,113 @@ func TestCriticalPathCoversMakespan(t *testing.T) {
 	}
 }
 
+// TestCriticalPathZeroDurationRoot pins the zero-start fix: a task that
+// starts at time zero because a zero-duration parent finished at zero is
+// still bound by that parent — the walk must not truncate the chain at
+// start == 0.
+func TestCriticalPathZeroDurationRoot(t *testing.T) {
+	g := NewGraph()
+	root := g.NewTask("zero-root", trace.KindCPUOp, CPU(1), 0)
+	g.AppendTask(root)
+	kernel := g.NewTask("k", trace.KindKernel, Stream(7), 30*time.Microsecond)
+	g.AppendTask(kernel)
+	if err := g.AddDependency(root, kernel, DepCustom); err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Start[kernel.ID] != 0 {
+		t.Fatalf("kernel starts at %v, want 0", res.Start[kernel.ID])
+	}
+	path := CriticalPath(g, res)
+	if len(path) != 2 || path[0] != root || path[1] != kernel {
+		t.Fatalf("path = %v, want zero-root→kernel", path)
+	}
+	// Same through a zero-duration sequence predecessor.
+	g2 := NewGraph()
+	seqRoot := g2.NewTask("seq-root", trace.KindCPUOp, CPU(1), 0)
+	g2.AppendTask(seqRoot)
+	op := g2.NewTask("op", trace.KindCPUOp, CPU(1), 20*time.Microsecond)
+	g2.AppendTask(op)
+	res2, err := g2.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := CriticalPath(g2, res2)
+	if len(path2) != 2 || path2[0] != seqRoot {
+		t.Fatalf("sequence path = %v, want seq-root→op", path2)
+	}
+}
+
+// TestCriticalPathViewOverPatch checks CriticalPathView reads effective
+// adjacency and sequence links through a structural patch: the path of
+// the patched scenario equals the path of the materialized graph, task
+// ID for task ID, without materializing for the diagnosis itself.
+func TestCriticalPathViewOverPatch(t *testing.T) {
+	g, tasks := chain(3, 10*time.Microsecond)
+	p := NewPatch(g)
+	// Gate a long appendix comm task on the first chain task and feed it
+	// into the last, stretching the critical path through the appendix.
+	c := p.NewTask("comm", trace.KindComm, Channel("x"), 100*time.Microsecond)
+	if err := p.AddDependency(tasks[0], c, DepComm); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddDependency(c, tasks[2], DepComm); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CriticalPathView(p, res)
+	if p.Materializations() != 0 {
+		t.Fatalf("diagnosing the patch materialized %d times, want 0", p.Materializations())
+	}
+
+	m, err := p.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := m.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CriticalPathView(m, mres)
+	if len(got) != len(want) {
+		t.Fatalf("path length: view %d, materialized %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("path[%d]: view task %d, materialized task %d", i, got[i].ID, want[i].ID)
+		}
+	}
+	// The path routes through the appendix task.
+	through := false
+	for _, u := range got {
+		if u == c {
+			through = true
+		}
+	}
+	if !through {
+		t.Fatalf("path %v does not include the appendix comm task", got)
+	}
+	// Effective-timing attribution sums to the path's simulated time.
+	att := AttributePathSim(res, got, ByThreadKind)
+	var total time.Duration
+	for _, a := range att {
+		total += a.Time
+	}
+	var pathTime time.Duration
+	for _, u := range got {
+		pathTime += res.TaskDuration(u) + res.TaskGap(u)
+	}
+	if total != pathTime {
+		t.Fatalf("AttributePathSim sums to %v, path time %v", total, pathTime)
+	}
+}
+
 func TestCriticalPathEmptyGraph(t *testing.T) {
 	g := NewGraph()
 	res, err := g.Simulate()

@@ -114,6 +114,28 @@ func OptMeasure(opt Optimization) func(TaskView, *SimResult) (time.Duration, err
 	return nil
 }
 
+// SchedulerCarrier is the optional interface of optimizations whose
+// what-if includes a scheduling policy, not just a graph edit — vDNN's
+// delayed-prefetch copy-stream ordering, priority-queue communication
+// policies. Evaluation (Compare, sweep scenarios) runs the simulation
+// under the returned Scheduler unless the caller supplies its own
+// WithScheduler, which wins. A nil return means the default
+// earliest-start policy. Because schedulers are view-generic, a carried
+// policy keeps the scenario clone-free: it runs directly over the
+// patch's composite view.
+type SchedulerCarrier interface {
+	SimScheduler() Scheduler
+}
+
+// OptScheduler returns opt's carried scheduling policy, or nil when opt
+// simulates under the default policy.
+func OptScheduler(opt Optimization) Scheduler {
+	if c, ok := opt.(SchedulerCarrier); ok {
+		return c.SimScheduler()
+	}
+	return nil
+}
+
 // noopMarker is the internal interface of optimizations that are known
 // to change nothing (an empty Stack). Consumers use OptIsNoop to take
 // the replay fast path: simulate the shared baseline directly, no clone
@@ -426,6 +448,17 @@ func (s *stack) MeasureFunc() func(TaskView, *SimResult) (time.Duration, error) 
 	for i := len(s.parts) - 1; i >= 0; i-- {
 		if m := OptMeasure(s.parts[i]); m != nil {
 			return m
+		}
+	}
+	return nil
+}
+
+// SimScheduler returns the last part's carried scheduling policy (the
+// same last-wins rule as MeasureFunc), or nil when no part carries one.
+func (s *stack) SimScheduler() Scheduler {
+	for i := len(s.parts) - 1; i >= 0; i-- {
+		if sch := OptScheduler(s.parts[i]); sch != nil {
+			return sch
 		}
 	}
 	return nil

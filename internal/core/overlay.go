@@ -41,8 +41,18 @@ type Overlay struct {
 	prio  []int
 
 	// prioEdited records whether any priority was overlaid; when false
-	// the simulation reads Task.Priority directly.
-	prioEdited bool
+	// the simulation reads Task.Priority directly. timingEdited records
+	// whether any duration or gap was overlaid — the structural patch
+	// path uses it to reject legacy (AdaptScheduler-wrapped) policies,
+	// which read raw Task fields and would silently see baseline
+	// timings where the pre-view fallback materialized effective ones.
+	prioEdited   bool
+	timingEdited bool
+
+	// gen counts timing edits (and rebinds); consumers that memoize
+	// state derived from the overlay's effective values — a Patch's
+	// materialization cache — compare generations to invalidate.
+	gen uint64
 
 	// Immutable per-binding snapshot of the baseline: flat timing
 	// arrays plus the task → thread-ordinal layout, built once when
@@ -96,10 +106,15 @@ func (o *Overlay) Reset(g *Graph) {
 	}
 	o.base = g
 	o.prioEdited = false
+	o.timingEdited = false
+	o.gen++
 	for id := range o.sparse {
 		delete(o.sparse, id)
 	}
 }
+
+// generation returns the edit counter (see gen).
+func (o *Overlay) generation() uint64 { return o.gen }
 
 // snapshot builds (once per binding) the flat baseline timing arrays
 // and the thread layout. The baseline must not be mutated while the
@@ -206,6 +221,8 @@ func (o *Overlay) Priority(t *Task) int {
 // SetDuration overrides the task's duration without touching the
 // baseline.
 func (o *Overlay) SetDuration(t *Task, d time.Duration) {
+	o.gen++
+	o.timingEdited = true
 	if o.dense {
 		o.dur[t.ID] = d
 		return
@@ -223,6 +240,8 @@ func (o *Overlay) SetDuration(t *Task, d time.Duration) {
 
 // SetGap overrides the task's gap without touching the baseline.
 func (o *Overlay) SetGap(t *Task, d time.Duration) {
+	o.gen++
+	o.timingEdited = true
 	if o.dense {
 		o.gap[t.ID] = d
 		return
@@ -240,12 +259,14 @@ func (o *Overlay) SetGap(t *Task, d time.Duration) {
 
 // SetPriority overrides the task's scheduling priority without touching
 // the baseline. Priority overlays drive the default earliest-start
-// scheduler's tie-breaking exactly as mutated priorities would; a
-// custom Scheduler, however, reads Task.Priority from the shared
-// baseline and cannot see them, so Simulate rejects that combination —
-// use the clone path for priority-sensitive custom scheduling.
+// scheduler's tie-breaking exactly as mutated priorities would, and a
+// view-generic custom Scheduler sees them through SchedContext.Priority.
+// Only a legacy scheduler wrapped with AdaptScheduler — which reads
+// Task.Priority from the shared baseline — cannot, so Simulate rejects
+// that combination.
 func (o *Overlay) SetPriority(t *Task, p int) {
 	o.prioEdited = true
+	o.gen++
 	if o.dense {
 		o.prio[t.ID] = p
 		return
@@ -362,6 +383,12 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 	res.dur = growDurations(res.dur, n)
 	res.gap = growDurations(res.gap, n)
 	o.fillTiming(res.dur, res.gap)
+	if s := customScheduler(so.scheduler); s != nil {
+		if o.prioEdited && isLegacySched(s) {
+			return nil, fmt.Errorf("core: Overlay.Simulate: priority overlays are invisible to a legacy Scheduler (AdaptScheduler reads Task.Priority from the shared baseline); migrate the policy to the view-generic Pick(frontier, ctx) contract")
+		}
+		return simulateScheduled(o, s, scratch, res)
+	}
 	var prio []int
 	if o.prioEdited {
 		scratch.prio = growInts(scratch.prio, n)
@@ -375,15 +402,6 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 		}
 		ref[id] = len(t.parents)
 		earliest[id] = 0
-	}
-
-	if so.scheduler != nil {
-		if _, isDefault := so.scheduler.(EarliestStart); !isDefault {
-			if o.prioEdited {
-				return nil, fmt.Errorf("core: Overlay.Simulate: priority overlays are invisible to a custom Scheduler (it reads Task.Priority from the shared baseline); use the clone path for priority-sensitive scheduling")
-			}
-			return o.simulateScheduled(so.scheduler, scratch, res)
-		}
 	}
 
 	dur, gap, threadOf := res.dur, res.gap, o.threadOf
@@ -446,71 +464,6 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 			res.ThreadEnd[o.threadIDs[i]] = end
 		}
 	}
-	if executed != g.live {
-		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, g.live)
-	}
-	return res, nil
-}
-
-// simulateScheduled is the overlay counterpart of the slice-frontier
-// path for custom schedulers. The scheduler's effStart reads the
-// overlay timings; a scheduler inspecting Task fields directly sees the
-// baseline values, so priority-sensitive policies should either work
-// from effStart ordering or use the structural (clone) path.
-func (o *Overlay) simulateScheduled(sched Scheduler, scratch *SimScratch, res *SimResult) (*SimResult, error) {
-	g := o.base
-	dur, gap := res.dur, res.gap
-	ref, earliest := scratch.ref, scratch.earliest
-	frontier := scratch.frontier
-	for _, t := range g.tasks {
-		if t != nil && len(t.parents) == 0 {
-			frontier = append(frontier, t)
-		}
-	}
-	effStart := func(t *Task) time.Duration {
-		es := earliest[t.ID]
-		if p := res.ThreadEnd[t.Thread]; p > es {
-			es = p
-		}
-		return es
-	}
-	executed := 0
-	for len(frontier) > 0 {
-		u := sched.Pick(frontier, effStart)
-		if u == nil {
-			return nil, fmt.Errorf("core: scheduler returned no task from a frontier of %d", len(frontier))
-		}
-		found := false
-		for i, t := range frontier {
-			if t == u {
-				frontier[i] = frontier[len(frontier)-1]
-				frontier = frontier[:len(frontier)-1]
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("core: scheduler picked task %v outside the frontier", u)
-		}
-		start := effStart(u)
-		res.Start[u.ID] = start
-		end := start + dur[u.ID] + gap[u.ID]
-		res.ThreadEnd[u.Thread] = end
-		if end > res.Makespan {
-			res.Makespan = end
-		}
-		executed++
-		for _, c := range u.children {
-			if end > earliest[c.ID] {
-				earliest[c.ID] = end
-			}
-			ref[c.ID]--
-			if ref[c.ID] == 0 {
-				frontier = append(frontier, c)
-			}
-		}
-	}
-	scratch.frontier = frontier[:0]
 	if executed != g.live {
 		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, g.live)
 	}

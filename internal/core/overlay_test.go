@@ -233,8 +233,8 @@ func TestOverlayCustomScheduler(t *testing.T) {
 // deliberately non-default policy.
 type lifoScheduler struct{}
 
-func (lifoScheduler) Pick(frontier []*Task, _ func(*Task) time.Duration) *Task {
-	return frontier[len(frontier)-1]
+func (lifoScheduler) Pick(frontier []*Task, _ *SchedContext) int {
+	return len(frontier) - 1
 }
 
 // TestResultBufferReuse checks WithResultBuffer round-trips between
@@ -375,18 +375,94 @@ func assertSimEqual(t *testing.T, o *Overlay, c *Graph) {
 	}
 }
 
-// TestOverlayPriorityWithCustomSchedulerRejected checks the loud
-// failure: a custom scheduler cannot see priority overlays, so the
-// combination errors instead of silently diverging from the clone path.
-func TestOverlayPriorityWithCustomSchedulerRejected(t *testing.T) {
+// prioViewScheduler is a view-generic priority policy: among the tasks
+// ready earliest it picks the highest *effective* priority — overlaid
+// priorities included, which a legacy scheduler could never see.
+type prioViewScheduler struct{}
+
+func (prioViewScheduler) Pick(frontier []*Task, ctx *SchedContext) int {
+	best := -1
+	var bestT time.Duration
+	var bestPrio int
+	for i, task := range frontier {
+		et := ctx.EffStart(task)
+		p := ctx.Priority(task)
+		switch {
+		case best < 0, et < bestT, et == bestT && p > bestPrio:
+			best, bestT, bestPrio = i, et, p
+		}
+	}
+	return best
+}
+
+// TestOverlayPriorityWithCustomScheduler checks a view-generic custom
+// scheduler reads overlaid priorities through the SchedContext and
+// reproduces the clone path bit for bit, while the legacy adapter —
+// which reads Task.Priority from the shared baseline — is rejected
+// loudly instead of silently diverging.
+func TestOverlayPriorityWithCustomScheduler(t *testing.T) {
 	g, ts := chainGraph(t)
 	o := NewOverlay(g)
 	o.SetPriority(ts[3], 9)
-	if _, err := o.Simulate(WithScheduler(lifoScheduler{})); err == nil {
-		t.Fatal("priority overlay + custom scheduler did not error")
+
+	c := g.Clone()
+	c.Task(ts[3].ID).Priority = 9
+	want, err := c.Simulate(WithScheduler(prioViewScheduler{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Simulate(WithScheduler(prioViewScheduler{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("scheduled overlay makespan %v, clone %v", got.Makespan, want.Makespan)
+	}
+	for id := range want.Start {
+		if got.Start[id] != want.Start[id] {
+			t.Fatalf("task %d start: overlay %v, clone %v", id, got.Start[id], want.Start[id])
+		}
+	}
+
+	// The legacy shim cannot see the overlaid priority: rejected.
+	if _, err := o.Simulate(WithScheduler(AdaptScheduler(legacyLifo{}))); err == nil {
+		t.Fatal("priority overlay + legacy scheduler did not error")
 	}
 	// The default scheduler keeps working.
 	if _, err := o.Simulate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// legacyLifo is an old-contract scheduler, used through AdaptScheduler.
+type legacyLifo struct{}
+
+func (legacyLifo) Pick(frontier []*Task, _ func(*Task) time.Duration) *Task {
+	return frontier[len(frontier)-1]
+}
+
+// TestAdaptSchedulerMatchesNative checks the compatibility shim: a
+// legacy scheduler wrapped with AdaptScheduler schedules exactly like
+// the equivalent native policy (here LIFO, on an overlay without
+// priority edits).
+func TestAdaptSchedulerMatchesNative(t *testing.T) {
+	g, ts := chainGraph(t)
+	o := NewOverlay(g)
+	o.SetDuration(ts[2], 300)
+	want, err := o.Simulate(WithScheduler(lifoScheduler{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Simulate(WithScheduler(AdaptScheduler(legacyLifo{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("adapted makespan %v, native %v", got.Makespan, want.Makespan)
+	}
+	for id := range want.Start {
+		if got.Start[id] != want.Start[id] {
+			t.Fatalf("task %d start: adapted %v, native %v", id, got.Start[id], want.Start[id])
+		}
 	}
 }

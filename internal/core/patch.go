@@ -7,15 +7,6 @@ import (
 	"daydream/internal/trace"
 )
 
-// TaskView is the read-only task set a measurement or report reads from:
-// a *Graph, or a *Patch viewing a graph through structural deltas. Tasks
-// come back in creation order. Consumers must treat the tasks and the
-// returned slice as read-only; a Patch reuses the slice's backing array
-// across calls.
-type TaskView interface {
-	Tasks() []*Task
-}
-
 // Patch is a copy-on-write view of an immutable baseline Graph that
 // layers structural deltas — task additions, task removals, edge
 // additions and removals with kinds, sequence splices — on top of the
@@ -71,10 +62,12 @@ type Patch struct {
 	// removedEdges masks baseline edges by {from, to} ID pair.
 	removedEdges map[[2]int]struct{}
 	// addedOut holds the patch-added out-edges keyed by source ID, and
-	// addedIn counts patch-added in-edges per target ID (the indegree
-	// contribution Simulate folds into its reference counts).
+	// addedIn the patch-added in-edge sources per target ID in addition
+	// order — both the indegree contribution Simulate folds into its
+	// reference counts and the deterministic parent order effParents
+	// appends after the baseline's (matching the materialized graph's).
 	addedOut       map[int][]patchEdge
-	addedIn        map[int]int
+	addedIn        map[int][]*Task
 	addedEdgeCount int
 
 	// Sequence-chain overrides: present keys shadow the baseline's
@@ -87,6 +80,16 @@ type Patch struct {
 
 	// ops is the structural journal, replayed by materializeInto.
 	ops []patchOp
+
+	// Materialization memo: mat is the last Materialize result, valid
+	// while the structural journal length and the timing tier's edit
+	// generation still match the values captured at materialization.
+	// matCount counts actual clone+replay materializations, for the
+	// double-materialization regression tests.
+	mat      *Graph
+	matOps   int
+	matGen   uint64
+	matCount int
 
 	// Reusable simulation storage (see Simulate).
 	threadIDs   []ThreadID
@@ -154,7 +157,7 @@ func (p *Patch) ensureStructural() {
 	p.removed = make(map[int]struct{})
 	p.removedEdges = make(map[[2]int]struct{})
 	p.addedOut = make(map[int][]patchEdge)
-	p.addedIn = make(map[int]int)
+	p.addedIn = make(map[int][]*Task)
 	p.seqNextOv = make(map[int]*Task)
 	p.seqPrevOv = make(map[int]*Task)
 	p.headOv = make(map[ThreadID]*Task)
@@ -183,6 +186,7 @@ func (p *Patch) Reset(g *Graph) {
 	p.added = p.added[:0]
 	p.ops = p.ops[:0]
 	p.addedEdgeCount = 0
+	p.mat = nil
 	clear(p.removed)
 	clear(p.removedEdges)
 	clear(p.addedOut)
@@ -292,6 +296,7 @@ func (p *Patch) Priority(t *Task) int {
 func (p *Patch) SetDuration(t *Task, d time.Duration) {
 	if p.isAppendix(t) {
 		t.Duration = d
+		p.mat = nil
 		return
 	}
 	p.timing.SetDuration(t, d)
@@ -301,6 +306,7 @@ func (p *Patch) SetDuration(t *Task, d time.Duration) {
 func (p *Patch) SetGap(t *Task, d time.Duration) {
 	if p.isAppendix(t) {
 		t.Gap = d
+		p.mat = nil
 		return
 	}
 	p.timing.SetGap(t, d)
@@ -311,6 +317,7 @@ func (p *Patch) SetGap(t *Task, d time.Duration) {
 func (p *Patch) SetPriority(t *Task, prio int) {
 	if p.isAppendix(t) {
 		t.Priority = prio
+		p.mat = nil
 		return
 	}
 	p.timing.SetPriority(t, prio)
@@ -481,13 +488,23 @@ func (p *Patch) InsertBefore(next, t *Task) error {
 
 // AddDependency adds an effective edge from → to of the given kind,
 // with Graph.AddDependency's semantics: duplicate edges are ignored
-// (the first kind wins), self-edges and nil tasks are rejected.
+// (the first kind wins), self-edges and nil tasks are rejected. Both
+// endpoints must be live in the effective view — an edge touching a
+// removed (or foreign) task is rejected, exactly as the materialized
+// replay would fail it, so the composite view can never disagree with
+// the clone path about a dangling edge.
 func (p *Patch) AddDependency(from, to *Task, kind DepKind) error {
 	if from == nil || to == nil {
 		return fmt.Errorf("core: Patch.AddDependency: nil task")
 	}
 	if from == to {
 		return fmt.Errorf("core: Patch.AddDependency: self edge on %v", from)
+	}
+	if !p.contains(from) {
+		return fmt.Errorf("core: Patch.AddDependency: task %v not in effective view", from)
+	}
+	if !p.contains(to) {
+		return fmt.Errorf("core: Patch.AddDependency: task %v not in effective view", to)
 	}
 	p.ensureStructural()
 	if !p.addEdgeView(from, to, kind) {
@@ -536,7 +553,7 @@ func (p *Patch) addEdgeView(a, b *Task, kind DepKind) bool {
 		return false
 	}
 	p.addedOut[a.ID] = append(p.addedOut[a.ID], patchEdge{to: b, kind: kind})
-	p.addedIn[b.ID]++
+	p.addedIn[b.ID] = append(p.addedIn[b.ID], a)
 	p.addedEdgeCount++
 	return true
 }
@@ -549,7 +566,14 @@ func (p *Patch) removeEdgeView(a, b *Task) bool {
 		for i, e := range list {
 			if e.to == b {
 				p.addedOut[a.ID] = append(list[:i], list[i+1:]...)
-				p.addedIn[b.ID]--
+				if ins := p.addedIn[b.ID]; len(ins) > 0 {
+					for j, q := range ins {
+						if q == a {
+							p.addedIn[b.ID] = append(ins[:j], ins[j+1:]...)
+							break
+						}
+					}
+				}
 				p.addedEdgeCount--
 				return true
 			}
@@ -574,7 +598,10 @@ func (p *Patch) edgeLive(from, to int) bool {
 }
 
 // effParents returns t's live effective dependency parents (fresh
-// slice).
+// slice): unmasked baseline parents in baseline order, then patch-added
+// in-edges in addition order — the exact parent order the materialized
+// graph would carry, so order-sensitive consumers (the critical-path
+// walk, RemoveTask's reconnection) behave identically on both.
 func (p *Patch) effParents(t *Task) []*Task {
 	var out []*Task
 	if !p.isAppendix(t) {
@@ -587,18 +614,11 @@ func (p *Patch) effParents(t *Task) []*Task {
 			}
 		}
 	}
-	// Patch-added in-edges: scan the (small) added-edge delta.
-	if p.addedIn[t.ID] > 0 {
-		for fromID, list := range p.addedOut {
-			if _, gone := p.removed[fromID]; gone {
-				continue
-			}
-			for _, e := range list {
-				if e.to == t {
-					out = append(out, p.Task(fromID))
-				}
-			}
+	for _, q := range p.addedIn[t.ID] {
+		if _, gone := p.removed[q.ID]; gone {
+			continue
 		}
+		out = append(out, q)
 	}
 	return out
 }
@@ -740,11 +760,12 @@ func growEdgeLists(s [][]patchEdge, n int) [][]patchEdge {
 //
 // A patch with no structural deltas delegates to the timing tier's
 // Simulate, so timing-only scenarios keep the pure-overlay fast path.
-// Custom Schedulers (other than the default EarliestStart) inspect Task
-// fields the composite view cannot override, so a structural patch
-// falls back to simulating a materialized private clone — the same
-// cost and semantics as the pre-patch clone path, with the effective
-// timings still carried in the result.
+// Custom Schedulers run directly over the composite view too: the
+// slice-frontier scheduled path reads effective timings, priorities and
+// adjacency through the patch, so vDNN-style scheduling policies on a
+// structural patch are just as clone-free as the default policy (only a
+// legacy AdaptScheduler-wrapped policy, which reads raw Task fields, is
+// rejected when the timing tier overlays priorities).
 func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 	if !p.Structural() {
 		return p.timing.Simulate(opts...)
@@ -752,11 +773,6 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 	var so simOptions
 	for _, fn := range opts {
 		fn(&so)
-	}
-	if so.scheduler != nil {
-		if _, isDefault := so.scheduler.(EarliestStart); !isDefault {
-			return p.simulateMaterialized(opts)
-		}
 	}
 	g := p.base
 	if g == nil {
@@ -779,6 +795,12 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 	for i, t := range p.added {
 		res.dur[baseSpan+i] = t.Duration
 		res.gap[baseSpan+i] = t.Gap
+	}
+	if s := customScheduler(so.scheduler); s != nil {
+		if (o.prioEdited || o.timingEdited) && isLegacySched(s) {
+			return nil, fmt.Errorf("core: Patch.Simulate: timing/priority overlays are invisible to a legacy Scheduler (AdaptScheduler reads raw Task fields from the shared baseline, where the old materialized fallback carried effective values); migrate the policy to the view-generic Pick(frontier, ctx) contract")
+		}
+		return simulateScheduled(p, s, scratch, res)
 	}
 	var prio []int
 	if o.prioEdited {
@@ -857,9 +879,18 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 		earliest[id] = 0
 		ref[id] = 0
 	}
-	for id, c := range p.addedIn {
-		if !maskRemoved[id] {
-			ref[id] += c
+	// Patch-added in-edges contribute indegree only when their source is
+	// live — the same liveness rule the relax loop and the scheduled
+	// path's eachChild apply, so the two simulation paths can never
+	// disagree about a dangling edge.
+	for id, ins := range p.addedIn {
+		if maskRemoved[id] {
+			continue
+		}
+		for _, q := range ins {
+			if !maskRemoved[q.ID] {
+				ref[id]++
+			}
 		}
 	}
 
@@ -949,35 +980,6 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 	return res, nil
 }
 
-// simulateMaterialized is the custom-Scheduler fallback: the patch is
-// materialized into a private clone and simulated there (scheduler
-// policies read Task fields, which the clone carries with effective
-// values), then the result gains the effective per-ID timing arrays so
-// TaskDuration/TaskGap/Finish read correctly for callers holding
-// baseline or appendix task pointers.
-func (p *Patch) simulateMaterialized(opts []SimOption) (*SimResult, error) {
-	m, err := p.Materialize()
-	if err != nil {
-		return nil, err
-	}
-	res, err := m.Simulate(opts...)
-	if err != nil {
-		return nil, err
-	}
-	n := p.IDSpan()
-	res.dur = growDurations(res.dur, n)
-	res.gap = growDurations(res.gap, n)
-	for id := 0; id < n; id++ {
-		if t := m.Task(id); t != nil {
-			res.dur[id] = t.Duration
-			res.gap[id] = t.Gap
-		} else {
-			res.dur[id], res.gap[id] = 0, 0
-		}
-	}
-	return res, nil
-}
-
 // PredictIteration simulates the patched baseline and returns the
 // makespan — the predicted iteration time under the patch's deltas.
 func (p *Patch) PredictIteration(opts ...SimOption) (time.Duration, error) {
@@ -993,13 +995,31 @@ func (p *Patch) PredictIteration(opts ...SimOption) (time.Duration, error) {
 // replayed onto it — the graph the equivalent clone-path scenario would
 // have produced. The sweep uses it to honor KeepGraphs' private-graph
 // contract for patch scenarios.
+//
+// The result is memoized: calling Materialize again without an
+// intervening edit through the patch (structural primitives, Set*
+// timing edits, Reset) returns the same graph instead of paying the
+// clone+replay again. Callers that intend to mutate the returned graph
+// and keep materializing from the patch should Clone it first; writes
+// that bypass the patch (direct field assignments on appendix tasks)
+// are not tracked and do not invalidate the memo.
 func (p *Patch) Materialize() (*Graph, error) {
+	if p.mat != nil && p.matOps == len(p.ops) && p.matGen == p.timing.generation() {
+		return p.mat, nil
+	}
 	c := p.base.Clone()
 	if err := p.materializeInto(c); err != nil {
 		return nil, err
 	}
+	p.mat, p.matOps, p.matGen = c, len(p.ops), p.timing.generation()
+	p.matCount++
 	return c, nil
 }
+
+// Materializations returns how many times the patch actually paid the
+// clone+replay cost of Materialize (memo hits are free). Diagnostic;
+// the double-materialization regression tests pin it.
+func (p *Patch) Materializations() int { return p.matCount }
 
 // materializeInto applies the patch to target, which must be either the
 // baseline itself (private to the caller) or a clone of it: effective

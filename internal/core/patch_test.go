@@ -305,11 +305,11 @@ func TestPatchResetReuse(t *testing.T) {
 // lifoPatchScheduler is a trivial non-default scheduler.
 type lifoPatchScheduler struct{}
 
-func (lifoPatchScheduler) Pick(frontier []*Task, _ func(*Task) time.Duration) *Task {
-	return frontier[len(frontier)-1]
+func (lifoPatchScheduler) Pick(frontier []*Task, _ *SchedContext) int {
+	return len(frontier) - 1
 }
 
-func TestPatchCustomSchedulerFallsBackToMaterialized(t *testing.T) {
+func TestPatchCustomSchedulerRunsOnCompositeView(t *testing.T) {
 	g := patchTestGraph(t, 3)
 	p := NewPatch(g)
 	c := p.NewTask("c", trace.KindComm, Channel("x"), time.Microsecond)
@@ -318,11 +318,15 @@ func TestPatchCustomSchedulerFallsBackToMaterialized(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.SetDuration(g.Task(1), 40*time.Microsecond)
-	// A structural patch with a custom scheduler simulates a
-	// materialized private clone — same result as the clone path.
+	// A structural patch with a custom scheduler simulates directly over
+	// the composite view — zero clones — and must be bit-identical to
+	// materializing the patch and scheduling the real graph.
 	got, err := p.Simulate(WithScheduler(lifoPatchScheduler{}))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if p.Materializations() != 0 {
+		t.Fatalf("scheduled patch simulation materialized %d times, want 0", p.Materializations())
 	}
 	m, err := p.Materialize()
 	if err != nil {
@@ -333,22 +337,159 @@ func TestPatchCustomSchedulerFallsBackToMaterialized(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Makespan != want.Makespan {
-		t.Fatalf("fallback makespan %v, clone path %v", got.Makespan, want.Makespan)
+		t.Fatalf("view path makespan %v, clone path %v", got.Makespan, want.Makespan)
 	}
-	// The result still carries effective timings for baseline and
-	// appendix task pointers.
+	for id := range want.Start {
+		if got.Start[id] != want.Start[id] {
+			t.Fatalf("task %d start: view %v, clone %v", id, got.Start[id], want.Start[id])
+		}
+	}
+	// The result carries effective timings for baseline and appendix
+	// task pointers.
 	if got.TaskDuration(g.Task(1)) != 40*time.Microsecond || got.TaskDuration(c) != time.Microsecond {
-		t.Fatalf("fallback result durations: %v, %v", got.TaskDuration(g.Task(1)), got.TaskDuration(c))
+		t.Fatalf("scheduled result durations: %v, %v", got.TaskDuration(g.Task(1)), got.TaskDuration(c))
 	}
-	// The default scheduler stays on the composite-view path.
+	// The default scheduler stays on the composite-view heap path.
 	if _, err := p.Simulate(WithScheduler(EarliestStart{})); err != nil {
 		t.Fatal(err)
 	}
-	// A non-structural patch delegates to the overlay path, which does
-	// accept custom schedulers without priority edits.
+	// A non-structural patch delegates to the overlay path, which runs
+	// custom schedulers view-generically too.
 	p.Reset(g)
 	if _, err := p.Simulate(WithScheduler(lifoPatchScheduler{})); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPatchAddDependencyRequiresLiveTasks pins the liveness guard: an
+// edge touching a removed task is rejected (the materialized replay
+// would fail it too), so the heap and scheduled simulation paths can
+// never disagree about a dangling edge.
+func TestPatchAddDependencyRequiresLiveTasks(t *testing.T) {
+	g := patchTestGraph(t, 3)
+	p := NewPatch(g)
+	victim := g.Task(0)
+	p.RemoveTask(victim)
+	if err := p.AddDependency(victim, g.Task(1), DepCustom); err == nil {
+		t.Fatal("AddDependency accepted a removed source")
+	}
+	if err := p.AddDependency(g.Task(1), victim, DepCustom); err == nil {
+		t.Fatal("AddDependency accepted a removed target")
+	}
+	// Both paths still simulate the same live view.
+	want, err := p.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Simulate(WithScheduler(wrappedEarliest{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("scheduled %v, heap %v", got.Makespan, want.Makespan)
+	}
+}
+
+// TestPatchLegacySchedulerRejectedUnderTimingOverlays pins the shim
+// guard: on a structural patch whose timing tier holds duration/gap
+// edits, an AdaptScheduler-wrapped policy (raw Task-field reads) is
+// rejected — the pre-view fallback materialized effective fields, so
+// running it over the view would silently diverge.
+func TestPatchLegacySchedulerRejectedUnderTimingOverlays(t *testing.T) {
+	g := patchTestGraph(t, 3)
+	p := NewPatch(g)
+	c := p.NewTask("c", trace.KindComm, Channel("x"), time.Microsecond)
+	p.AppendTask(c)
+	p.SetDuration(g.Task(1), 40*time.Microsecond)
+	if _, err := p.Simulate(WithScheduler(AdaptScheduler(legacyLifo{}))); err == nil {
+		t.Fatal("legacy scheduler + timing overlay on a structural patch did not error")
+	}
+	// The native policy and the default heap path keep working.
+	if _, err := p.Simulate(WithScheduler(lifoPatchScheduler{})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	// Without timing edits the shim is accepted on the structural path.
+	p.Reset(g)
+	d := p.NewTask("d", trace.KindComm, Channel("x"), time.Microsecond)
+	p.AppendTask(d)
+	if _, err := p.Simulate(WithScheduler(AdaptScheduler(legacyLifo{}))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPatchMaterializeMemo pins the materialization cache: repeated
+// Materialize calls without intervening edits return the same graph and
+// pay the clone+replay exactly once (the KeepGraphs +
+// custom-Scheduler sweep path used to materialize twice), and any edit
+// — structural, patch timing, timing-tier, or Reset — invalidates.
+func TestPatchMaterializeMemo(t *testing.T) {
+	g := patchTestGraph(t, 3)
+	p := NewPatch(g)
+	c := p.NewTask("c", trace.KindComm, Channel("x"), time.Microsecond)
+	p.AppendTask(c)
+
+	m1, err := p.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 || p.Materializations() != 1 {
+		t.Fatalf("repeated Materialize: %d materializations (same graph: %v), want 1 memoized", p.Materializations(), m1 == m2)
+	}
+
+	// A structural edit invalidates.
+	if err := p.AddDependency(g.Task(0), c, DepCustom); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := p.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m2 || p.Materializations() != 2 {
+		t.Fatalf("structural edit did not invalidate the memo (%d materializations)", p.Materializations())
+	}
+
+	// A timing edit through the patch invalidates.
+	p.SetDuration(g.Task(1), 5*time.Microsecond)
+	if _, err := p.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	// …and one through the timing tier directly (the sweep's
+	// ScaleTransform shape) does too.
+	p.Timing().SetGap(g.Task(1), time.Microsecond)
+	if _, err := p.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Materializations() != 4 {
+		t.Fatalf("timing edits: %d materializations, want 4", p.Materializations())
+	}
+
+	// An edit to an appendix task through the patch invalidates too.
+	p.SetDuration(c, 9*time.Microsecond)
+	m5, err := p.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Materializations() != 5 {
+		t.Fatalf("appendix timing edit did not invalidate (%d materializations)", p.Materializations())
+	}
+	if d := m5.Task(c.ID).Duration; d != 9*time.Microsecond {
+		t.Fatalf("materialized appendix duration %v", d)
+	}
+
+	// Reset drops the memo.
+	p.Reset(g)
+	if _, err := p.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Materializations() != 6 {
+		t.Fatalf("Reset did not invalidate (%d materializations)", p.Materializations())
 	}
 }
 

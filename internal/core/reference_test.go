@@ -35,17 +35,31 @@ func referenceSimulate(g *Graph) (*SimResult, error) {
 		}
 		return es
 	}
-	sched := EarliestStart{}
-	executed := 0
-	for len(frontier) > 0 {
-		u := sched.Pick(frontier, effStart)
+	// The seed's schedule(): EarliestStart as an inline linear scan —
+	// earliest effective start, then higher priority, then lower ID.
+	pick := func() int {
+		best := -1
+		var bestT time.Duration
 		for i, t := range frontier {
-			if t == u {
-				frontier[i] = frontier[len(frontier)-1]
-				frontier = frontier[:len(frontier)-1]
-				break
+			et := effStart(t)
+			switch {
+			case best < 0, et < bestT:
+				best, bestT = i, et
+			case et == bestT:
+				b := frontier[best]
+				if t.Priority > b.Priority || (t.Priority == b.Priority && t.ID < b.ID) {
+					best = i
+				}
 			}
 		}
+		return best
+	}
+	executed := 0
+	for len(frontier) > 0 {
+		i := pick()
+		u := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
 		start := effStart(u)
 		res.Start[u.ID] = start
 		end := start + u.Duration + u.Gap

@@ -7,11 +7,59 @@ import (
 
 // Scheduler picks the next task to dispatch from the execution frontier —
 // the paper's overridable schedule() of Algorithm 1 (§4.4 "Schedule").
-// effStart returns the earliest time the task could begin given current
-// thread progress. Implementations must be deterministic.
+//
+// Pick returns the index into frontier of the task to dispatch; the
+// simulator removes the pick with an O(1) swap, so a custom policy costs
+// one frontier scan per step, not two. The SchedContext exposes the
+// effective state of the view the simulation runs over — a *Graph, an
+// *Overlay or a structural *Patch — so one policy evaluates clone-free
+// everywhere: read timings and priorities through ctx (ctx.Priority,
+// ctx.Duration), never from raw Task fields, which hold baseline values
+// under an overlay or patch. Implementations must be deterministic.
+// Returning an index outside [0, len(frontier)) aborts the simulation
+// with an error.
+//
+// Pre-TaskView schedulers implementing the old
+// Pick(frontier, effStart) *Task shape wrap with AdaptScheduler.
 type Scheduler interface {
-	Pick(frontier []*Task, effStart func(*Task) time.Duration) *Task
+	Pick(frontier []*Task, ctx *SchedContext) int
 }
+
+// SchedContext is the read surface a Scheduler picks through: the
+// effective per-task attributes of the simulation's task view plus the
+// evolving schedule state (earliest starts, per-thread progress). It is
+// valid only for the duration of the Pick call that receives it.
+type SchedContext struct {
+	view      TaskView
+	earliest  []time.Duration
+	threadEnd map[ThreadID]time.Duration
+}
+
+// View returns the task view the simulation runs over: the *Graph
+// itself, or the *Overlay/*Patch whose effective attributes the
+// scheduler must read through.
+func (c *SchedContext) View() TaskView { return c.view }
+
+// EffStart returns the earliest time the task could begin given its
+// completed dependencies and current thread progress.
+func (c *SchedContext) EffStart(t *Task) time.Duration {
+	es := c.earliest[t.ID]
+	if p := c.threadEnd[t.Thread]; p > es {
+		es = p
+	}
+	return es
+}
+
+// Duration returns the task's effective duration under the view.
+func (c *SchedContext) Duration(t *Task) time.Duration { return c.view.Duration(t) }
+
+// Gap returns the task's effective gap under the view.
+func (c *SchedContext) Gap(t *Task) time.Duration { return c.view.Gap(t) }
+
+// Priority returns the task's effective scheduling priority under the
+// view — including priorities overlaid by a what-if, which Task.Priority
+// cannot see.
+func (c *SchedContext) Priority(t *Task) int { return c.view.Priority(t) }
 
 // EarliestStart is the default scheduler: the frontier task with the
 // earliest effective start wins; ties fall to higher priority, then lower
@@ -19,21 +67,77 @@ type Scheduler interface {
 type EarliestStart struct{}
 
 // Pick implements Scheduler.
-func (EarliestStart) Pick(frontier []*Task, effStart func(*Task) time.Duration) *Task {
-	var best *Task
+func (EarliestStart) Pick(frontier []*Task, ctx *SchedContext) int {
+	best := -1
 	var bestT time.Duration
-	for _, t := range frontier {
-		et := effStart(t)
+	var bestPrio int
+	for i, t := range frontier {
+		et := ctx.EffStart(t)
 		switch {
-		case best == nil, et < bestT:
-			best, bestT = t, et
+		case best < 0, et < bestT:
+			best, bestT, bestPrio = i, et, ctx.Priority(t)
 		case et == bestT:
-			if t.Priority > best.Priority || (t.Priority == best.Priority && t.ID < best.ID) {
-				best = t
+			if p := ctx.Priority(t); p > bestPrio || (p == bestPrio && t.ID < frontier[best].ID) {
+				best, bestPrio = i, p
 			}
 		}
 	}
 	return best
+}
+
+// LegacyScheduler is the pre-TaskView scheduler contract: pick a task
+// pointer given only an effective-start oracle. It cannot see overlaid
+// priorities or effective timings — wrap it with AdaptScheduler to run
+// it on the view-generic path, or migrate to Scheduler's
+// Pick(frontier, ctx) int form.
+type LegacyScheduler interface {
+	Pick(frontier []*Task, effStart func(*Task) time.Duration) *Task
+}
+
+// AdaptScheduler wraps a LegacyScheduler as a view-generic Scheduler:
+// the legacy pick runs with the context's EffStart and the returned
+// task is located in the frontier. Because the wrapped policy reads raw
+// Task fields, simulations reject it where those fields diverge from
+// the effective view: an Overlay with priority edits (as before this
+// shim existed), and a structural Patch with any timing or priority
+// overlay (where the pre-view fallback materialized effective fields).
+// Migrate field-reading policies to the native contract; policies that
+// only use effStart keep working unchanged through the shim.
+func AdaptScheduler(s LegacyScheduler) Scheduler { return &legacyScheduler{s: s} }
+
+// legacyScheduler is AdaptScheduler's shim.
+type legacyScheduler struct{ s LegacyScheduler }
+
+func (l *legacyScheduler) Pick(frontier []*Task, ctx *SchedContext) int {
+	t := l.s.Pick(frontier, ctx.EffStart)
+	if t == nil {
+		return -1
+	}
+	for i, f := range frontier {
+		if f == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// isLegacySched reports whether sched routes through the AdaptScheduler
+// shim (and therefore reads raw Task fields).
+func isLegacySched(s Scheduler) bool {
+	_, ok := s.(*legacyScheduler)
+	return ok
+}
+
+// customScheduler returns s unless it is nil or the default
+// earliest-start policy (which stays on the heap fast path).
+func customScheduler(s Scheduler) Scheduler {
+	if s == nil {
+		return nil
+	}
+	if _, isDefault := s.(EarliestStart); isDefault {
+		return nil
+	}
+	return s
 }
 
 // SimResult is the outcome of one simulation.
@@ -257,6 +361,9 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 	scratch.ensure(n)
 
 	res := newResult(o.result, n, len(g.threads))
+	if s := customScheduler(o.scheduler); s != nil {
+		return simulateScheduled(g, s, scratch, res)
+	}
 	ref, earliest := scratch.ref, scratch.earliest
 	for id, t := range g.tasks {
 		if t == nil {
@@ -264,12 +371,6 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 		}
 		ref[id] = len(t.parents)
 		earliest[id] = 0
-	}
-
-	if o.scheduler != nil {
-		if _, isDefault := o.scheduler.(EarliestStart); !isDefault {
-			return g.simulateScheduled(o.scheduler, scratch, res)
-		}
 	}
 
 	h := scratch.heap
@@ -321,62 +422,74 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 	return res, nil
 }
 
-// simulateScheduled is the slice-frontier path for custom schedulers: the
-// scheduler inspects every frontier task, as in the seed engine.
-func (g *Graph) simulateScheduled(sched Scheduler, scratch *SimScratch, res *SimResult) (*SimResult, error) {
+// simulateScheduled is the slice-frontier path for custom schedulers,
+// generic over the task view: the scheduler inspects every frontier
+// task through the SchedContext, which reads the view's effective
+// attributes — so the same policy runs directly over a *Graph, an
+// *Overlay or a structural *Patch, with zero clones and bit-identical
+// results to materializing the view and simulating that. The caller has
+// sized scratch (scratch.ensure) and built res for the view's ID span;
+// the scratch's frontier storage is reset on every exit path, error or
+// not, so a reused SimScratch never leaks stale frontier entries into
+// the next simulation.
+func simulateScheduled(v schedView, sched Scheduler, scratch *SimScratch, res *SimResult) (*SimResult, error) {
 	ref, earliest := scratch.ref, scratch.earliest
+	for i := range ref {
+		ref[i] = 0
+		earliest[i] = 0
+	}
+	// Reference counts over the effective edge set, by one pass of
+	// live-child iteration (cheaper than enumerating parents on a patch).
+	// incRef is hoisted so the pass allocates one closure, not one per
+	// task.
+	live := 0
+	incRef := func(c *Task) { ref[c.ID]++ }
+	v.eachTask(func(t *Task) {
+		live++
+		v.eachChild(t, incRef)
+	})
 	frontier := scratch.frontier
-	for _, t := range g.tasks {
-		if t != nil && len(t.parents) == 0 {
+	v.eachTask(func(t *Task) {
+		if ref[t.ID] == 0 {
 			frontier = append(frontier, t)
 		}
-	}
-	effStart := func(t *Task) time.Duration {
-		es := earliest[t.ID]
-		if p := res.ThreadEnd[t.Thread]; p > es {
-			es = p
-		}
-		return es
-	}
+	})
+	ctx := &SchedContext{view: v, earliest: earliest, threadEnd: res.ThreadEnd}
 	executed := 0
+	// One relax closure for the whole run (a per-step literal would
+	// allocate once per executed task); end is threaded through a local.
+	var end time.Duration
+	relax := func(c *Task) {
+		if end > earliest[c.ID] {
+			earliest[c.ID] = end
+		}
+		ref[c.ID]--
+		if ref[c.ID] == 0 {
+			frontier = append(frontier, c)
+		}
+	}
 	for len(frontier) > 0 {
-		u := sched.Pick(frontier, effStart)
-		if u == nil {
-			return nil, fmt.Errorf("core: scheduler returned no task from a frontier of %d", len(frontier))
+		i := sched.Pick(frontier, ctx)
+		if i < 0 || i >= len(frontier) {
+			scratch.frontier = frontier[:0]
+			return nil, fmt.Errorf("core: scheduler picked frontier index %d of %d (a legacy adapter returns -1 for a nil or out-of-frontier task)", i, len(frontier))
 		}
-		found := false
-		for i, t := range frontier {
-			if t == u {
-				frontier[i] = frontier[len(frontier)-1]
-				frontier = frontier[:len(frontier)-1]
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("core: scheduler picked task %v outside the frontier", u)
-		}
-		start := effStart(u)
+		u := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		start := ctx.EffStart(u)
 		res.Start[u.ID] = start
-		end := start + u.Duration + u.Gap
+		end = start + v.Duration(u) + v.Gap(u)
 		res.ThreadEnd[u.Thread] = end
 		if end > res.Makespan {
 			res.Makespan = end
 		}
 		executed++
-		for _, c := range u.children {
-			if end > earliest[c.ID] {
-				earliest[c.ID] = end
-			}
-			ref[c.ID]--
-			if ref[c.ID] == 0 {
-				frontier = append(frontier, c)
-			}
-		}
+		v.eachChild(u, relax)
 	}
 	scratch.frontier = frontier[:0]
-	if executed != g.live {
-		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, g.live)
+	if executed != live {
+		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, live)
 	}
 	return res, nil
 }

@@ -157,16 +157,16 @@ func TestSchedulerPriorityTieBreak(t *testing.T) {
 // hook actually controls scheduling.
 type reversePriority struct{}
 
-func (reversePriority) Pick(frontier []*Task, effStart func(*Task) time.Duration) *Task {
-	var best *Task
+func (reversePriority) Pick(frontier []*Task, ctx *SchedContext) int {
+	best := -1
 	var bestT time.Duration
-	for _, task := range frontier {
-		et := effStart(task)
+	for i, task := range frontier {
+		et := ctx.EffStart(task)
 		switch {
-		case best == nil, et < bestT:
-			best, bestT = task, et
-		case et == bestT && task.Priority < best.Priority:
-			best = task
+		case best < 0, et < bestT:
+			best, bestT = i, et
+		case et == bestT && ctx.Priority(task) < ctx.Priority(frontier[best]):
+			best = i
 		}
 	}
 	return best
@@ -192,6 +192,74 @@ func TestSchedulerOverride(t *testing.T) {
 	if res.Start[low.ID] != 10*time.Microsecond {
 		t.Fatal("scheduler override not honored")
 	}
+}
+
+// failingSched picks LIFO for the first n steps, then returns an
+// out-of-range index, aborting the simulation mid-flight with a
+// populated frontier.
+type failingSched struct {
+	steps *int
+	n     int
+}
+
+func (s failingSched) Pick(frontier []*Task, _ *SchedContext) int {
+	if *s.steps >= s.n {
+		return len(frontier) // out of range → simulation error
+	}
+	*s.steps++
+	return len(frontier) - 1
+}
+
+// TestScratchReuseAfterSchedulerError pins the error-path reset: a
+// scheduler failure used to leave stale frontier entries in the scratch
+// (the reset ran only on success), corrupting the next simulation that
+// reused it. Every exit path must reset, so a post-error reuse matches
+// a fresh-scratch run exactly.
+func TestScratchReuseAfterSchedulerError(t *testing.T) {
+	g := modelGraph(t, "resnet50")
+	scratch := NewSimScratch()
+
+	// Abort mid-simulation, after enough steps that the frontier is
+	// non-trivial, and also on the very first pick.
+	for _, failAt := range []int{0, 25} {
+		steps := 0
+		if _, err := g.Simulate(WithScratch(scratch), WithScheduler(failingSched{steps: &steps, n: failAt})); err == nil {
+			t.Fatalf("failing scheduler (n=%d) did not error", failAt)
+		}
+		fresh, err := g.Simulate(WithScheduler(lifoScheduler{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := g.Simulate(WithScratch(scratch), WithScheduler(lifoScheduler{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSchedule(t, g, reused, fresh)
+	}
+
+	// A cycle error resets too: the next scheduled run on the shared
+	// scratch still succeeds.
+	cyc := NewGraph()
+	a := cyc.NewTask("a", trace.KindCPUOp, CPU(1), time.Microsecond)
+	b := cyc.NewTask("b", trace.KindCPUOp, CPU(2), time.Microsecond)
+	if err := cyc.AddDependency(a, b, DepCustom); err != nil {
+		t.Fatal(err)
+	}
+	if err := cyc.AddDependency(b, a, DepCustom); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cyc.Simulate(WithScratch(scratch), WithScheduler(lifoScheduler{})); err == nil {
+		t.Fatal("cycle did not error on the scheduled path")
+	}
+	fresh, err := g.Simulate(WithScheduler(lifoScheduler{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := g.Simulate(WithScratch(scratch), WithScheduler(lifoScheduler{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSchedule(t, g, reused, fresh)
 }
 
 // TestSimulationInvariants checks, on a real model graph, the two

@@ -1,0 +1,201 @@
+package core
+
+import "time"
+
+// TaskView is the read-only task set a simulation, measurement, report
+// or scheduling policy reads from: a *Graph, an *Overlay viewing a
+// shared baseline through copy-on-write timing deltas, or a *Patch
+// layering structural deltas on top of those. Tasks come back in
+// creation order. Consumers must treat the tasks and every returned
+// slice as read-only; a Patch reuses the Tasks slice's backing array
+// across calls.
+//
+// Beyond enumeration, the view exposes the *effective* per-task
+// attributes — duration, gap, priority, thread, dependency parents and
+// children, sequence links. For a *Graph these are the raw Task fields;
+// for an *Overlay or *Patch they read through the copy-on-write deltas,
+// so code written against the view (the scheduled simulator,
+// CriticalPathView, Measure functions) works identically over all three
+// without cloning or materializing anything.
+type TaskView interface {
+	// Tasks returns the live tasks in creation order.
+	Tasks() []*Task
+	// Task returns the live task with the given ID, or nil.
+	Task(id int) *Task
+	// IDSpan returns the exclusive upper bound of effective task IDs;
+	// SimResult.Start has this length.
+	IDSpan() int
+	// NumTasks returns the number of live tasks.
+	NumTasks() int
+	// Duration returns the task's effective duration under the view.
+	Duration(t *Task) time.Duration
+	// Gap returns the task's effective gap under the view.
+	Gap(t *Task) time.Duration
+	// Priority returns the task's effective scheduling priority.
+	Priority(t *Task) int
+	// Thread returns the execution thread the task occupies.
+	Thread(t *Task) ThreadID
+	// Parents returns the task's effective dependency parents.
+	Parents(t *Task) []*Task
+	// Children returns the task's effective dependents.
+	Children(t *Task) []*Task
+	// SeqPrev returns the previous task on the task's execution thread
+	// in the effective sequence, or nil.
+	SeqPrev(t *Task) *Task
+	// SeqNext returns the next task on the task's execution thread in
+	// the effective sequence, or nil.
+	SeqNext(t *Task) *Task
+}
+
+// schedView is the internal contract the view-generic scheduled
+// simulator needs on top of TaskView: allocation-free, deterministic
+// task and live-child iteration. All three views implement it.
+type schedView interface {
+	TaskView
+	eachTask(fn func(*Task))
+	eachChild(t *Task, fn func(*Task))
+}
+
+// Graph's TaskView accessors read the raw Task fields — the graph IS
+// its own effective view.
+
+// Duration returns t.Duration (TaskView).
+func (g *Graph) Duration(t *Task) time.Duration { return t.Duration }
+
+// Gap returns t.Gap (TaskView).
+func (g *Graph) Gap(t *Task) time.Duration { return t.Gap }
+
+// Priority returns t.Priority (TaskView).
+func (g *Graph) Priority(t *Task) int { return t.Priority }
+
+// Thread returns t.Thread (TaskView).
+func (g *Graph) Thread(t *Task) ThreadID { return t.Thread }
+
+// Parents returns the task's dependency parents (TaskView). The slice
+// must not be modified.
+func (g *Graph) Parents(t *Task) []*Task { return t.parents }
+
+// Children returns the task's dependents (TaskView). The slice must not
+// be modified.
+func (g *Graph) Children(t *Task) []*Task { return t.children }
+
+// SeqPrev returns the previous task on the same thread, or nil
+// (TaskView).
+func (g *Graph) SeqPrev(t *Task) *Task { return t.seqPrev }
+
+// SeqNext returns the next task on the same thread, or nil (TaskView).
+func (g *Graph) SeqNext(t *Task) *Task { return t.seqNext }
+
+func (g *Graph) eachTask(fn func(*Task)) {
+	for _, t := range g.tasks {
+		if t != nil {
+			fn(t)
+		}
+	}
+}
+
+func (g *Graph) eachChild(t *Task, fn func(*Task)) {
+	for _, c := range t.children {
+		fn(c)
+	}
+}
+
+// Overlay's TaskView accessors delegate structure to the baseline
+// (an overlay never changes it) and timings/priorities to the deltas.
+
+// Tasks returns the baseline's live tasks in creation order (TaskView).
+func (o *Overlay) Tasks() []*Task { return o.base.Tasks() }
+
+// Task returns the baseline task with the given ID, or nil (TaskView).
+func (o *Overlay) Task(id int) *Task { return o.base.Task(id) }
+
+// IDSpan returns the baseline's ID span (TaskView).
+func (o *Overlay) IDSpan() int { return o.base.IDSpan() }
+
+// NumTasks returns the baseline's live-task count (TaskView).
+func (o *Overlay) NumTasks() int { return o.base.NumTasks() }
+
+// Thread returns t.Thread (TaskView).
+func (o *Overlay) Thread(t *Task) ThreadID { return t.Thread }
+
+// Parents returns the task's dependency parents (TaskView).
+func (o *Overlay) Parents(t *Task) []*Task { return t.parents }
+
+// Children returns the task's dependents (TaskView).
+func (o *Overlay) Children(t *Task) []*Task { return t.children }
+
+// SeqPrev returns the previous task on the same thread, or nil
+// (TaskView).
+func (o *Overlay) SeqPrev(t *Task) *Task { return t.seqPrev }
+
+// SeqNext returns the next task on the same thread, or nil (TaskView).
+func (o *Overlay) SeqNext(t *Task) *Task { return t.seqNext }
+
+func (o *Overlay) eachTask(fn func(*Task)) { o.base.eachTask(fn) }
+
+func (o *Overlay) eachChild(t *Task, fn func(*Task)) { o.base.eachChild(t, fn) }
+
+// Patch's TaskView accessors read through the structural deltas; its
+// Tasks/Task/IDSpan/NumTasks/Duration/Gap/Priority live in patch.go.
+
+// Thread returns t.Thread (TaskView). Appendix tasks carry the thread
+// their placement primitive assigned.
+func (p *Patch) Thread(t *Task) ThreadID { return t.Thread }
+
+// Parents returns the task's live effective dependency parents: the
+// unmasked baseline parents in baseline order followed by patch-added
+// in-edges in addition order — exactly the parent order the
+// materialized graph would carry (TaskView). The slice is fresh.
+func (p *Patch) Parents(t *Task) []*Task { return p.effParents(t) }
+
+// Children returns the task's live effective dependents, unmasked
+// baseline children first, patch-added edges after (TaskView). The
+// slice is fresh.
+func (p *Patch) Children(t *Task) []*Task { return p.effChildren(t) }
+
+// SeqPrev returns the previous task in the effective thread sequence,
+// or nil (TaskView).
+func (p *Patch) SeqPrev(t *Task) *Task { return p.effSeqPrev(t) }
+
+// SeqNext returns the next task in the effective thread sequence, or
+// nil (TaskView).
+func (p *Patch) SeqNext(t *Task) *Task { return p.effSeqNext(t) }
+
+func (p *Patch) eachTask(fn func(*Task)) {
+	for _, t := range p.base.tasks {
+		if t == nil {
+			continue
+		}
+		if _, gone := p.removed[t.ID]; gone {
+			continue
+		}
+		fn(t)
+	}
+	for _, t := range p.added {
+		if _, gone := p.removed[t.ID]; gone {
+			continue
+		}
+		fn(t)
+	}
+}
+
+func (p *Patch) eachChild(t *Task, fn func(*Task)) {
+	if !p.isAppendix(t) {
+		masked := len(p.removedEdges) > 0
+		for _, c := range t.children {
+			if _, gone := p.removed[c.ID]; gone {
+				continue
+			}
+			if masked && !p.edgeLive(t.ID, c.ID) {
+				continue
+			}
+			fn(c)
+		}
+	}
+	for _, e := range p.addedOut[t.ID] {
+		if _, gone := p.removed[e.to.ID]; gone {
+			continue
+		}
+		fn(e.to)
+	}
+}

@@ -12,7 +12,10 @@
 //     copy-on-write deltas in a worker-owned core.Patch and simulate
 //     through it — zero clone for timing edits AND structural edits
 //     (task/edge additions and removals). Timing-only patches keep the
-//     pure-overlay fast path.
+//     pure-overlay fast path. Custom Schedulers — scenario-supplied or
+//     carried by the optimization itself (core.SchedulerCarrier, e.g.
+//     vDNN's copy-stream policy) — run view-generically over the same
+//     patch, so scheduled structural scenarios are clone-free too.
 //   - Rewrite scenarios (a Transform, or an Opt that demands a
 //     materialized graph: a core.GraphRewriter such as P3's Repeat, or
 //     a legacy in-place transform) mutate a private Graph.Clone.
@@ -81,7 +84,9 @@ type Scenario struct {
 	// Optimization value. Setting both Transform and ScaleTransform is
 	// an error.
 	ScaleTransform func(o *core.Overlay) error
-	// SimOptions are extra simulation options (e.g. a custom scheduler).
+	// SimOptions are extra simulation options (e.g. a custom scheduler,
+	// which runs view-generically over the worker's patch — clone-free —
+	// and overrides any policy the Opt itself carries).
 	SimOptions []core.SimOption
 	// Measure extracts the scenario's value from the simulation; nil
 	// means the makespan (the predicted iteration time). The TaskView
@@ -253,7 +258,15 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		}
 	}
 
-	simOpts := make([]core.SimOption, 0, len(sc.SimOptions)+2)
+	simOpts := make([]core.SimOption, 0, len(sc.SimOptions)+3)
+	// An optimization carrying its own scheduling policy (vDNN's
+	// delayed-prefetch ordering) supplies it first, so an explicit
+	// WithScheduler in the scenario's SimOptions still wins.
+	if sc.Opt != nil {
+		if s := core.OptScheduler(sc.Opt); s != nil {
+			simOpts = append(simOpts, core.WithScheduler(s))
+		}
+	}
 	simOpts = append(simOpts, sc.SimOptions...)
 	simOpts = append(simOpts, core.WithScratch(w.scratch))
 	if !cfg.keepSims {

@@ -632,17 +632,19 @@ func TestSweepStructuralPatchMatchesClonePath(t *testing.T) {
 	}
 }
 
-// lifoSched is a trivial non-default scheduler for the fallback test.
+// lifoSched is a trivial non-default scheduler for the scheduled
+// structural sweep test.
 type lifoSched struct{}
 
-func (lifoSched) Pick(frontier []*core.Task, _ func(*core.Task) time.Duration) *core.Task {
-	return frontier[len(frontier)-1]
+func (lifoSched) Pick(frontier []*core.Task, _ *core.SchedContext) int {
+	return len(frontier) - 1
 }
 
-// TestSweepStructuralOptWithCustomScheduler pins the pre-patch
-// capability: a structural Opt combined with a custom Scheduler in
-// SimOptions must still evaluate (Patch.Simulate falls back to a
-// materialized clone) and match the explicit clone-path result.
+// TestSweepStructuralOptWithCustomScheduler pins the scheduled
+// clone-free path: a structural Opt combined with a custom Scheduler in
+// SimOptions evaluates directly over the worker's patch view — no
+// materialized fallback — and matches the explicit clone-path result
+// bit for bit.
 func TestSweepStructuralOptWithCustomScheduler(t *testing.T) {
 	g := testGraph(20)
 	opt := insertCommOpt(2 * time.Millisecond)

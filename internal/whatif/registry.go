@@ -110,6 +110,14 @@ var registry = []OptSpec{
 		},
 	},
 	{
+		Name:      "vdnn",
+		Summary:   "vDNN activation offload/prefetch with its copy-stream scheduling policy (§5.2, Algorithm 10)",
+		Footprint: core.Structural,
+		Build: func(OptParams) (core.Optimization, error) {
+			return OptVDNN(VDNNOptions{}), nil
+		},
+	},
+	{
 		Name:      "distributed",
 		Summary:   "data-parallel scaling from a single-GPU profile (Algorithm 6)",
 		Params:    "topology",

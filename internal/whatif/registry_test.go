@@ -16,6 +16,7 @@ func TestRegistryNamesAndFootprints(t *testing.T) {
 		"fusedadam":       core.TimingOnly,
 		"reconbn":         core.TimingOnly,
 		"reconbn-removal": core.Structural,
+		"vdnn":            core.Structural,
 		"distributed":     core.Structural,
 		"p3":              core.Structural,
 		"upgrade":         core.TimingOnly,
@@ -61,6 +62,7 @@ func TestRegistryBuildValidation(t *testing.T) {
 		{"amp", whatif.OptParams{}, true},
 		{"fusedadam", whatif.OptParams{}, true},
 		{"reconbn", whatif.OptParams{}, true},
+		{"vdnn", whatif.OptParams{}, true},
 		{"distributed", whatif.OptParams{}, false},
 		{"distributed", whatif.OptParams{Topology: topo}, true},
 		{"p3", whatif.OptParams{}, false},

@@ -37,6 +37,10 @@ func (o *VDNNOptions) defaults() {
 	}
 }
 
+// vdnnCopyChannel is the dedicated PCIe memcpy engine vDNN's offloads
+// and prefetches ride (vDNN uses a separate memory stream).
+const vdnnCopyChannel = "pcie.copy"
+
 // VDNN models virtualized DNN (Rhu et al.) per the paper's §5.2 and
 // Algorithm 10: for every offloaded layer, a device-to-host copy of its
 // output feature map is inserted after its forward pass (on a dedicated
@@ -46,14 +50,40 @@ func (o *VDNNOptions) defaults() {
 // prefetching policy the appendix implements with a Schedule override.
 // Simulating the transformed graph exposes vDNN's performance overhead:
 // PCIe traffic and late prefetches stall the backward pass.
+//
+// VDNN mutates g in place; VDNNPatch is the clone-free form that
+// records the same insertions as structural deltas over a shared
+// baseline, and OptVDNN is the first-class value carrying the
+// copy-stream scheduling policy alongside the surgery.
 func VDNN(g *core.Graph, opts VDNNOptions) error {
+	return vdnnInto(g, g, g, opts)
+}
+
+// VDNNPatch is Algorithm 10 as a copy-on-write structural patch: the
+// offload/prefetch tasks and their gating edges are recorded as deltas
+// over the patch's shared baseline instead of being inserted into a
+// clone. The anchor scan reads the patch's *effective* view, not the
+// raw baseline, so stacking vDNN after another structural optimization
+// (e.g. removal-form batchnorm restructuring) gates on tasks that are
+// still live — the same tasks sequential clone application would find.
+// Simulating the patch — under any Scheduler — is bit-identical to
+// cloning the baseline and applying VDNN to the clone.
+func VDNNPatch(p *core.Patch, opts VDNNOptions) error {
+	return vdnnInto(p.Base(), p, p, opts)
+}
+
+// vdnnInto reads workload metadata from the baseline g, scans the
+// effective task view for anchor tasks, and emits Algorithm 10's
+// insertions through ed (the graph itself, or a patch over it). For the
+// in-place form g, view and ed are all the graph.
+func vdnnInto(g *core.Graph, view core.TaskView, ed graphEditor, opts VDNNOptions) error {
 	if err := requireLayers(g, "VDNN"); err != nil {
 		return err
 	}
 	opts.defaults()
 	grads := gradientsByIndex(g)
 	layers := sortedLayerIndices(grads)
-	copyStream := core.Channel("pcie.copy") // dedicated memcpy engine
+	copyStream := core.Channel(vdnnCopyChannel) // dedicated memcpy engine
 	maxIdx := 0
 	for _, li := range layers {
 		if li > maxIdx {
@@ -66,8 +96,8 @@ func VDNN(g *core.Graph, opts VDNNOptions) error {
 		if !opts.OffloadLayer(gr) || gr.ActBytes == 0 {
 			continue
 		}
-		fwdLast := lastFwdGPUTask(g, li)
-		bwdFirst := firstBwdGPUTask(g, li)
+		fwdLast := lastFwdGPUTask(view, li)
+		bwdFirst := firstBwdGPUTask(view, li)
 		if fwdLast == nil || bwdFirst == nil {
 			continue
 		}
@@ -76,27 +106,27 @@ func VDNN(g *core.Graph, opts VDNNOptions) error {
 		// Copies are not threaded into a fixed channel sequence: the
 		// copy engine serves them in simulation order (offloads
 		// arrive during forward, prefetches during backward).
-		offload := g.NewTask(fmt.Sprintf("vdnn_offload %s", gr.Layer), trace.KindComm, copyStream, copyDur)
+		offload := ed.NewTask(fmt.Sprintf("vdnn_offload %s", gr.Layer), trace.KindComm, copyStream, copyDur)
 		offload.Bytes = gr.ActBytes
-		if err := g.AddDependency(fwdLast, offload, core.DepCustom); err != nil {
+		if err := ed.AddDependency(fwdLast, offload, core.DepCustom); err != nil {
 			return err
 		}
 
-		prefetch := g.NewTask(fmt.Sprintf("vdnn_prefetch %s", gr.Layer), trace.KindComm, copyStream, copyDur)
+		prefetch := ed.NewTask(fmt.Sprintf("vdnn_prefetch %s", gr.Layer), trace.KindComm, copyStream, copyDur)
 		prefetch.Bytes = gr.ActBytes
 		// The prefetch may not begin before the offload completed …
-		if err := g.AddDependency(offload, prefetch, core.DepCustom); err != nil {
+		if err := ed.AddDependency(offload, prefetch, core.DepCustom); err != nil {
 			return err
 		}
 		// … nor before backward has progressed close enough (delayed
 		// prefetching policy) …
-		if trigger := firstBwdGPUTask(g, gateIndex(li, opts.PrefetchDistance, maxIdx)); trigger != nil && trigger != bwdFirst {
-			if err := g.AddDependency(trigger, prefetch, core.DepCustom); err != nil {
+		if trigger := firstBwdGPUTask(view, gateIndex(li, opts.PrefetchDistance, maxIdx)); trigger != nil && trigger != bwdFirst {
+			if err := ed.AddDependency(trigger, prefetch, core.DepCustom); err != nil {
 				return err
 			}
 		}
 		// … and the layer's backward pass needs the prefetched data.
-		if err := g.AddDependency(prefetch, bwdFirst, core.DepCustom); err != nil {
+		if err := ed.AddDependency(prefetch, bwdFirst, core.DepCustom); err != nil {
 			return err
 		}
 		inserted++
@@ -106,6 +136,71 @@ func VDNN(g *core.Graph, opts VDNNOptions) error {
 	}
 	return nil
 }
+
+// VDNNScheduler is the copy-stream scheduling policy vDNN pairs with
+// its graph surgery: among the frontier tasks ready earliest, compute
+// and framework work preempts PCIe copy-engine traffic — the memory
+// stream yields, so offloads and prefetches fill idle bus time instead
+// of delaying kernels dispatched at the same instant. Ties beyond that
+// fall to higher effective priority, then lower task ID, keeping the
+// policy deterministic. It reads everything through the SchedContext,
+// so it runs clone-free over a structural Patch exactly as over a
+// materialized graph.
+type VDNNScheduler struct{}
+
+// Pick implements core.Scheduler.
+func (VDNNScheduler) Pick(frontier []*core.Task, ctx *core.SchedContext) int {
+	best := -1
+	var bestT time.Duration
+	var bestCopy bool
+	var bestPrio int
+	for i, t := range frontier {
+		et := ctx.EffStart(t)
+		isCopy := t.Thread.Kind == core.CommChannel && t.Thread.Name == vdnnCopyChannel
+		prio := ctx.Priority(t)
+		better := false
+		switch {
+		case best < 0:
+			better = true
+		case et != bestT:
+			better = et < bestT
+		case isCopy != bestCopy:
+			better = !isCopy
+		case prio != bestPrio:
+			better = prio > bestPrio
+		default:
+			better = t.ID < frontier[best].ID
+		}
+		if better {
+			best, bestT, bestCopy, bestPrio = i, et, isCopy, prio
+		}
+	}
+	return best
+}
+
+// vdnnOpt is OptVDNN's value: a patch-form structural optimization that
+// also carries the scheduling policy half of the what-if.
+type vdnnOpt struct{ opts VDNNOptions }
+
+// OptVDNN returns the vDNN what-if (Algorithm 10) as an Optimization
+// value: the offload/prefetch insertions apply as clone-free patch
+// deltas, and the value carries VDNNScheduler through
+// core.SchedulerCarrier, so Compare and sweep scenarios simulate under
+// the copy-stream policy automatically — still with zero per-scenario
+// clones, since schedulers are view-generic.
+func OptVDNN(opts VDNNOptions) core.Optimization { return &vdnnOpt{opts: opts} }
+
+// Name implements core.Optimization.
+func (v *vdnnOpt) Name() string { return "vdnn" }
+
+// Footprint implements core.Optimization.
+func (v *vdnnOpt) Footprint() core.OptFootprint { return core.Structural }
+
+// Apply implements core.Optimization.
+func (v *vdnnOpt) Apply(p *core.Patch) error { return VDNNPatch(p, v.opts) }
+
+// SimScheduler implements core.SchedulerCarrier.
+func (v *vdnnOpt) SimScheduler() core.Scheduler { return VDNNScheduler{} }
 
 // gateIndex picks the layer whose backward pass releases a prefetch:
 // distance layers above li, clamped to the model.
@@ -117,10 +212,11 @@ func gateIndex(li, distance, maxIdx int) int {
 	return g
 }
 
-// lastFwdGPUTask returns the layer's last forward GPU task.
-func lastFwdGPUTask(g *core.Graph, layerIndex int) *core.Task {
+// lastFwdGPUTask returns the layer's last forward GPU task live in the
+// view (removed tasks of a structural patch are excluded).
+func lastFwdGPUTask(v core.TaskView, layerIndex int) *core.Task {
 	var best *core.Task
-	for _, t := range g.Tasks() {
+	for _, t := range v.Tasks() {
 		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Forward || t.LayerIndex != layerIndex {
 			continue
 		}
@@ -131,10 +227,11 @@ func lastFwdGPUTask(g *core.Graph, layerIndex int) *core.Task {
 	return best
 }
 
-// firstBwdGPUTask returns the layer's first backward GPU task.
-func firstBwdGPUTask(g *core.Graph, layerIndex int) *core.Task {
+// firstBwdGPUTask returns the layer's first backward GPU task live in
+// the view.
+func firstBwdGPUTask(v core.TaskView, layerIndex int) *core.Task {
 	var best *core.Task
-	for _, t := range g.Tasks() {
+	for _, t := range v.Tasks() {
 		if !t.OnGPU() || !t.HasLayer || t.Phase != trace.Backward || t.LayerIndex != layerIndex {
 			continue
 		}
