@@ -17,7 +17,10 @@
 // Distributed on bert-large via a private clone vs copy-on-write
 // structural patch deltas), the scheduled clone-vs-patch pair (the same
 // scenario under a custom Scheduler, run view-generically over the
-// patch), and Figure-8-sized concurrent sweeps) are
+// patch), the incremental tier (a warm IncrementalSim re-simulating a
+// single-task delta's affected cone, and the per-layer Figure-5 grid
+// swept over one shared baseline), and Figure-8-sized concurrent
+// sweeps) are
 // measured with
 // testing.Benchmark and written as machine-readable JSON (ns/op,
 // bytes/op, allocs/op, and scenarios/sec for the sweep benchmarks), so
@@ -145,6 +148,20 @@ func runMicro(path, against string, tolerance float64) error {
 			Opt:  daydream.OptAMP(),
 		}
 	}
+	// The incremental benchmarks' single-task delta lands on the task
+	// that finishes last on the baseline schedule, so the affected cone
+	// is real (the makespan moves) yet sublinear in the graph.
+	coldRes, err := g.Simulate()
+	if err != nil {
+		return err
+	}
+	var critTask *core.Task
+	for _, u := range g.Tasks() {
+		if coldRes.Finish(u) == coldRes.Makespan {
+			critTask = u
+		}
+	}
+	layerScenarios := fig5LayerScenarios(g)
 
 	benches := []struct {
 		name      string
@@ -212,6 +229,29 @@ func runMicro(path, against string, tolerance float64) error {
 				daydream.AMPOverlay(o)
 				if _, err := o.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf)); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		// The same shape as OverlayScenario but through a warm
+		// IncrementalSim: a single-task duration delta re-simulates only
+		// the affected cone of the cached schedule instead of replaying
+		// all ~12.7k tasks — the incremental-vs-overlay headline.
+		{"IncrementalScenario", 0, func(b *testing.B) {
+			sim, err := daydream.NewIncrementalSim(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := daydream.NewOverlay(g)
+			buf := &daydream.SimResult{}
+			base := critTask.Duration
+			for i := 0; i < b.N; i++ {
+				o.Reset(g)
+				o.SetDuration(critTask, base+time.Duration(1+i%2)*time.Microsecond)
+				if _, err := sim.ReSimulate(o, core.WithResultBuffer(buf)); err != nil {
+					b.Fatal(err)
+				}
+				if sim.LastFellBack() {
+					b.Fatal("single-task delta fell back to cold simulation")
 				}
 			}
 		}},
@@ -309,6 +349,17 @@ func runMicro(path, against string, tolerance float64) error {
 				}
 			}
 		}},
+		// The ampgrid experiment's shape: one timing-only scenario per
+		// BERT_Large DNN layer, all over one shared baseline — the
+		// sweep's worker-owned incremental tier carries all but each
+		// worker's warm-up scenario.
+		{"Fig5IncrementalSweep", len(layerScenarios), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(g, layerScenarios, sweep.Workers(benchSweepWorkers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"Fig8Sweep76", 76, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := sweep.Run(nil, fig8Scenarios, sweep.Workers(benchSweepWorkers)); err != nil {
@@ -366,7 +417,9 @@ func runMicro(path, against string, tolerance float64) error {
 
 // checkTrajectory compares fresh micro results to a committed baseline
 // file and errors when any benchmark present in both regresses beyond
-// the tolerance in ns/op or allocs/op.
+// the tolerance in ns/op or allocs/op, or when a baseline benchmark is
+// missing from the fresh run entirely — a silently dropped benchmark
+// would otherwise read as "no regression".
 func checkTrajectory(againstPath string, fresh *benchFile, tolerance float64) error {
 	raw, err := os.ReadFile(againstPath)
 	if err != nil {
@@ -380,7 +433,17 @@ func checkTrajectory(againstPath string, fresh *benchFile, tolerance float64) er
 	for _, b := range base.Benchmarks {
 		byName[b.Name] = b
 	}
+	freshNames := make(map[string]bool, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshNames[b.Name] = true
+	}
 	var regressions []string
+	for _, was := range base.Benchmarks {
+		if !freshNames[was.Name] {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: present in baseline but missing from this run", was.Name))
+		}
+	}
 	for _, now := range fresh.Benchmarks {
 		was, ok := byName[now.Name]
 		if !ok {
@@ -405,6 +468,36 @@ func checkTrajectory(againstPath string, fresh *benchFile, tolerance float64) er
 	}
 	fmt.Printf("trajectory OK vs %s (tolerance %.0f%%)\n", againstPath, 100*tolerance)
 	return nil
+}
+
+// fig5LayerScenarios builds the ampgrid experiment's per-layer AMP
+// grid over an already-built profile: one duration-only scenario per
+// DNN layer, every scenario sharing the one baseline so the sweep's
+// incremental tier engages.
+func fig5LayerScenarios(g *core.Graph) []sweep.Scenario {
+	ix := g.LayerPhaseIndex()
+	scenarios := make([]sweep.Scenario, ix.Layers())
+	for layer := range scenarios {
+		layer := layer
+		scenarios[layer] = sweep.Scenario{
+			Name: fmt.Sprintf("layer-%d", layer),
+			ScaleTransform: func(o *core.Overlay) error {
+				compute := ix.GPUComputeBound()
+				for i, u := range ix.GPUTasks() {
+					if !u.HasLayer || u.LayerIndex != layer {
+						continue
+					}
+					if compute[i] {
+						o.SetDuration(u, o.Duration(u)/3)
+					} else {
+						o.SetDuration(u, o.Duration(u)/2)
+					}
+				}
+				return nil
+			},
+		}
+	}
+	return scenarios
 }
 
 // fig8SizedScenarios builds the full Figure-8 prediction grid — 4 models

@@ -207,7 +207,11 @@ func optFlagUsage() string {
 	var b strings.Builder
 	b.WriteString("optimization stack expression: registry names joined with '+' (e.g. amp+fusedadam)\n")
 	for _, s := range daydream.Optimizations() {
-		fmt.Fprintf(&b, "\t%-12s %s [%s]", s.Name, s.Summary, s.Footprint)
+		fmt.Fprintf(&b, "\t%-12s %s [%s", s.Name, s.Summary, s.Footprint)
+		if s.ConeFriendly {
+			b.WriteString(", incremental")
+		}
+		b.WriteString("]")
 		if s.Params != "" {
 			fmt.Fprintf(&b, " — needs %s", s.Params)
 		}
@@ -337,6 +341,7 @@ func cmdSweep(args []string) error {
 	opt := fs.String("opt", "", "comma-separated stack expressions replacing the default battery (e.g. amp,amp+fusedadam)")
 	machines := fs.Int("machines", 4, "machines for explicit -opt distributed/p3 expressions")
 	gpus := fs.Int("gpus", 1, "GPUs per machine for explicit -opt distributed/p3 expressions")
+	explain := fs.Bool("explain", false, "print the simulation tier each scenario dispatched to (replay/incremental/overlay/patch/clone)")
 	params := optParamFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -423,14 +428,22 @@ func cmdSweep(args []string) error {
 	}
 	fmt.Printf("traced iteration: %v — %d scenarios in %v\n\n",
 		tr.IterationTime, len(scenarios), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("%-34s %14s %10s\n", "scenario", "predicted", "change")
+	if *explain {
+		fmt.Printf("%-34s %14s %10s  %s\n", "scenario", "predicted", "change", "tier")
+	} else {
+		fmt.Printf("%-34s %14s %10s\n", "scenario", "predicted", "change")
+	}
 	for _, r := range results {
 		if r.Err != nil {
 			fmt.Printf("%-34s skipped: %v\n", r.Name, r.Err)
 			continue
 		}
-		fmt.Printf("%-34s %14v %+9.1f%%\n",
+		fmt.Printf("%-34s %14v %+9.1f%%",
 			r.Name, r.Value, 100*(float64(r.Value)/float64(tr.IterationTime)-1))
+		if *explain {
+			fmt.Printf("  %s", r.Tier)
+		}
+		fmt.Println()
 	}
 	return nil
 }

@@ -78,6 +78,10 @@ type (
 	// TaskView is the read-only task set a Measure reads from: a
 	// *Graph, or a *Patch viewing one through deltas.
 	TaskView = core.TaskView
+	// IncrementalSim is a warm simulation state over one baseline
+	// graph: ReSimulate recomputes only the affected cone of a
+	// timing-only delta, bit-identical to a cold Simulate.
+	IncrementalSim = core.IncrementalSim
 	// LayerPhaseIndex is the memoized per-graph layer/phase index.
 	LayerPhaseIndex = core.LayerPhaseIndex
 	// Optimization is a first-class what-if value: a self-describing
@@ -162,6 +166,16 @@ func AdaptScheduler(s LegacyScheduler) Scheduler { return core.AdaptScheduler(s)
 // any number of patches may share one baseline concurrently as long as
 // nothing mutates it.
 func NewPatch(g *Graph) *Patch { return core.NewPatch(g) }
+
+// NewIncrementalSim cold-simulates the baseline once and caches the
+// warm schedule. Subsequent ReSimulate calls over overlays or
+// timing-only patches of the same baseline recompute only the tasks
+// whose times can actually change (the delta's affected cone),
+// bit-identical to a cold Simulate; deltas the propagation cannot
+// prove safe (priority edits, structural ops, custom schedulers) fall
+// back to a cold simulation transparently. Sweep uses this
+// automatically for timing-only scenario batteries over one baseline.
+func NewIncrementalSim(g *Graph) (*IncrementalSim, error) { return core.NewIncrementalSim(g) }
 
 // SweepWorkers caps the sweep worker pool; values below 1 select
 // GOMAXPROCS.

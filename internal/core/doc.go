@@ -1,0 +1,40 @@
+// Package core implements Daydream's primary contribution: the
+// kernel-granularity dependency graph with mappings back to DNN layers
+// (paper §4). It provides
+//
+//   - graph construction from CUPTI-shaped traces with the paper's five
+//     dependency types (§4.2.2),
+//   - the synchronization-free task-to-layer mapping (§4.3, Figure 3),
+//   - the graph-transformation primitives Select / Scale / Insert /
+//     Remove and overridable task scheduling (§4.4), and
+//   - the frontier-based runtime simulator of Algorithm 1.
+//
+// # Simulation tiers
+//
+// One Algorithm-1 semantics, five evaluation tiers, cheapest first.
+// Every tier is bit-identical to cloning the baseline, mutating the
+// clone and cold-simulating it; they differ only in how much work a
+// what-if costs. Numbers are BENCH.json's bert-large workload (~12.7K
+// tasks); the sweep dispatches between them automatically and reports
+// its choice per scenario in Result.Tier (daydream sweep -explain).
+//
+//   - incremental — IncrementalSim.ReSimulate over a warm baseline
+//     schedule: recompute only the delta's affected cone, ~9.5µs for a
+//     single-task duration delta (~70× the overlay replay). Cost is
+//     proportional to the cone, so it shines on sparse deltas that land
+//     late in the schedule or are absorbed by slack; a delta editing
+//     more than 1/8 of the tasks is answered cold (the cutoff), and
+//     deltas it cannot model — priority edits, structural ops, custom
+//     schedulers, negative timings — take the documented cold fallback.
+//   - overlay replay — Overlay.Simulate: a full cold replay through
+//     copy-on-write timing deltas, ~0.67ms. The workhorse for dense
+//     timing-only what-ifs (AMP rescales half the graph).
+//   - patch — Patch.Simulate: the composite structural view (appendix
+//     IDs, masked removals) over the overlay's timing tier, ~1.0ms for
+//     the Distributed insertion scenario.
+//   - cold — Graph.Simulate of the baseline itself, ~1.6ms; also the
+//     replay tier for no-op scenarios in a sweep.
+//   - clone — materialize a private mutated copy, ~7.7ms per scenario;
+//     only for rewriters that must replace the graph (OptP3's Repeat
+//     form, manual Transforms).
+package core

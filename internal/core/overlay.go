@@ -159,6 +159,16 @@ func (o *Overlay) crossover() int {
 	return n
 }
 
+// DenseEdits reports whether the overlay has accumulated enough
+// distinct edits to switch to dense per-ID storage (more than
+// max(64, tasks/8) edited tasks). A dense delta's affected cone is
+// close to the whole schedule, so callers batching what-ifs — the
+// sweep's worker pool — use this as the cheap "will incremental
+// re-simulation pay off?" signal before building warm state;
+// IncrementalSim.ReSimulate applies its own exact per-call cutoff
+// regardless.
+func (o *Overlay) DenseEdits() bool { return o.dense }
+
 // densify materializes the dense per-ID arrays from the baseline
 // snapshot plus the sparse edits, then retires the map.
 func (o *Overlay) densify() {

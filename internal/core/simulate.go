@@ -183,6 +183,40 @@ func (r *SimResult) Finish(t *Task) time.Duration {
 	return r.Start[t.ID] + r.TaskDuration(t)
 }
 
+// Reset clears the result to its zero state while keeping every backing
+// array (and the ThreadEnd map) allocated, so a pooled result can be
+// handed back to WithResultBuffer without re-allocating. A reset result
+// reads as empty: no starts, no thread ends, no effective timings.
+func (r *SimResult) Reset() {
+	r.Makespan = 0
+	r.Start = r.Start[:0]
+	for k := range r.ThreadEnd {
+		delete(r.ThreadEnd, k)
+	}
+	r.dur = r.dur[:0]
+	r.gap = r.gap[:0]
+}
+
+// Clone returns a deep copy of the result: the copy shares no storage
+// with the original, so one can keep a warm baseline result alive (for
+// incremental re-simulation or later inspection) while the original's
+// buffer is reused by the next simulation.
+func (r *SimResult) Clone() *SimResult {
+	c := &SimResult{
+		Makespan: r.Makespan,
+		Start:    append([]time.Duration(nil), r.Start...),
+		dur:      append([]time.Duration(nil), r.dur...),
+		gap:      append([]time.Duration(nil), r.gap...),
+	}
+	if r.ThreadEnd != nil {
+		c.ThreadEnd = make(map[ThreadID]time.Duration, len(r.ThreadEnd))
+		for k, v := range r.ThreadEnd {
+			c.ThreadEnd[k] = v
+		}
+	}
+	return c
+}
+
 // newResult readies result storage for an ID span of n, reusing buf's
 // backing arrays when one was supplied via WithResultBuffer.
 func newResult(buf *SimResult, n, threads int) *SimResult {
@@ -312,6 +346,17 @@ type simOptions struct {
 	scheduler Scheduler
 	scratch   *SimScratch
 	result    *SimResult
+	// execOrder, when non-nil, receives every task ID in execution
+	// (pop) order — a valid topological order of the effective edge set.
+	// IncrementalSim records the warm schedule through it.
+	execOrder *[]int32
+}
+
+// withExecOrder records the execution order of a default-policy
+// simulation into ord (appending; the caller truncates). Internal:
+// only the incremental simulator's warm build uses it.
+func withExecOrder(ord *[]int32) SimOption {
+	return func(o *simOptions) { o.execOrder = ord }
 }
 
 // SimOption configures Simulate.
@@ -331,13 +376,34 @@ func WithScratch(s *SimScratch) SimOption {
 }
 
 // WithResultBuffer fills (and returns) the caller-owned SimResult
-// instead of allocating a fresh one, reusing its backing arrays. The
-// previous contents of buf are discarded, so a caller that reuses one
-// buffer across simulations must be done with the earlier result — the
-// sweep worker pool uses this to make steady-state scenario evaluation
-// allocation-free when results are not retained.
+// instead of allocating a fresh one, reusing its backing arrays.
+//
+// Discard semantics: the previous contents of buf are discarded
+// unconditionally — Makespan is zeroed, Start is resized and cleared to
+// the new view's ID span, ThreadEnd's entries are deleted (the map
+// itself is kept), and any effective timings from an earlier overlay
+// simulation are dropped so a plain Graph simulation never inherits
+// them. Nothing of the earlier result survives, so a caller that reuses
+// one buffer across simulations must be fully done with the earlier
+// result — copy what it needs first (SimResult.Clone) or pool distinct
+// buffers (SimResult.Reset). The sweep worker pool relies on this to
+// make steady-state scenario evaluation allocation-free when results
+// are not retained.
 func WithResultBuffer(buf *SimResult) SimOption {
 	return func(o *simOptions) { o.result = buf }
+}
+
+// SchedulerOf resolves the custom scheduling policy configured by the
+// options, or nil when they select the default earliest-start policy.
+// Dispatch layers (the sweep's tier selection) use it to decide whether
+// a scenario is eligible for schedules that only model the default
+// policy, such as the incremental tier.
+func SchedulerOf(opts ...SimOption) Scheduler {
+	var o simOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return customScheduler(o.scheduler)
 }
 
 // Simulate executes Algorithm 1 of the paper: a frontier-based replay that
@@ -401,6 +467,9 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 			res.Makespan = end
 		}
 		executed++
+		if o.execOrder != nil {
+			*o.execOrder = append(*o.execOrder, int32(u.ID))
+		}
 		for _, c := range u.children {
 			if end > earliest[c.ID] {
 				earliest[c.ID] = end

@@ -1,13 +1,3 @@
-// Package core implements Daydream's primary contribution: the
-// kernel-granularity dependency graph with mappings back to DNN layers
-// (paper §4). It provides
-//
-//   - graph construction from CUPTI-shaped traces with the paper's five
-//     dependency types (§4.2.2),
-//   - the synchronization-free task-to-layer mapping (§4.3, Figure 3),
-//   - the graph-transformation primitives Select / Scale / Insert /
-//     Remove and overridable task scheduling (§4.4), and
-//   - the frontier-based runtime simulator of Algorithm 1.
 package core
 
 import (

@@ -99,6 +99,8 @@ func All() []Experiment {
 		{ID: "table1", Title: "Optimization-model coverage (Table 1)", Run: Table1Coverage},
 		{ID: "ablation", Title: "Modeling-ingredient ablations (replay fidelity)", Run: Ablation},
 		{ID: "upgrade", Title: "Device-upgrade what-if validation (extension)", Run: Upgrade},
+		{ID: "ampgrid", Title: "Per-layer AMP attribution grid (incremental sweep)", Run: AMPLayerGrid},
+		{ID: "kcurve", Title: "Kernel-profile sensitivity curve (incremental sweep)", Run: KernelCurve},
 	}
 }
 

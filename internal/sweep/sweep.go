@@ -12,10 +12,14 @@
 //     copy-on-write deltas in a worker-owned core.Patch and simulate
 //     through it — zero clone for timing edits AND structural edits
 //     (task/edge additions and removals). Timing-only patches keep the
-//     pure-overlay fast path. Custom Schedulers — scenario-supplied or
-//     carried by the optimization itself (core.SchedulerCarrier, e.g.
-//     vDNN's copy-stream policy) — run view-generically over the same
-//     patch, so scheduled structural scenarios are clone-free too.
+//     pure-overlay fast path, and once a worker has seen two
+//     timing-only scenarios against the same baseline it builds a
+//     core.IncrementalSim and re-simulates only each delta's affected
+//     cone (the incremental tier; see Result.Tier). Custom Schedulers —
+//     scenario-supplied or carried by the optimization itself
+//     (core.SchedulerCarrier, e.g. vDNN's copy-stream policy) — run
+//     view-generically over the same patch, so scheduled structural
+//     scenarios are clone-free too.
 //   - Rewrite scenarios (a Transform, or an Opt that demands a
 //     materialized graph: a core.GraphRewriter such as P3's Repeat, or
 //     a legacy in-place transform) mutate a private Graph.Clone.
@@ -101,11 +105,36 @@ type Scenario struct {
 	Measure func(v core.TaskView, res *core.SimResult) (time.Duration, error)
 }
 
+// Dispatch tiers a scenario can be evaluated on, cheapest first. They
+// are reported in Result.Tier and printed by `daydream sweep -explain`.
+const (
+	// TierReplay: no what-if at all; the shared baseline is simulated
+	// in place.
+	TierReplay = "replay"
+	// TierIncremental: a timing-only delta re-simulated from the
+	// worker's warm schedule, recomputing only the affected cone.
+	TierIncremental = "incremental"
+	// TierOverlay: a timing-only delta cold-simulated through the
+	// copy-on-write overlay (no warm state yet, a custom scheduler, or
+	// a delta the incremental schedule cannot model).
+	TierOverlay = "overlay"
+	// TierPatch: structural copy-on-write deltas simulated through the
+	// composite patch view.
+	TierPatch = "patch"
+	// TierClone: a graph-replacing rewrite evaluated on a private
+	// clone — the only tier that pays for a full copy.
+	TierClone = "clone"
+)
+
 // Result is one scenario's outcome, delivered in scenario order.
 type Result struct {
 	// Name echoes the scenario label (Scenario.Name when set, the
 	// optimization's name otherwise) — including on error results.
 	Name string
+	// Tier is the dispatch tier the scenario was evaluated on (one of
+	// the Tier… constants), explaining its cost; empty on pre-dispatch
+	// errors.
+	Tier string
 	// Value is the measured prediction (makespan unless the scenario
 	// set a Measure).
 	Value time.Duration
@@ -146,12 +175,56 @@ func KeepSims() Option {
 }
 
 // worker is the per-goroutine reusable state: the simulation scratch,
-// the copy-on-write patch for clone-free scenarios, and the result
-// buffer reused when results are not retained.
+// the copy-on-write patch for clone-free scenarios, the result buffer
+// reused when results are not retained, and the incremental tier's warm
+// state.
 type worker struct {
 	scratch *core.SimScratch
 	patch   *core.Patch
 	buf     *core.SimResult
+	// incr is the worker's warm incremental simulator; incrBase arms
+	// the lazy build. A warm build costs one cold simulation, so it
+	// only pays off when a baseline recurs: the first timing-only
+	// scenario against a baseline runs cold and arms, the second
+	// builds, and later ones ride the warm schedule. One-off baselines
+	// (a models × configs grid with per-scenario Base) never build.
+	incr     *core.IncrementalSim
+	incrBase *core.Graph
+}
+
+// simTimingOnly evaluates the worker's (timing-only) patch on the
+// incremental tier when warm state for base exists or is now justified,
+// and on the cold overlay path otherwise. It returns the simulation
+// result and the dispatch tier taken.
+func (w *worker) simTimingOnly(base *core.Graph, hasSched bool, simOpts []core.SimOption) (*core.SimResult, string, error) {
+	// A custom scheduler can't ride the incremental tier (ReSimulate
+	// would fall straight through to cold anyway) — and must not arm
+	// the lazy build, whose warm simulation it could never use. The
+	// same goes for a dense delta (one past the overlay's dense-storage
+	// crossover, e.g. AMP rescaling half the graph): its affected cone
+	// is the whole schedule, so it rides the overlay path and neither
+	// arms nor consumes warm state.
+	if !hasSched && !w.patch.Timing().DenseEdits() {
+		if w.incr == nil || w.incr.Baseline() != base {
+			if w.incrBase != base {
+				w.incrBase = base
+			} else if incr, err := core.NewIncrementalSim(base); err == nil {
+				w.incr = incr
+			}
+			// A failed warm build (a cyclic graph) falls through: the
+			// cold path below reports the same error to the caller.
+		}
+		if w.incr != nil && w.incr.Baseline() == base {
+			res, err := w.incr.ReSimulate(w.patch, simOpts...)
+			tier := TierIncremental
+			if w.incr.LastFellBack() {
+				tier = TierOverlay
+			}
+			return res, tier, err
+		}
+	}
+	res, err := w.patch.Simulate(simOpts...)
+	return res, TierOverlay, err
 }
 
 // Run executes every scenario against the shared baseline (or the
@@ -295,7 +368,13 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 			return r
 		}
 		view = w.patch
-		res, err = w.patch.Simulate(simOpts...)
+		if w.patch.Structural() {
+			r.Tier = TierPatch
+			res, err = w.patch.Simulate(simOpts...)
+		} else {
+			hasSched := core.SchedulerOf(simOpts...) != nil
+			res, r.Tier, err = w.simTimingOnly(base, hasSched, simOpts)
+		}
 	case transform != nil:
 		// Rewrite path: a private clone to mutate or replace.
 		g := base.Clone()
@@ -309,6 +388,7 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 			return r
 		}
 		view = g
+		r.Tier = TierClone
 		res, err = g.Simulate(simOpts...)
 	default:
 		// Replay path: Simulate never mutates, so the baseline is
@@ -316,6 +396,7 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		// still happens under KeepGraphs, where the caller receives a
 		// graph it may legally mutate.
 		view = base
+		r.Tier = TierReplay
 		res, err = base.Simulate(simOpts...)
 	}
 	if err != nil {

@@ -713,3 +713,79 @@ func TestSweepStackedOptRace(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// wrappedEarliest is EarliestStart hidden behind a distinct type, so
+// the dispatch treats it as a genuinely custom scheduler.
+type wrappedEarliest struct{ core.EarliestStart }
+
+// TestSweepTierDispatch pins the Tier reported for every dispatch path
+// and checks the incremental tier's values stay bit-identical to the
+// sequential cold evaluation. Workers(1) makes the worker-local warm-up
+// deterministic: the first timing-only scenario arms the lazy build
+// (and still runs on the overlay path), every later one rides the warm
+// incremental state.
+func TestSweepTierDispatch(t *testing.T) {
+	g := testGraph(40)
+	structural := core.PatchOpt("append", core.Structural, func(p *core.Patch) error {
+		nt := p.NewTask("extra", trace.KindKernel, core.Stream(7), 5*time.Microsecond)
+		p.AppendTask(nt)
+		return nil
+	}, nil)
+	// The incremental scenarios edit a single kernel: editing every GPU
+	// task (like scaleScenario) would trip the dense-delta cutoff and
+	// legitimately report the overlay tier instead.
+	sparseOverlay := func(name string, d time.Duration) Scenario {
+		return Scenario{Name: name, ScaleTransform: func(o *core.Overlay) error {
+			ks := o.Base().Select(core.OnGPUPred)
+			o.SetDuration(ks[len(ks)-1], d)
+			return nil
+		}}
+	}
+	sparseClone := func(name string, d time.Duration) Scenario {
+		return Scenario{Name: name, Transform: func(c *core.Graph) (*core.Graph, error) {
+			ks := c.Select(core.OnGPUPred)
+			ks[len(ks)-1].Duration = d
+			return c, nil
+		}}
+	}
+	scenarios := []Scenario{
+		{Name: "replay"},
+		sparseOverlay("warmup", 40*time.Microsecond),
+		sparseOverlay("incr-a", 80*time.Microsecond),
+		sparseOverlay("incr-b", 120*time.Microsecond),
+		scaleScenario("clone", 0.6),
+		{Name: "structural", Opt: structural},
+		func() Scenario {
+			sc := overlayScaleScenario("sched", 0.5)
+			sc.SimOptions = []core.SimOption{core.WithScheduler(wrappedEarliest{})}
+			return sc
+		}(),
+	}
+	// sequential() only evaluates Transform scenarios, so the expected
+	// values come from the clone-path equivalents of the first five.
+	want := sequential(t, g, []Scenario{
+		{Name: "replay"},
+		sparseClone("warmup", 40*time.Microsecond),
+		sparseClone("incr-a", 80*time.Microsecond),
+		sparseClone("incr-b", 120*time.Microsecond),
+		scaleScenario("clone", 0.6),
+	})
+	results, err := Run(g, scenarios, Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTiers := []string{
+		TierReplay, TierOverlay, TierIncremental, TierIncremental,
+		TierClone, TierPatch, TierOverlay,
+	}
+	for i, r := range results {
+		if r.Tier != wantTiers[i] {
+			t.Errorf("scenario %q: tier %q, want %q", r.Name, r.Tier, wantTiers[i])
+		}
+	}
+	for i := range want {
+		if results[i].Value != want[i] {
+			t.Errorf("scenario %q: sweep %v, sequential %v", results[i].Name, results[i].Value, want[i])
+		}
+	}
+}

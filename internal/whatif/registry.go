@@ -55,6 +55,12 @@ type OptSpec struct {
 	// Cluster marks optimizations that need a multi-worker topology and
 	// belong in a topology grid rather than a single-GPU battery.
 	Cluster bool
+	// ConeFriendly marks optimizations whose deltas stay on the
+	// incremental fast path: timing-only edits (durations and gaps, no
+	// priorities) with no carried scheduling policy. Sweeps over these
+	// specs re-simulate only the affected cone of a warm baseline
+	// schedule; the rest take the overlay, patch or clone tier.
+	ConeFriendly bool
 	// Build constructs the optimization from the parameters, validating
 	// the fields it needs.
 	Build func(OptParams) (core.Optimization, error)
@@ -82,21 +88,24 @@ func P3SliceBytes(slice int64) int64 {
 // registry lists every optimization model, in presentation order.
 var registry = []OptSpec{
 	{
-		Name:      "amp",
-		Summary:   "automatic mixed precision (Algorithm 3)",
-		Footprint: core.TimingOnly,
-		Build:     func(OptParams) (core.Optimization, error) { return OptAMP(), nil },
+		Name:         "amp",
+		Summary:      "automatic mixed precision (Algorithm 3)",
+		Footprint:    core.TimingOnly,
+		ConeFriendly: true,
+		Build:        func(OptParams) (core.Optimization, error) { return OptAMP(), nil },
 	},
 	{
-		Name:      "fusedadam",
-		Summary:   "Apex fused Adam optimizer (Algorithm 4)",
-		Footprint: core.TimingOnly,
-		Build:     func(OptParams) (core.Optimization, error) { return OptFusedAdam(), nil },
+		Name:         "fusedadam",
+		Summary:      "Apex fused Adam optimizer (Algorithm 4)",
+		Footprint:    core.TimingOnly,
+		ConeFriendly: true,
+		Build:        func(OptParams) (core.Optimization, error) { return OptFusedAdam(), nil },
 	},
 	{
-		Name:      "reconbn",
-		Summary:   "batchnorm restructuring (Algorithm 5)",
-		Footprint: core.TimingOnly,
+		Name:         "reconbn",
+		Summary:      "batchnorm restructuring (Algorithm 5)",
+		Footprint:    core.TimingOnly,
+		ConeFriendly: true,
 		Build: func(p OptParams) (core.Optimization, error) {
 			return OptReconBatchnorm(p.ReconBatchnorm), nil
 		},
@@ -148,10 +157,11 @@ var registry = []OptSpec{
 		},
 	},
 	{
-		Name:      "upgrade",
-		Summary:   "move the workload to a different accelerator",
-		Params:    "from/to device names",
-		Footprint: core.TimingOnly,
+		Name:         "upgrade",
+		Summary:      "move the workload to a different accelerator",
+		Params:       "from/to device names",
+		Footprint:    core.TimingOnly,
+		ConeFriendly: true,
 		Build: func(p OptParams) (core.Optimization, error) {
 			from, err := xpu.FindDevice(p.FromDevice)
 			if err != nil {
@@ -165,10 +175,11 @@ var registry = []OptSpec{
 		},
 	},
 	{
-		Name:      "kprofile",
-		Summary:   "apply externally profiled kernel durations (§7.4)",
-		Params:    "kernel profile",
-		Footprint: core.TimingOnly,
+		Name:         "kprofile",
+		Summary:      "apply externally profiled kernel durations (§7.4)",
+		Params:       "kernel profile",
+		Footprint:    core.TimingOnly,
+		ConeFriendly: true,
 		Build: func(p OptParams) (core.Optimization, error) {
 			if len(p.Profile) == 0 {
 				return nil, fmt.Errorf("whatif: kprofile needs a non-empty kernel profile")
@@ -177,10 +188,11 @@ var registry = []OptSpec{
 		},
 	},
 	{
-		Name:      "scale",
-		Summary:   "run matching kernels at a given duration factor (COZ-style)",
-		Params:    "name substring, factor",
-		Footprint: core.TimingOnly,
+		Name:         "scale",
+		Summary:      "run matching kernels at a given duration factor (COZ-style)",
+		Params:       "name substring, factor",
+		Footprint:    core.TimingOnly,
+		ConeFriendly: true,
 		Build: func(p OptParams) (core.Optimization, error) {
 			if p.ScaleTarget == "" || p.ScaleFactor <= 0 {
 				return nil, fmt.Errorf("whatif: scale needs a kernel-name substring and a positive factor")
