@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -53,6 +54,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "BENCH.json", "output path for -micro results")
 	against := flag.String("against", "", "baseline BENCH.json to compare -micro results to (fails on regression)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression vs -against before failing")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); expiry surfaces as a typed cancellation error")
 	flag.Parse()
 
 	if *list {
@@ -62,16 +64,22 @@ func main() {
 		return
 	}
 	if *micro {
-		if err := runMicro(*benchJSON, *against, *tolerance); err != nil {
+		if err := runMicro(*benchJSON, *against, *tolerance, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "daydream-bench:", err)
 			os.Exit(1)
 		}
 		return
 	}
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
 	ran := 0
 	for _, e := range exp.All() {
 		if *run != "" && !strings.Contains(e.ID, *run) {
 			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "daydream-bench:", core.ContextError(cerr))
+			os.Exit(1)
 		}
 		start := time.Now()
 		tables, err := e.Run()
@@ -92,6 +100,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "daydream-bench: no experiment matches -run %q (try -list)\n", *run)
 		os.Exit(1)
 	}
+}
+
+// timeoutContext builds a context for the -timeout flag: Background
+// when the limit is zero (no deadline, and the benchmarks keep the
+// nil-context fast path) and WithTimeout otherwise. The returned cancel
+// is always safe to defer.
+func timeoutContext(limit time.Duration) (context.Context, context.CancelFunc) {
+	if limit <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), limit)
 }
 
 // microResult is one benchmark line of BENCH.json.
@@ -127,7 +146,16 @@ type benchFile struct {
 // runMicro measures the pipeline stages on the largest workload plus
 // the scenario-evaluation paths and sweeps, writes the JSON report, and
 // (when against is set) gates on regressions vs the committed baseline.
-func runMicro(path, against string, tolerance float64) error {
+func runMicro(path, against string, tolerance float64, timeout time.Duration) error {
+	ctx, cancel := timeoutContext(timeout)
+	defer cancel()
+	// With no -timeout the sweeps run context-free, so the benchmarked
+	// numbers keep the nil-context fast path; with one, the deadline
+	// rides the sweep's cancellation plumbing and aborts mid-sweep.
+	sweepOpts := []sweep.Option{sweep.Workers(benchSweepWorkers)}
+	if timeout > 0 {
+		sweepOpts = append(sweepOpts, sweep.WithContext(ctx))
+	}
 	const workload = "bert-large"
 	tr, err := daydream.Collect(daydream.CollectConfig{Model: workload})
 	if err != nil {
@@ -344,7 +372,7 @@ func runMicro(path, against string, tolerance float64) error {
 		// gate depends on that.
 		{"OverlaySweep64", 64, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := sweep.Run(g, overlayScenarios, sweep.Workers(benchSweepWorkers)); err != nil {
+				if _, err := sweep.Run(g, overlayScenarios, sweepOpts...); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -355,14 +383,14 @@ func runMicro(path, against string, tolerance float64) error {
 		// worker's warm-up scenario.
 		{"Fig5IncrementalSweep", len(layerScenarios), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := sweep.Run(g, layerScenarios, sweep.Workers(benchSweepWorkers)); err != nil {
+				if _, err := sweep.Run(g, layerScenarios, sweepOpts...); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
 		{"Fig8Sweep76", 76, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := sweep.Run(nil, fig8Scenarios, sweep.Workers(benchSweepWorkers)); err != nil {
+				if _, err := sweep.Run(nil, fig8Scenarios, sweepOpts...); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -375,6 +403,9 @@ func runMicro(path, against string, tolerance float64) error {
 		Workload:   workload,
 	}
 	for _, bb := range benches {
+		if cerr := ctx.Err(); cerr != nil {
+			return core.ContextError(cerr)
+		}
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			bb.fn(b)

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -232,6 +233,17 @@ func marketingName(name string) string {
 	return name
 }
 
+// timeoutContext builds a context for the -timeout flag: Background
+// when the limit is zero (no deadline, no cancellation plumbing cost on
+// the hot loop) and WithTimeout otherwise. The returned cancel is
+// always safe to defer.
+func timeoutContext(limit time.Duration) (context.Context, context.CancelFunc) {
+	if limit <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), limit)
+}
+
 // parseGbpsList parses a comma-separated bandwidth list; Split always
 // yields at least one element, so the result is never empty.
 func parseGbpsList(s string) ([]float64, error) {
@@ -301,6 +313,7 @@ func cmdPredict(args []string) error {
 	machines := fs.Int("machines", 4, "machines (distributed/p3)")
 	gpus := fs.Int("gpus", 1, "GPUs per machine (distributed/p3)")
 	gbps := fs.Float64("gbps", 10, "network bandwidth in Gbps (distributed/p3)")
+	timeout := fs.Duration("timeout", 0, "abort the prediction after this duration (0 = no limit)")
 	params := optParamFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -317,7 +330,9 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	baseline, predicted, err := daydream.Compare(g, o)
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	baseline, predicted, err := daydream.Compare(g, o, daydream.WithContext(ctx))
 	if err != nil {
 		return err
 	}
@@ -342,6 +357,7 @@ func cmdSweep(args []string) error {
 	machines := fs.Int("machines", 4, "machines for explicit -opt distributed/p3 expressions")
 	gpus := fs.Int("gpus", 1, "GPUs per machine for explicit -opt distributed/p3 expressions")
 	explain := fs.Bool("explain", false, "print the simulation tier each scenario dispatched to (replay/incremental/overlay/patch/clone)")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit); timed-out scenarios become typed error rows")
 	params := optParamFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -419,10 +435,14 @@ func cmdSweep(args []string) error {
 	}
 
 	start := time.Now()
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
 	// Per-scenario failures (e.g. vdnn on a model without offloadable
 	// conv activations) are reported as rows, not a battery abort: the
-	// sweep still returns every other scenario's prediction.
-	results, sweepErr := daydream.Sweep(g, scenarios, daydream.SweepWorkers(*workers))
+	// sweep still returns every other scenario's prediction — and a
+	// -timeout expiry turns the unfinished tail into typed rows.
+	results, sweepErr := daydream.Sweep(g, scenarios,
+		daydream.SweepWorkers(*workers), daydream.SweepContext(ctx))
 	if results == nil {
 		return sweepErr
 	}

@@ -1,6 +1,7 @@
 package daydream
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"time"
@@ -177,9 +178,69 @@ func NewPatch(g *Graph) *Patch { return core.NewPatch(g) }
 // automatically for timing-only scenario batteries over one baseline.
 func NewIncrementalSim(g *Graph) (*IncrementalSim, error) { return core.NewIncrementalSim(g) }
 
+// Fault-tolerance surface. Every failure the engine produces for
+// hostile or malformed input wraps a typed sentinel, so services
+// classify with errors.Is instead of string matching. Cancellation
+// errors additionally match context.Canceled/context.DeadlineExceeded.
+var (
+	// ErrCanceled marks a simulation or sweep scenario abandoned
+	// because its context was canceled.
+	ErrCanceled = core.ErrCanceled
+	// ErrDeadlineExceeded marks a simulation or sweep scenario
+	// abandoned because its context's deadline passed.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrCycle marks a dependency graph or patch view whose edges
+	// contain a cycle (Validate reports it before simulation).
+	ErrCycle = core.ErrCycle
+	// ErrDanglingEdge marks a patch edge or sequence override whose
+	// endpoint is not live in the effective view.
+	ErrDanglingEdge = core.ErrDanglingEdge
+	// ErrNegativeDuration marks a task whose effective duration (or
+	// duration+gap) is negative.
+	ErrNegativeDuration = core.ErrNegativeDuration
+	// ErrStalled marks a simulation whose ready frontier emptied with
+	// live tasks still blocked — the runtime symptom of a cycle; the
+	// error names the blocked tasks and never yields a partial
+	// schedule.
+	ErrStalled = core.ErrStalled
+	// ErrSweepPanic marks a sweep scenario whose user callback
+	// panicked; the row's error is a *SweepPanicError carrying the
+	// panic value and stack, and the worker's buffers were quarantined.
+	ErrSweepPanic = sweep.ErrPanic
+)
+
+type (
+	// StallError details a frontier starvation: executed/live counts
+	// and the blocked task IDs. It unwraps to ErrStalled.
+	StallError = core.StallError
+	// CycleError details a validation-detected dependency cycle. It
+	// unwraps to ErrCycle.
+	CycleError = core.CycleError
+	// SweepPanicError is a recovered scenario panic (value + stack).
+	// It unwraps to ErrSweepPanic.
+	SweepPanicError = sweep.PanicError
+)
+
+// WithContext bounds one simulation by ctx: the simulator checks it on
+// entry and every few thousand scheduling steps, returning a typed
+// ErrCanceled/ErrDeadlineExceeded (also matching the context package's
+// sentinels) instead of completing. A nil context costs nothing.
+func WithContext(ctx context.Context) SimOption { return core.WithContext(ctx) }
+
 // SweepWorkers caps the sweep worker pool; values below 1 select
 // GOMAXPROCS.
 func SweepWorkers(n int) SweepOption { return sweep.Workers(n) }
+
+// SweepContext bounds a whole sweep by ctx: in-flight scenarios abort
+// at their next periodic check and everything not yet evaluated comes
+// back as a typed cancellation row — the result slice keeps one row
+// per scenario, and no goroutine outlives the Sweep call.
+func SweepContext(ctx context.Context) SweepOption { return sweep.WithContext(ctx) }
+
+// SweepFailFast stops a sweep at its first scenario error: the trigger
+// keeps its own error row, the remaining scenarios become ErrCanceled
+// rows. The default policy runs every scenario and collects all errors.
+func SweepFailFast() SweepOption { return sweep.FailFast() }
 
 // SweepKeepGraphs retains each scenario's transformed graph.
 func SweepKeepGraphs() SweepOption { return sweep.KeepGraphs() }
@@ -638,8 +699,13 @@ func ByLayer(t *Task) string { return core.ByLayer(t) }
 //   - func(*Overlay) error — the duration-only overlay form
 //     (CompareScale's shape).
 //
+// Optional SimOptions apply to both the baseline and predicted
+// simulations — most usefully WithContext, which bounds the whole
+// comparison by a deadline and turns an overrun into a typed
+// ErrDeadlineExceeded instead of an unbounded compute.
+//
 // The baseline graph is never mutated.
-func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) {
+func Compare(g *Graph, what any, opts ...SimOption) (baseline, predicted time.Duration, err error) {
 	// Defined function types (type myWhatIf func(*Graph) error) don't
 	// match the exact type switch below; normalize them first.
 	switch what.(type) {
@@ -650,7 +716,7 @@ func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) 
 		}
 	}
 	// PredictIteration does not mutate, so the baseline needs no clone.
-	baseline, err = g.PredictIteration()
+	baseline, err = g.PredictIteration(opts...)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -659,7 +725,7 @@ func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) 
 		if core.OptIsNoop(w) {
 			return baseline, baseline, nil
 		}
-		predicted, err = predictOptimization(g, w)
+		predicted, err = predictOptimization(g, w, opts...)
 	case func(*Patch) error:
 		if w == nil {
 			return 0, 0, fmt.Errorf("daydream: Compare: nil what-if")
@@ -668,7 +734,7 @@ func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) 
 		if err := w(p); err != nil {
 			return 0, 0, err
 		}
-		predicted, err = p.PredictIteration()
+		predicted, err = p.PredictIteration(opts...)
 	case func(*Graph) error:
 		if w == nil {
 			return 0, 0, fmt.Errorf("daydream: Compare: nil what-if")
@@ -677,7 +743,7 @@ func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) 
 		if err := w(c); err != nil {
 			return 0, 0, err
 		}
-		predicted, err = c.PredictIteration()
+		predicted, err = c.PredictIteration(opts...)
 	case func(*Overlay) error:
 		if w == nil {
 			return 0, 0, fmt.Errorf("daydream: Compare: nil what-if")
@@ -686,7 +752,7 @@ func Compare(g *Graph, what any) (baseline, predicted time.Duration, err error) 
 		if err := w(o); err != nil {
 			return 0, 0, err
 		}
-		predicted, err = o.PredictIteration()
+		predicted, err = o.PredictIteration(opts...)
 	case nil:
 		err = fmt.Errorf("daydream: Compare: nil what-if")
 	default:
@@ -718,12 +784,13 @@ func convertWhatIf(what any) (any, bool) {
 // valid path — the clone-free patch unless the value demands a
 // materialized graph — under any scheduling policy the value carries,
 // and extracts its metric.
-func predictOptimization(g *Graph, opt Optimization) (time.Duration, error) {
+func predictOptimization(g *Graph, opt Optimization, opts ...SimOption) (time.Duration, error) {
 	measure := core.OptMeasure(opt)
 	var simOpts []core.SimOption
 	if s := core.OptScheduler(opt); s != nil {
 		simOpts = append(simOpts, core.WithScheduler(s))
 	}
+	simOpts = append(simOpts, opts...)
 	if core.OptNeedsGraph(opt) {
 		c, err := core.ApplyOptimization(g.Clone(), opt)
 		if err != nil {

@@ -37,4 +37,32 @@
 //   - clone — materialize a private mutated copy, ~7.7ms per scenario;
 //     only for rewriters that must replace the graph (OptP3's Repeat
 //     form, manual Transforms).
+//
+// # Failure modes
+//
+// Every way a simulation can fail is a typed sentinel, matchable with
+// errors.Is through any wrapping:
+//
+//	ErrCanceled          the context was canceled (also matches context.Canceled)
+//	ErrDeadlineExceeded  the context deadline passed (also matches context.DeadlineExceeded)
+//	ErrCycle             Validate found a dependency cycle (*CycleError lists members)
+//	ErrDanglingEdge      a patch edge references a removed or unknown task
+//	ErrNegativeDuration  an effective duration or duration+gap is negative
+//	ErrStalled           simulation ended with live tasks unexecuted (*StallError
+//	                     names the first blocked tasks) — the runtime face of a cycle
+//
+// Cancellation contract: WithContext(ctx) threads a context through
+// every tier. Graph.Simulate, Overlay.Simulate, Patch.Simulate and the
+// scheduled path check the context on entry and then every 1024
+// executed tasks; IncrementalSim.ReSimulate checks every 1024
+// recomputed cone members. A nil context costs nothing (the checks
+// compile to a nil test). On abort the typed error wraps both the
+// taxonomy sentinel and the context's cause, and any WithScratch
+// buffers are left reset and reusable.
+//
+// Validation contract: Graph.Validate and Patch.Validate reject cycles,
+// dangling edges and negative timings up front with the sentinels
+// above, so a hostile delta never half-executes; if a cyclic view does
+// reach Simulate, the run completes and reports *StallError rather
+// than returning a silently-partial schedule.
 package core

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Error taxonomy. Every failure the engine can produce for hostile or
+// malformed input wraps one of these sentinels, so callers — the sweep's
+// error rows, a long-lived prediction server classifying failures per
+// request — dispatch with errors.Is instead of string matching.
+//
+// Cancellation errors additionally wrap the originating context error,
+// so errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) keep working for code written against the
+// standard library's contract.
+var (
+	// ErrCanceled marks a simulation (or sweep scenario) abandoned
+	// because its context was canceled.
+	ErrCanceled = errors.New("core: simulation canceled")
+	// ErrDeadlineExceeded marks a simulation (or sweep scenario)
+	// abandoned because its context's deadline passed.
+	ErrDeadlineExceeded = errors.New("core: simulation deadline exceeded")
+	// ErrCycle marks a dependency graph (or effective patch view) whose
+	// edge set contains a cycle — no valid schedule exists. Validate
+	// reports it before simulation; Simulate itself reports the
+	// consequence as ErrStalled.
+	ErrCycle = errors.New("core: dependency cycle")
+	// ErrDanglingEdge marks an effective edge whose endpoint is not live
+	// in the view (removed, or foreign to the baseline).
+	ErrDanglingEdge = errors.New("core: dangling edge")
+	// ErrNegativeDuration marks a task whose effective duration (or
+	// duration+gap) is negative — untrusted timing input the simulator's
+	// monotonicity assumptions exclude.
+	ErrNegativeDuration = errors.New("core: negative duration")
+	// ErrStalled marks a simulation whose ready frontier emptied while
+	// live tasks remained blocked: the effective graph has a cycle (or
+	// an unsatisfiable dependency), so the schedule would be partial.
+	// Simulate returns this instead of a result full of zero starts; the
+	// wrapped StallError names the blocked tasks.
+	ErrStalled = errors.New("core: simulation stalled")
+)
+
+// ContextError converts a non-nil context error into the typed
+// taxonomy: context.DeadlineExceeded becomes ErrDeadlineExceeded,
+// anything else ErrCanceled. The result wraps both the sentinel and the
+// cause, so errors.Is matches either.
+func ContextError(cause error) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, cause)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// StallError reports a frontier starvation: the simulation executed
+// Executed of Live tasks and then had nothing ready, leaving Blocked
+// task IDs with unresolved dependencies. It unwraps to ErrStalled.
+type StallError struct {
+	// Executed and Live count the tasks scheduled and the tasks the
+	// effective view holds.
+	Executed, Live int
+	// Blocked holds the IDs of every live task that never became ready,
+	// in ID order. On a cyclic graph these are the cycle members plus
+	// everything downstream of them.
+	Blocked []int
+	// names labels the first few blocked tasks for the message.
+	names []string
+}
+
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: simulation stalled after %d of %d tasks; %d blocked (dependencies never resolved — the effective graph has a cycle)",
+		e.Executed, e.Live, len(e.Blocked))
+	if len(e.names) > 0 {
+		b.WriteString(": ")
+		b.WriteString(strings.Join(e.names, ", "))
+		if len(e.Blocked) > len(e.names) {
+			fmt.Fprintf(&b, ", … %d more", len(e.Blocked)-len(e.names))
+		}
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrStalled) true.
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// stallNameLimit caps how many blocked tasks the message names; the
+// Blocked slice always carries every ID.
+const stallNameLimit = 8
+
+// newStallError builds a StallError from the blocked tasks, collected
+// by the simulate paths from their reference counts.
+func newStallError(executed, live int, blocked []*Task) *StallError {
+	e := &StallError{Executed: executed, Live: live}
+	for _, t := range blocked {
+		e.Blocked = append(e.Blocked, t.ID)
+		if len(e.names) < stallNameLimit {
+			e.names = append(e.names, fmt.Sprintf("#%d %s", t.ID, t.Name))
+		}
+	}
+	return e
+}
+
+// CycleError reports a dependency cycle found by validation. Members
+// holds the IDs of the tasks Kahn's algorithm could not order — the
+// cycle's tasks plus everything downstream of them. It unwraps to
+// ErrCycle.
+type CycleError struct {
+	// Members holds the unorderable task IDs, in ID order.
+	Members []int
+	// names labels the first few members for the message.
+	names []string
+}
+
+func (e *CycleError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: dependency cycle: %d tasks cannot be topologically ordered", len(e.Members))
+	if len(e.names) > 0 {
+		b.WriteString(": ")
+		b.WriteString(strings.Join(e.names, ", "))
+		if len(e.Members) > len(e.names) {
+			fmt.Fprintf(&b, ", … %d more", len(e.Members)-len(e.names))
+		}
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrCycle) true.
+func (e *CycleError) Unwrap() error { return ErrCycle }
+
+// newCycleError builds a CycleError from the unorderable tasks.
+func newCycleError(members []*Task) *CycleError {
+	e := &CycleError{}
+	for _, t := range members {
+		e.Members = append(e.Members, t.ID)
+		if len(e.names) < stallNameLimit {
+			e.names = append(e.names, fmt.Sprintf("#%d %s", t.ID, t.Name))
+		}
+	}
+	return e
+}

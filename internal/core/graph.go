@@ -460,7 +460,13 @@ func (g *Graph) Validate() error {
 		}
 	}
 	if seen != g.live {
-		return fmt.Errorf("core: dependency graph has a cycle (%d of %d tasks reachable)", seen, g.live)
+		var members []*Task
+		for _, t := range g.tasks {
+			if t != nil && ref[t.ID] > 0 {
+				members = append(members, t)
+			}
+		}
+		return newCycleError(members)
 	}
 	return nil
 }

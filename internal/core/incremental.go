@@ -265,6 +265,9 @@ func (s *IncrementalSim) ReSimulate(view TaskView, opts ...SimOption) (*SimResul
 	for _, fn := range opts {
 		fn(&so)
 	}
+	if err := ctxCanceled(so.ctx); err != nil {
+		return nil, err
+	}
 	o, cold, err := s.timingView(view)
 	if err != nil {
 		return nil, err
@@ -379,6 +382,12 @@ func (s *IncrementalSim) ReSimulate(view TaskView, opts ...SimOption) (*SimResul
 		s.state[id] = gen
 		s.newStart[id], s.newEnd[id] = start, end
 		recomputed++
+		if so.ctx != nil && recomputed%cancelCheckInterval == 0 {
+			if cerr := so.ctx.Err(); cerr != nil {
+				s.pq = pq[:0]
+				return nil, ContextError(cerr)
+			}
+		}
 
 		startChanged := start != s.warmStart[id]
 		endChanged := end != s.warmEnd[id]

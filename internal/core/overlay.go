@@ -377,6 +377,9 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 	for _, fn := range opts {
 		fn(&so)
 	}
+	if err := ctxCanceled(so.ctx); err != nil {
+		return nil, err
+	}
 	g := o.base
 	if g == nil {
 		return nil, fmt.Errorf("core: Overlay.Simulate: overlay has no baseline graph")
@@ -397,7 +400,7 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 		if o.prioEdited && isLegacySched(s) {
 			return nil, fmt.Errorf("core: Overlay.Simulate: priority overlays are invisible to a legacy Scheduler (AdaptScheduler reads Task.Priority from the shared baseline); migrate the policy to the view-generic Pick(frontier, ctx) contract")
 		}
-		return simulateScheduled(o, s, scratch, res)
+		return simulateScheduled(o, s, scratch, res, so.ctx)
 	}
 	var prio []int
 	if o.prioEdited {
@@ -454,6 +457,12 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 			res.Makespan = end
 		}
 		executed++
+		if so.ctx != nil && executed%cancelCheckInterval == 0 {
+			if cerr := so.ctx.Err(); cerr != nil {
+				scratch.heap = h[:0]
+				return nil, ContextError(cerr)
+			}
+		}
 		for _, c := range u.children {
 			if end > earliest[c.ID] {
 				earliest[c.ID] = end
@@ -475,7 +484,13 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 		}
 	}
 	if executed != g.live {
-		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, g.live)
+		var blocked []*Task
+		for id, t := range g.tasks {
+			if t != nil && ref[id] > 0 {
+				blocked = append(blocked, t)
+			}
+		}
+		return nil, newStallError(executed, g.live, blocked)
 	}
 	return res, nil
 }

@@ -774,6 +774,9 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 	for _, fn := range opts {
 		fn(&so)
 	}
+	if err := ctxCanceled(so.ctx); err != nil {
+		return nil, err
+	}
 	g := p.base
 	if g == nil {
 		return nil, fmt.Errorf("core: Patch.Simulate: patch has no baseline graph")
@@ -800,7 +803,7 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 		if (o.prioEdited || o.timingEdited) && isLegacySched(s) {
 			return nil, fmt.Errorf("core: Patch.Simulate: timing/priority overlays are invisible to a legacy Scheduler (AdaptScheduler reads raw Task fields from the shared baseline, where the old materialized fallback carried effective values); migrate the policy to the view-generic Pick(frontier, ctx) contract")
 		}
-		return simulateScheduled(p, s, scratch, res)
+		return simulateScheduled(p, s, scratch, res, so.ctx)
 	}
 	var prio []int
 	if o.prioEdited {
@@ -937,6 +940,12 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 			res.Makespan = end
 		}
 		executed++
+		if so.ctx != nil && executed%cancelCheckInterval == 0 {
+			if cerr := so.ctx.Err(); cerr != nil {
+				scratch.heap = h[:0]
+				return nil, ContextError(cerr)
+			}
+		}
 		relax := func(c *Task) {
 			if end > earliest[c.ID] {
 				earliest[c.ID] = end
@@ -975,7 +984,18 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 		}
 	}
 	if live := p.NumTasks(); executed != live {
-		return nil, fmt.Errorf("core: simulated %d of %d tasks; graph has a cycle", executed, live)
+		var blocked []*Task
+		for id, t := range g.tasks {
+			if t != nil && !maskRemoved[id] && ref[id] > 0 {
+				blocked = append(blocked, t)
+			}
+		}
+		for i, t := range p.added {
+			if id := baseSpan + i; !maskRemoved[id] && ref[id] > 0 {
+				blocked = append(blocked, t)
+			}
+		}
+		return nil, newStallError(executed, live, blocked)
 	}
 	return res, nil
 }
@@ -1020,6 +1040,110 @@ func (p *Patch) Materialize() (*Graph, error) {
 // clone+replay cost of Materialize (memo hits are free). Diagnostic;
 // the double-materialization regression tests pin it.
 func (p *Patch) Materializations() int { return p.matCount }
+
+// Validate checks the effective composite view for the invariants
+// Simulate assumes, returning the first violation as a typed error:
+// every patch-added edge and sequence override must reference tasks
+// live in the view (ErrDanglingEdge), every effective duration and
+// duration+gap must be non-negative (ErrNegativeDuration), and the
+// effective dependency graph must be acyclic (ErrCycle, via a
+// CycleError naming the unorderable tasks). A patch built solely
+// through the public primitives cannot dangle — AddDependency and the
+// placement primitives reject dead endpoints up front — so the edge
+// checks guard against baselines mutated underneath a bound patch, the
+// exact corruption a long-lived service sharing baselines across
+// requests must detect rather than mis-simulate.
+func (p *Patch) Validate() error {
+	if p.base == nil {
+		return fmt.Errorf("core: Patch.Validate: patch has no baseline graph")
+	}
+	// Patch-added edges: both endpoints live in the effective view.
+	for srcID, edges := range p.addedOut {
+		src := p.Task(srcID)
+		if src == nil {
+			return fmt.Errorf("%w: patch edge from dead task #%d", ErrDanglingEdge, srcID)
+		}
+		for _, e := range edges {
+			if !p.contains(e.to) {
+				return fmt.Errorf("%w: patch edge %v → %v targets a task not live in the view", ErrDanglingEdge, src, e.to)
+			}
+		}
+	}
+	// Sequence-chain overrides: present links must point at live tasks
+	// (nil means end-of-chain and is always fine).
+	for id, nxt := range p.seqNextOv {
+		if nxt != nil && !p.contains(nxt) {
+			return fmt.Errorf("%w: sequence override after #%d points at dead task %v", ErrDanglingEdge, id, nxt)
+		}
+	}
+	for id, prv := range p.seqPrevOv {
+		if prv != nil && !p.contains(prv) {
+			return fmt.Errorf("%w: sequence override before #%d points at dead task %v", ErrDanglingEdge, id, prv)
+		}
+	}
+	for tid, h := range p.headOv {
+		if h != nil && !p.contains(h) {
+			return fmt.Errorf("%w: head override of thread %v points at dead task %v", ErrDanglingEdge, tid, h)
+		}
+	}
+	for tid, tl := range p.tailOv {
+		if tl != nil && !p.contains(tl) {
+			return fmt.Errorf("%w: tail override of thread %v points at dead task %v", ErrDanglingEdge, tid, tl)
+		}
+	}
+	// Effective timings: the simulator's monotonicity arguments assume
+	// non-negative durations and non-negative duration+gap.
+	var badTiming error
+	p.eachTask(func(t *Task) {
+		if badTiming != nil {
+			return
+		}
+		d, gp := p.Duration(t), p.Gap(t)
+		if d < 0 {
+			badTiming = fmt.Errorf("%w: task %v has effective duration %v", ErrNegativeDuration, t, d)
+		} else if d+gp < 0 {
+			badTiming = fmt.Errorf("%w: task %v has effective duration+gap %v", ErrNegativeDuration, t, d+gp)
+		}
+	})
+	if badTiming != nil {
+		return badTiming
+	}
+	// Kahn's algorithm over the effective view for cycle detection.
+	span := p.IDSpan()
+	ref := make([]int, span)
+	var frontier []*Task
+	live := 0
+	p.eachTask(func(t *Task) {
+		live++
+		n := len(p.effParents(t))
+		ref[t.ID] = n
+		if n == 0 {
+			frontier = append(frontier, t)
+		}
+	})
+	seen := 0
+	for len(frontier) > 0 {
+		t := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		seen++
+		p.eachChild(t, func(c *Task) {
+			ref[c.ID]--
+			if ref[c.ID] == 0 {
+				frontier = append(frontier, c)
+			}
+		})
+	}
+	if seen != live {
+		var members []*Task
+		p.eachTask(func(t *Task) {
+			if ref[t.ID] > 0 {
+				members = append(members, t)
+			}
+		})
+		return newCycleError(members)
+	}
+	return nil
+}
 
 // materializeInto applies the patch to target, which must be either the
 // baseline itself (private to the caller) or a clone of it: effective

@@ -43,13 +43,39 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"daydream/internal/core"
 )
+
+// ErrPanic marks a scenario whose user callback (Optimization,
+// Transform, Scheduler, Measure) panicked. The worker recovered, the
+// panic became the scenario's Result.Err (a *PanicError carrying the
+// value and stack), and the worker's reusable buffers were quarantined
+// so later scenarios start from fresh state.
+var ErrPanic = errors.New("sweep: scenario panicked")
+
+// PanicError is a recovered scenario panic: the panic value and the
+// goroutine stack at recovery. It unwraps to ErrPanic.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the worker goroutine's stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: scenario panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap makes errors.Is(err, ErrPanic) true.
+func (e *PanicError) Unwrap() error { return ErrPanic }
 
 // Scenario is one what-if question: a transformation of the baseline
 // graph, an optional scheduling policy, and an optional metric to
@@ -153,6 +179,8 @@ type config struct {
 	workers    int
 	keepGraphs bool
 	keepSims   bool
+	ctx        context.Context
+	failFast   bool
 }
 
 // Option configures a sweep.
@@ -161,6 +189,27 @@ type Option func(*config)
 // Workers caps the worker pool; values below 1 select GOMAXPROCS.
 func Workers(n int) Option {
 	return func(c *config) { c.workers = n }
+}
+
+// WithContext bounds the sweep by ctx: once it is canceled (or its
+// deadline passes), in-flight simulations abort at their next periodic
+// check and every not-yet-evaluated scenario returns a typed
+// core.ErrCanceled/core.ErrDeadlineExceeded result row instead of
+// running. Run still returns the full scenario-ordered result slice —
+// cancellation produces error rows, never missing rows — and the pool
+// always drains before Run returns, so no goroutines outlive the call.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
+}
+
+// FailFast switches the error policy from collect-all (the default:
+// every scenario runs, errors land in their rows) to stop-on-first:
+// the first scenario error cancels the sweep's context, turning the
+// remaining scenarios into core.ErrCanceled rows. The triggering error
+// is still the one Run returns, as it stays first in scenario order
+// among non-cancellation failures.
+func FailFast() Option {
+	return func(c *config) { c.failFast = true }
 }
 
 // KeepGraphs retains each scenario's transformed graph in its Result.
@@ -190,6 +239,22 @@ type worker struct {
 	// (a models × configs grid with per-scenario Base) never build.
 	incr     *core.IncrementalSim
 	incrBase *core.Graph
+}
+
+// quarantine discards every reusable buffer the worker owns. It runs
+// after a recovered panic: a callback that panicked mid-edit can leave
+// the patch, overlay, incremental warm state, scratch or result buffer
+// in an arbitrary half-written state, and no invariant of theirs can be
+// trusted afterwards. The replacements are rebuilt lazily by the next
+// scenario, so one poisoned scenario costs one round of reallocation —
+// never a corrupted later row (the shared baseline itself is immutable
+// to the patch path and cannot be poisoned).
+func (w *worker) quarantine() {
+	w.scratch = core.NewSimScratch()
+	w.patch = nil
+	w.buf = nil
+	w.incr = nil
+	w.incrBase = nil
 }
 
 // simTimingOnly evaluates the worker's (timing-only) patch on the
@@ -230,10 +295,18 @@ func (w *worker) simTimingOnly(base *core.Graph, hasSched bool, simOpts []core.S
 // Run executes every scenario against the shared baseline (or the
 // scenario's own Base) on a worker pool and returns the results in
 // scenario order. The returned error is the first scenario error in
-// scenario order, if any; per-scenario errors are also in the results.
+// scenario order, if any (preferring non-cancellation failures, so a
+// FailFast trigger is reported rather than the rows it canceled);
+// per-scenario errors are also in the results.
 //
 // The baseline (and any scenario Base) must not be mutated while the
 // sweep runs; the sweep itself clones it only for rewrite transforms.
+//
+// Fault-tolerance contract: a scenario whose callback panics yields
+// exactly one *PanicError row and quarantines that worker's reusable
+// buffers (see ErrPanic); a canceled WithContext yields typed
+// cancellation rows for everything not yet evaluated; in every case
+// the pool drains fully before Run returns — no goroutine outlives it.
 func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, error) {
 	cfg := config{}
 	for _, o := range opts {
@@ -251,6 +324,19 @@ func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, 
 		return results, nil
 	}
 
+	// FailFast needs a context it can cancel even when the caller
+	// supplied none; a caller context is wrapped so the trigger cannot
+	// cancel the caller's own.
+	ctx, cancel := cfg.ctx, func() {}
+	if cfg.failFast {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	cfg.ctx = ctx
+	defer cancel()
+
 	// The jobs channel is buffered for the whole scenario list, so the
 	// producer enqueues everything up front and never interleaves with
 	// the workers' draining.
@@ -266,18 +352,68 @@ func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, 
 			defer wg.Done()
 			w := worker{scratch: core.NewSimScratch()}
 			for i := range jobs {
-				results[i] = runOne(baseline, &scenarios[i], &w, &cfg)
+				// A canceled sweep converts the remaining queue into
+				// typed rows without evaluating anything further.
+				if ctx != nil {
+					if cerr := ctx.Err(); cerr != nil {
+						results[i] = Result{Name: nameOf(&scenarios[i]), Err: core.ContextError(cerr)}
+						continue
+					}
+				}
+				results[i] = runOneSafe(baseline, &scenarios[i], &w, &cfg)
+				if cfg.failFast && results[i].Err != nil {
+					cancel()
+				}
 			}
 		}()
 	}
 	wg.Wait()
 
+	firstErr := -1
 	for i := range results {
-		if results[i].Err != nil {
-			return results, fmt.Errorf("sweep: scenario %d (%s): %w", i, results[i].Name, results[i].Err)
+		if results[i].Err == nil {
+			continue
+		}
+		if firstErr < 0 {
+			firstErr = i
+		}
+		if !errors.Is(results[i].Err, core.ErrCanceled) && !errors.Is(results[i].Err, core.ErrDeadlineExceeded) {
+			firstErr = i
+			break
 		}
 	}
+	if firstErr >= 0 {
+		return results, fmt.Errorf("sweep: scenario %d (%s): %w", firstErr, results[firstErr].Name, results[firstErr].Err)
+	}
 	return results, nil
+}
+
+// nameOf resolves the result label for a scenario that was never
+// evaluated, with runOne's precedence: Scenario.Name, then the
+// optimization's own name.
+func nameOf(sc *Scenario) string {
+	if sc.Name != "" {
+		return sc.Name
+	}
+	if sc.Opt != nil {
+		return sc.Opt.Name()
+	}
+	return ""
+}
+
+// runOneSafe runs one scenario with panic isolation: a panic in any
+// user callback — Optimization.Apply, Transform, ScaleTransform, a
+// custom Scheduler picking inside Simulate, Measure — is recovered
+// into a *PanicError result row, and the worker's reusable state is
+// quarantined before the next scenario.
+func runOneSafe(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) (r Result) {
+	defer func() {
+		if v := recover(); v != nil {
+			r = Result{Name: nameOf(sc), Err: &PanicError{Value: v, Stack: debug.Stack()}}
+			w.quarantine()
+		}
+	}()
+	return runOne(baseline, sc, w, cfg)
 }
 
 // runOne evaluates a single scenario with the worker-owned state.
@@ -331,7 +467,14 @@ func runOne(baseline *core.Graph, sc *Scenario, w *worker, cfg *config) Result {
 		}
 	}
 
-	simOpts := make([]core.SimOption, 0, len(sc.SimOptions)+3)
+	simOpts := make([]core.SimOption, 0, len(sc.SimOptions)+4)
+	// The sweep's context rides into every simulation tier, so an
+	// in-flight scenario aborts at the next periodic check — last in
+	// precedence order would not matter, but appending it first keeps a
+	// scenario-supplied WithContext (via SimOptions) authoritative.
+	if cfg.ctx != nil {
+		simOpts = append(simOpts, core.WithContext(cfg.ctx))
+	}
 	// An optimization carrying its own scheduling policy (vDNN's
 	// delayed-prefetch ordering) supplies it first, so an explicit
 	// WithScheduler in the scenario's SimOptions still wins.

@@ -1,0 +1,30 @@
+package trace
+
+import "errors"
+
+// Error taxonomy for trace ingestion. ReadJSON and Validate wrap every
+// rejection of untrusted input in one of these sentinels, so callers
+// classify failures with errors.Is instead of string matching —
+// the same contract internal/core gives simulation errors.
+var (
+	// ErrMalformed marks bytes that do not decode as a trace at all:
+	// invalid JSON, or JSON whose values do not fit the schema (NaN,
+	// Inf and fractional timestamps land here — time fields are integer
+	// nanoseconds, so no non-finite value survives decoding).
+	ErrMalformed = errors.New("trace: malformed trace")
+	// ErrNegativeTime marks an activity with a negative start or
+	// duration.
+	ErrNegativeTime = errors.New("trace: negative time")
+	// ErrTimeOverflow marks an activity whose start+duration overflows
+	// the time axis — a "valid" record that would wrap to a negative
+	// end time and corrupt every downstream interval computation.
+	ErrTimeOverflow = errors.New("trace: time overflow")
+	// ErrDuplicateID marks two activities sharing a record ID.
+	ErrDuplicateID = errors.New("trace: duplicate activity ID")
+	// ErrBadCorrelation marks a correlation ID that does not pair
+	// exactly one CPU-side API record with exactly one GPU-side record,
+	// or a correlation carried by a record kind that can have none.
+	ErrBadCorrelation = errors.New("trace: bad correlation")
+	// ErrSpanInverted marks a layer span whose End precedes its Start.
+	ErrSpanInverted = errors.New("trace: inverted layer span")
+)

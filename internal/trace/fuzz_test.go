@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceJSON proves the decoder's robustness contract: arbitrary
+// bytes fed to ReadJSON produce either a valid trace or a typed error —
+// never a panic, and never a trace that fails its own Validate. Accepted
+// traces must also round-trip through WriteJSON/ReadJSON.
+//
+// The seed corpus under testdata/fuzz/FuzzTraceJSON (plus the f.Add
+// seeds below) runs as a plain regression on every `go test`; `go test
+// -fuzz=FuzzTraceJSON` explores beyond it.
+func FuzzTraceJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"model":"m","activities":[{"id":1,"name":"k","kind":5,"start":0,"duration":10,"stream":7}]}`))
+	f.Add([]byte(`{"activities":[{"id":1,"duration":-5}]}`))
+	f.Add([]byte(`{"activities":[{"id":1,"start":9223372036854775807,"duration":9223372036854775807}]}`))
+	f.Add([]byte(`{"activities":[{"id":1},{"id":1}]}`))
+	f.Add([]byte(`{"activities":[{"id":1,"duration":NaN}]}`))
+	f.Add([]byte(`{"activities":[{"id":1,"duration":1.5}]}`))
+	f.Add([]byte(`{"layer_spans":[{"layer":"l","start":10,"end":3}]}`))
+	f.Add([]byte(`{"activities":[{"id":1,"kind":0,"correlation":9}]}`)) // CPU record, unmatched correlation
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			if tr != nil {
+				t.Fatalf("ReadJSON returned both a trace and error %v", err)
+			}
+			// Every rejection is classified by the taxonomy.
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrNegativeTime) &&
+				!errors.Is(err, ErrTimeOverflow) && !errors.Is(err, ErrDuplicateID) &&
+				!errors.Is(err, ErrBadCorrelation) && !errors.Is(err, ErrSpanInverted) {
+				t.Fatalf("untyped rejection: %v", err)
+			}
+			return
+		}
+		// Accepted input: the trace is internally consistent and
+		// round-trips.
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("ReadJSON accepted a trace its own Validate rejects: %v", verr)
+		}
+		var buf strings.Builder
+		if werr := tr.WriteJSON(&buf); werr != nil {
+			t.Fatalf("round-trip encode failed: %v", werr)
+		}
+		if _, rerr := ReadJSON(strings.NewReader(buf.String())); rerr != nil {
+			t.Fatalf("round-trip decode failed: %v", rerr)
+		}
+	})
+}

@@ -19,12 +19,18 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 }
 
 // ReadJSON parses a trace previously written with WriteJSON and validates
-// it.
+// it. Bytes that do not decode into the schema — invalid JSON, or values
+// like NaN/Inf/fractional timestamps that cannot land in the integer
+// time fields — fail with ErrMalformed; a decodable trace that violates
+// the structural invariants fails with the Validate taxonomy
+// (ErrNegativeTime, ErrTimeOverflow, ErrDuplicateID, ErrBadCorrelation,
+// ErrSpanInverted). Arbitrary input can therefore produce an error but
+// never a panic or a half-validated trace.
 func ReadJSON(r io.Reader) (*Trace, error) {
 	var t Trace
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&t); err != nil {
-		return nil, fmt.Errorf("trace: decode: %w", err)
+		return nil, fmt.Errorf("%w: decode: %w", ErrMalformed, err)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -280,10 +281,13 @@ func (t *Trace) locations(f func(*Activity) (int, bool)) []int {
 	return ids
 }
 
-// Validate checks structural invariants of the trace: non-negative times,
-// unique IDs, correlation IDs pairing exactly one API call with exactly one
-// GPU activity, and layer spans with non-inverted intervals. It returns the
-// first violation found.
+// Validate checks structural invariants of the trace: non-negative,
+// non-overflowing times, unique IDs, correlation IDs pairing exactly one
+// API call with exactly one GPU activity, and layer spans with
+// non-inverted intervals. It returns the first violation found, wrapped
+// in the matching sentinel from the package's error taxonomy
+// (ErrNegativeTime, ErrTimeOverflow, ErrDuplicateID, ErrBadCorrelation,
+// ErrSpanInverted) so callers can classify with errors.Is.
 func (t *Trace) Validate() error {
 	ids := make(map[int]bool, len(t.Activities))
 	api := make(map[uint64]int) // correlation -> count of CPU-side records
@@ -291,10 +295,13 @@ func (t *Trace) Validate() error {
 	for i := range t.Activities {
 		a := &t.Activities[i]
 		if a.Start < 0 || a.Duration < 0 {
-			return fmt.Errorf("trace: activity %d (%s) has negative time", a.ID, a.Name)
+			return fmt.Errorf("%w: activity %d (%s) has start %v, duration %v", ErrNegativeTime, a.ID, a.Name, a.Start, a.Duration)
+		}
+		if a.Duration > math.MaxInt64-a.Start {
+			return fmt.Errorf("%w: activity %d (%s) ends past the time axis (start %v + duration %v)", ErrTimeOverflow, a.ID, a.Name, a.Start, a.Duration)
 		}
 		if ids[a.ID] {
-			return fmt.Errorf("trace: duplicate activity ID %d", a.ID)
+			return fmt.Errorf("%w: activity ID %d", ErrDuplicateID, a.ID)
 		}
 		ids[a.ID] = true
 		if a.Correlation != 0 {
@@ -304,24 +311,27 @@ func (t *Trace) Validate() error {
 			case a.Kind.OnGPU():
 				gpu[a.Correlation]++
 			default:
-				return fmt.Errorf("trace: activity %d (%s) of kind %s carries a correlation ID", a.ID, a.Name, a.Kind)
+				return fmt.Errorf("%w: activity %d (%s) of kind %s carries a correlation ID", ErrBadCorrelation, a.ID, a.Name, a.Kind)
 			}
 		}
 	}
 	for c, n := range api {
 		if n != 1 || gpu[c] != 1 {
-			return fmt.Errorf("trace: correlation %d pairs %d API records with %d GPU records; want 1 and 1", c, n, gpu[c])
+			return fmt.Errorf("%w: correlation %d pairs %d API records with %d GPU records; want 1 and 1", ErrBadCorrelation, c, n, gpu[c])
 		}
 	}
 	for c, n := range gpu {
 		if api[c] != 1 {
-			return fmt.Errorf("trace: correlation %d pairs %d API records with %d GPU records; want 1 and 1", c, api[c], n)
+			return fmt.Errorf("%w: correlation %d pairs %d API records with %d GPU records; want 1 and 1", ErrBadCorrelation, c, api[c], n)
 		}
 	}
 	for i := range t.LayerSpans {
 		s := &t.LayerSpans[i]
+		if s.Start < 0 {
+			return fmt.Errorf("%w: layer span %q %s starts at %v", ErrNegativeTime, s.Layer, s.Phase, s.Start)
+		}
 		if s.End < s.Start {
-			return fmt.Errorf("trace: layer span %q %s has End < Start", s.Layer, s.Phase)
+			return fmt.Errorf("%w: layer span %q %s has End %v < Start %v", ErrSpanInverted, s.Layer, s.Phase, s.End, s.Start)
 		}
 	}
 	return nil
