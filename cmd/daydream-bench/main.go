@@ -9,6 +9,7 @@
 //	daydream-bench -run fig8               # run experiments whose ID contains "fig8"
 //	daydream-bench -micro                  # pipeline micro-benchmarks → BENCH.json
 //	daydream-bench -micro -against BENCH.json  # …and fail on >25% regression
+//	daydream-bench -serve                  # HTTP serving load harness (qps, P50/P99)
 //
 // With -micro, the pipeline stages (trace collection, graph construction,
 // simulation, clone, AMP transform, clone-path, overlay-path and
@@ -31,6 +32,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -55,8 +57,19 @@ func main() {
 	against := flag.String("against", "", "baseline BENCH.json to compare -micro results to (fails on regression)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression vs -against before failing")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); expiry surfaces as a typed cancellation error")
+	serveLoad := flag.Bool("serve", false, "run the HTTP serving load harness over localhost and report qps with P50/P99")
+	serveModel := flag.String("serve-model", "bert-large", "workload profiled for -serve")
+	serveClients := flag.Int("serve-clients", 4, "closed-loop client goroutines for -serve")
+	servePhase := flag.Duration("serve-phase", 3*time.Second, "duration of each -serve phase")
 	flag.Parse()
 
+	if *serveLoad {
+		if err := runServeLoad(*serveModel, *serveClients, *servePhase); err != nil {
+			fmt.Fprintln(os.Stderr, "daydream-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
@@ -190,6 +203,18 @@ func runMicro(path, against string, tolerance float64, timeout time.Duration) er
 		}
 	}
 	layerScenarios := fig5LayerScenarios(g)
+
+	// The serving benchmarks go through a real localhost listener so
+	// BENCH.json tracks the whole request path, not just the simulator.
+	var trBuf bytes.Buffer
+	if err := tr.WriteJSON(&trBuf); err != nil {
+		return err
+	}
+	sb, err := startServeBench(trBuf.Bytes(), benchSweepWorkers)
+	if err != nil {
+		return err
+	}
+	defer sb.close()
 
 	benches := []struct {
 		name      string
@@ -391,6 +416,31 @@ func runMicro(path, against string, tolerance float64, timeout time.Duration) er
 		{"Fig8Sweep76", 76, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := sweep.Run(nil, fig8Scenarios, sweepOpts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// One HTTP predict round-trip per op — a never-seen scenario
+		// (cache miss, real simulation) vs a repeated one (cache hit) —
+		// and an 8-row sweep grid per op. scenarios/sec is requests/sec
+		// for the predicts and rows/sec for the grid.
+		{"ServePredict", 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := sb.predictUnique(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ServePredictCached", 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := sb.predictCached(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ServeSweep", sweepGridSize, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := sb.sweepGrid(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -62,6 +62,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "diagnose":
 		err = cmdDiagnose(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -86,7 +88,8 @@ commands:
   predict    apply a what-if optimization and predict the iteration time
   sweep      predict every optimization and a distributed grid concurrently
   export     convert a trace to Chrome Trace Event JSON (chrome://tracing)
-  diagnose   attribute the critical path by resource and training phase`)
+  diagnose   attribute the critical path by resource and training phase
+  serve      run the long-lived HTTP prediction service`)
 }
 
 func cmdTrace(args []string) error {
@@ -126,12 +129,7 @@ func loadGraph(path string) (*trace.Trace, *daydream.Graph, error) {
 		return nil, nil, err
 	}
 	defer f.Close()
-	tr, err := trace.ReadJSON(f)
-	if err != nil {
-		return nil, nil, err
-	}
-	g, err := daydream.BuildGraph(tr)
-	return tr, g, err
+	return daydream.LoadGraph(f)
 }
 
 func cmdGraph(args []string) error {
@@ -180,12 +178,7 @@ func cmdBreakdown(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := os.Open(*path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	tr, err := trace.ReadJSON(f)
+	tr, _, err := loadGraph(*path)
 	if err != nil {
 		return err
 	}
@@ -501,12 +494,7 @@ func cmdExport(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := os.Open(*path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	tr, err := trace.ReadJSON(f)
+	tr, _, err := loadGraph(*path)
 	if err != nil {
 		return err
 	}

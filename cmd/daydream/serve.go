@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"daydream"
+)
+
+// cmdServe runs the long-lived prediction service until SIGINT/SIGTERM,
+// then drains: the HTTP listener stops accepting, in-flight requests
+// and simulations finish (up to -grace), and the process exits 0 on a
+// clean drain.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth beyond running workers (0 = 4x workers)")
+	maxBaselines := fs.Int("max-baselines", 0, "baseline registry bound (0 = 8)")
+	cacheEntries := fs.Int("cache", 0, "prediction cache entries (0 = 1024)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-simulation deadline (0 = 30s)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := daydream.NewServer(daydream.ServeConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxBaselines:   *maxBaselines,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *reqTimeout,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("daydream serve: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("daydream serve: draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop the listener and let in-flight handlers return first, then
+	// drain the simulations they may have left running (coalesced
+	// computations outlive their requesters).
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http drain: %w", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("simulation drain: %w", err)
+	}
+	fmt.Println("daydream serve: drained cleanly")
+	return nil
+}

@@ -3,6 +3,7 @@ package daydream
 import (
 	"context"
 	"fmt"
+	"io"
 	"reflect"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"daydream/internal/core"
 	"daydream/internal/dnn"
 	"daydream/internal/framework"
+	"daydream/internal/serve"
 	"daydream/internal/sweep"
 	"daydream/internal/trace"
 	"daydream/internal/whatif"
@@ -248,6 +250,31 @@ func SweepKeepGraphs() SweepOption { return sweep.KeepGraphs() }
 // SweepKeepSims retains each scenario's simulation result.
 func SweepKeepSims() SweepOption { return sweep.KeepSims() }
 
+// SweepPool keeps warm sweep workers (scratch, patch, incremental
+// state) alive between Run calls, so a recurring baseline's timing-only
+// scenarios ride the incremental tier from the first row of every call
+// instead of paying a cold warm-up per call. Safe for concurrent use;
+// the serve subsystem answers every request through one.
+type SweepPool = sweep.Pool
+
+// NewSweepPool builds a pool keeping at most maxIdle warm workers
+// (values below 1 select GOMAXPROCS).
+func NewSweepPool(maxIdle int) *SweepPool { return sweep.NewPool(maxIdle) }
+
+// Server is the long-lived prediction service: an HTTP JSON API over
+// the trace→graph→simulate pipeline with a concurrent baseline
+// registry, result caching, single-flight coalescing, admission
+// control and graceful drain. See internal/serve's package
+// documentation for the endpoint list and concurrency contract.
+type Server = serve.Server
+
+// ServeConfig tunes a Server; the zero value gets production defaults.
+type ServeConfig = serve.Config
+
+// NewServer builds a prediction server. Mount its Handler on an
+// http.Server and stop it with Shutdown.
+func NewServer(cfg ServeConfig) *Server { return serve.NewServer(cfg) }
+
 // CollectConfig configures trace collection on the synthetic substrate.
 type CollectConfig struct {
 	// Model is a zoo name: resnet50, vgg19, densenet121, gnmt,
@@ -328,6 +355,16 @@ func BuildGraph(t *Trace) (*Graph, error) {
 	}
 	core.MapLayers(g, t.LayerSpans)
 	return g, nil
+}
+
+// LoadGraph reads a JSON trace from r and builds its dependency graph —
+// phases 1–2 of Daydream's workflow in one call. It is the canonical
+// trace-bytes-to-graph path shared by both CLIs and the serve
+// subsystem's baseline-upload endpoint, so trace ingestion and its
+// typed error taxonomy (ErrMalformed and friends) cannot drift between
+// entry points.
+func LoadGraph(r io.Reader) (*Trace, *Graph, error) {
+	return core.LoadGraph(r)
 }
 
 // ModelByName builds a zoo model at its default batch size.

@@ -1,0 +1,147 @@
+// Serve client: drive the long-lived prediction service over HTTP —
+// upload a profiled baseline, ask what-if questions against it, sweep a
+// grid, and pull the critical-path diagnosis, all with plain JSON
+// requests.
+//
+// By default the example is self-contained: it starts an in-process
+// server on a loopback port, so it runs standalone. Point -addr at an
+// already-running `daydream serve` to use that instead.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"daydream"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running daydream serve (default: self-hosted)")
+	model := flag.String("model", "resnet50", "model to profile for the baseline upload")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		// Self-host: the same server the daydream serve command runs,
+		// mounted on a loopback listener.
+		srv := daydream.NewServer(daydream.ServeConfig{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("self-hosted daydream serve on %s\n", base)
+	}
+
+	// Phase 1: profile one iteration and upload the trace. The baseline
+	// ID is derived from the trace bytes, so re-uploading the same
+	// profile is an idempotent no-op.
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: *model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		log.Fatal(err)
+	}
+	var up struct {
+		ID         string `json:"id"`
+		Created    bool   `json:"created"`
+		Tasks      int    `json:"tasks"`
+		BaselineNS int64  `json:"baseline_ns"`
+	}
+	post(base+"/v1/baselines", buf.Bytes(), &up)
+	fmt.Printf("baseline %s (created=%v): %d tasks, iteration %v\n",
+		up.ID, up.Created, up.Tasks, time.Duration(up.BaselineNS))
+
+	// Phase 2: one prediction. The opt expression is the same stack
+	// syntax the CLI uses; params carry optimization knobs.
+	var pr struct {
+		PredictedNS int64   `json:"predicted_ns"`
+		ChangePct   float64 `json:"change_pct"`
+		Tier        string  `json:"tier"`
+		Cached      bool    `json:"cached"`
+	}
+	post(base+"/v1/baselines/"+up.ID+"/predict",
+		[]byte(`{"opt":"amp+fusedadam"}`), &pr)
+	fmt.Printf("amp+fusedadam: %v (%.1f%% change, tier=%s, cached=%v)\n",
+		time.Duration(pr.PredictedNS), pr.ChangePct, pr.Tier, pr.Cached)
+
+	// Phase 3: a grid in one request. Rows that fail report a typed
+	// error without failing the sweep.
+	var sw struct {
+		Rows []struct {
+			Opt         string  `json:"opt"`
+			PredictedNS int64   `json:"predicted_ns"`
+			ChangePct   float64 `json:"change_pct"`
+			Tier        string  `json:"tier"`
+			ErrorKind   string  `json:"error_kind,omitempty"`
+		} `json:"rows"`
+	}
+	post(base+"/v1/baselines/"+up.ID+"/sweep",
+		[]byte(`{"opts":["amp","fusedadam","scale"],"params":{"scale_target":"sgemm","scale_factor":0.5}}`), &sw)
+	for _, row := range sw.Rows {
+		if row.ErrorKind != "" {
+			fmt.Printf("sweep %-12s failed: %s\n", row.Opt, row.ErrorKind)
+			continue
+		}
+		fmt.Printf("sweep %-12s %v (%.1f%%, tier=%s)\n",
+			row.Opt, time.Duration(row.PredictedNS), row.ChangePct, row.Tier)
+	}
+
+	// Phase 4: where does the time go on the critical path?
+	var diag struct {
+		PathTasks int `json:"path_tasks"`
+		ByKind    []struct {
+			Label  string  `json:"label"`
+			TimeNS int64   `json:"time_ns"`
+			Pct    float64 `json:"pct"`
+		} `json:"by_kind"`
+	}
+	get(base+"/v1/baselines/"+up.ID+"/diagnose", &diag)
+	fmt.Printf("critical path: %d tasks\n", diag.PathTasks)
+	for _, a := range diag.ByKind {
+		fmt.Printf("  %-24s %10v  %5.1f%%\n", a.Label, time.Duration(a.TimeNS), a.Pct)
+	}
+}
+
+// post sends a JSON body and decodes the JSON response into out,
+// failing loudly on any non-200 status.
+func post(url string, body []byte, out any) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, url, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, url, out)
+}
+
+func decode(resp *http.Response, url string, out any) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: status %d: %s", url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatalf("%s: %v", url, err)
+	}
+}

@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"daydream/internal/serve"
+)
+
+// TestServeSurvivesCorruptUploads feeds every corrupt trace in the
+// chaos corpus through the HTTP surface. Contract: each upload is
+// rejected with a client-class status and a machine-readable kind, the
+// server stays healthy throughout, and — the part a long-lived service
+// lives or dies by — no goroutine leaks across the whole barrage.
+func TestServeSurvivesCorruptUploads(t *testing.T) {
+	srv := serve.NewServer(serve.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// Let httptest's listener goroutine settle before baselining.
+	if resp, err := http.Get(hs.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	before := Goroutines()
+
+	for _, ct := range CorruptTraces() {
+		t.Run(ct.Name, func(t *testing.T) {
+			resp, err := http.Post(hs.URL+"/v1/baselines", "application/json", bytes.NewReader(ct.JSON))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+				t.Fatalf("corrupt trace %q: status %d, want 4xx; body %s", ct.Name, resp.StatusCode, body)
+			}
+			var ae struct {
+				Error string `json:"error"`
+				Kind  string `json:"kind"`
+			}
+			if err := json.Unmarshal(body, &ae); err != nil {
+				t.Fatalf("rejection body %q is not the JSON error shape: %v", body, err)
+			}
+			if ae.Kind == "" || ae.Kind == "internal" || ae.Error == "" {
+				t.Fatalf("corrupt trace %q: untyped rejection %+v", ct.Name, ae)
+			}
+		})
+	}
+
+	// The barrage must not have wedged the server...
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server unhealthy after corrupt uploads: %d", resp.StatusCode)
+	}
+
+	// ...or leaked a single goroutine (idle keep-alive conns are closed
+	// before settling so only a real leak can fail this).
+	http.DefaultClient.CloseIdleConnections()
+	if n := SettledGoroutines(before); n > before {
+		t.Fatalf("goroutine leak: %d before corrupt uploads, %d after", before, n)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+}

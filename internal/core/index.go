@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"daydream/internal/trace"
@@ -37,6 +38,10 @@ type LayerPhaseIndex struct {
 	gpu        []*Task
 	gpuCompute []bool
 	wuGPU      []*Task
+
+	// nameMatch memoizes GPUTasksMatching scans; nameMatchN bounds it.
+	nameMatch  sync.Map
+	nameMatchN atomic.Int32
 }
 
 // LayerPhaseIndex returns the graph's memoized layer/phase index,
@@ -164,6 +169,36 @@ func (ix *LayerPhaseIndex) EarliestWeightUpdate() *Task { return ix.earliestWU }
 // GPUTasks returns every GPU task in creation order. The slice is
 // shared: callers must not modify it.
 func (ix *LayerPhaseIndex) GPUTasks() []*Task { return ix.gpu }
+
+// nameMatchCap bounds the GPUTasksMatching memo so an adversarial
+// stream of distinct substrings (e.g. untrusted what-if requests to a
+// long-lived service) cannot grow the index without bound. Past the
+// cap, lookups still work — they just rescan.
+const nameMatchCap = 512
+
+// GPUTasksMatching returns every GPU task whose name contains sub, in
+// creation order, memoizing the result per substring. Repeatedly
+// evaluating the same kernel target at different factors — the common
+// shape of a COZ-style serving workload — otherwise pays an O(tasks)
+// name scan per query that dwarfs the sub-millisecond simulation
+// itself. The returned slice is shared: callers must not modify it.
+// Safe for concurrent use.
+func (ix *LayerPhaseIndex) GPUTasksMatching(sub string) []*Task {
+	if v, ok := ix.nameMatch.Load(sub); ok {
+		return v.([]*Task)
+	}
+	match := NameContains(sub)
+	var out []*Task
+	for _, t := range ix.gpu {
+		if match(t) {
+			out = append(out, t)
+		}
+	}
+	if ix.nameMatchN.Add(1) <= nameMatchCap {
+		ix.nameMatch.Store(sub, out)
+	}
+	return out
+}
 
 // GPUComputeBound returns, parallel to GPUTasks, whether each GPU task
 // is compute-intensive under the paper's Algorithm-3 name convention

@@ -155,3 +155,52 @@ func TestLayerPhaseIndexConcurrentBuild(t *testing.T) {
 		}
 	}
 }
+
+// TestGPUTasksMatching checks the memoized substring match against the
+// naive predicate scan, the shared-slice identity of a memo hit, and
+// concurrent lookups under varied substrings.
+func TestGPUTasksMatching(t *testing.T) {
+	g := modelGraph(t, "resnet50")
+	ix := g.LayerPhaseIndex()
+
+	subs := []string{"conv", "sgemm", "", "no-such-kernel-name"}
+	for _, sub := range subs {
+		got := ix.GPUTasksMatching(sub)
+		match := NameContains(sub)
+		var want []*Task
+		for _, u := range ix.GPUTasks() {
+			if match(u) {
+				want = append(want, u)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("GPUTasksMatching(%q): %d tasks, naive scan found %d", sub, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("GPUTasksMatching(%q): task %d differs from naive scan", sub, i)
+			}
+		}
+		// A repeat lookup must serve the memoized slice, not rescan.
+		again := ix.GPUTasksMatching(sub)
+		if len(again) > 0 && &again[0] != &got[0] {
+			t.Fatalf("GPUTasksMatching(%q): repeat lookup rebuilt the slice", sub)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub := subs[(w+i)%len(subs)]
+				if got := ix.GPUTasksMatching(sub); len(got) != len(ix.GPUTasksMatching(sub)) {
+					t.Errorf("concurrent GPUTasksMatching(%q) disagreed with itself", sub)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"io"
+
+	"daydream/internal/trace"
+)
+
+// LoadGraph reads a trace from r and builds its kernel-granularity
+// dependency graph with the synchronization-free task-to-layer mapping
+// applied — the canonical trace-bytes-to-graph path. The public
+// daydream.LoadGraph helper, both CLIs and the serve subsystem's
+// baseline-upload endpoint all run through this one function, so trace
+// ingestion (and its typed error taxonomy) cannot drift between entry
+// points. Errors come straight from trace.ReadJSON (trace.ErrMalformed
+// and friends) or from graph construction.
+func LoadGraph(r io.Reader) (*trace.Trace, *Graph, error) {
+	tr, err := trace.ReadJSON(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := Build(tr)
+	if err != nil {
+		return tr, nil, err
+	}
+	MapLayers(g, tr.LayerSpans)
+	return tr, g, nil
+}

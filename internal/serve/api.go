@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"daydream/internal/comm"
+	"daydream/internal/whatif"
+)
+
+// Params carries the optimization parameters of a predict/sweep request
+// in JSON form. Zero-valued fields are simply not read; each registry
+// entry documents what it needs (GET /statsz does not list them — the
+// `daydream sweep -opt help` text does).
+type Params struct {
+	// Machines × GPUsPerMachine at GbpsNIC describe the cluster for the
+	// distributed and p3 what-ifs, with the paper's PCIe intra-machine
+	// defaults.
+	Machines       int     `json:"machines,omitempty"`
+	GPUsPerMachine int     `json:"gpus_per_machine,omitempty"`
+	GbpsNIC        float64 `json:"gbps_nic,omitempty"`
+	// SliceBytes is the P3 slice size (0 = 800 KB default, <0 = FIFO).
+	SliceBytes int64 `json:"slice_bytes,omitempty"`
+	// FromDevice/ToDevice name accelerators for the upgrade what-if.
+	FromDevice string `json:"from_device,omitempty"`
+	ToDevice   string `json:"to_device,omitempty"`
+	// ProfileNS carries externally measured kernel durations in
+	// nanoseconds (kprofile).
+	ProfileNS map[string]int64 `json:"profile_ns,omitempty"`
+	// ScaleTarget/ScaleFactor drive the COZ-style scale what-if.
+	ScaleTarget string  `json:"scale_target,omitempty"`
+	ScaleFactor float64 `json:"scale_factor,omitempty"`
+	// Rounds is the P3 steady-state iteration count.
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// optParams converts the JSON form into registry parameters.
+func (p *Params) optParams() whatif.OptParams {
+	if p == nil {
+		return whatif.OptParams{}
+	}
+	op := whatif.OptParams{
+		SliceBytes:  p.SliceBytes,
+		FromDevice:  p.FromDevice,
+		ToDevice:    p.ToDevice,
+		ScaleTarget: p.ScaleTarget,
+		ScaleFactor: p.ScaleFactor,
+		Rounds:      p.Rounds,
+	}
+	if p.Machines > 0 && p.GPUsPerMachine > 0 {
+		// Mirror daydream.NewTopology's paper-evaluation defaults.
+		op.Topology = comm.Topology{
+			Machines:       p.Machines,
+			GPUsPerMachine: p.GPUsPerMachine,
+			NICBandwidth:   comm.Gbps(p.GbpsNIC),
+			IntraBandwidth: 11e9,
+			StepLatency:    15 * time.Microsecond,
+		}
+	}
+	if len(p.ProfileNS) > 0 {
+		prof := make(whatif.KernelProfile, len(p.ProfileNS))
+		for k, ns := range p.ProfileNS {
+			prof[k] = time.Duration(ns)
+		}
+		op.Profile = prof
+	}
+	return op
+}
+
+// canon renders the parameters into a canonical cache-key fragment:
+// field-ordered, map keys sorted, zero values included (they are part
+// of the meaning — scale_factor 0 vs 1 differ).
+func (p *Params) canon() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "m=%d,g=%d,nic=%g,slice=%d,from=%s,to=%s,target=%s,factor=%g,rounds=%d",
+		p.Machines, p.GPUsPerMachine, p.GbpsNIC, p.SliceBytes,
+		p.FromDevice, p.ToDevice, p.ScaleTarget, p.ScaleFactor, p.Rounds)
+	if len(p.ProfileNS) > 0 {
+		keys := make([]string, 0, len(p.ProfileNS))
+		for k := range p.ProfileNS {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, ",prof[%s]=%d", k, p.ProfileNS[k])
+		}
+	}
+	return b.String()
+}
+
+// canonStack normalizes an opt-stack expression for cache keys: spaces
+// trimmed per element, order preserved (stacks compose in expression
+// order, so "amp+fusedadam" and "fusedadam+amp" are distinct keys).
+func canonStack(expr string) string {
+	parts := strings.Split(expr, "+")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+	}
+	return strings.Join(parts, "+")
+}
+
+// UploadResponse answers POST /v1/baselines.
+type UploadResponse struct {
+	ID         string `json:"id"`
+	Created    bool   `json:"created"`
+	Model      string `json:"model"`
+	Device     string `json:"device"`
+	Tasks      int    `json:"tasks"`
+	Edges      int    `json:"edges"`
+	BaselineNS int64  `json:"baseline_ns"`
+}
+
+// PredictRequest is the body of POST /v1/baselines/{id}/predict.
+type PredictRequest struct {
+	// Opt is an opt-stack expression resolved by whatif.ParseStack
+	// ("amp", "amp+fusedadam", ...).
+	Opt string `json:"opt"`
+	// Params supplies the parameters the stack's elements need.
+	Params *Params `json:"params,omitempty"`
+	// Timeout optionally caps this request's simulation time (a Go
+	// duration string, e.g. "250ms"); the server's RequestTimeout
+	// still applies as the ceiling.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// PredictResponse answers a predict request.
+type PredictResponse struct {
+	ID          string  `json:"id"`
+	Opt         string  `json:"opt"`
+	PredictedNS int64   `json:"predicted_ns"`
+	BaselineNS  int64   `json:"baseline_ns"`
+	ChangePct   float64 `json:"change_pct"`
+	// Tier is the dispatch tier the simulation rode (sweep.Tier*).
+	Tier string `json:"tier"`
+	// Cached marks a result served from the prediction cache;
+	// Coalesced marks one shared with an identical in-flight request.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+}
+
+// SweepRequest is the body of POST /v1/baselines/{id}/sweep: a grid of
+// opt-stack expressions sharing one parameter set.
+type SweepRequest struct {
+	Opts    []string `json:"opts"`
+	Params  *Params  `json:"params,omitempty"`
+	Timeout string   `json:"timeout,omitempty"`
+}
+
+// SweepRow is one grid row's outcome. Rows fail independently: a row
+// error carries the taxonomy kind while the rest of the grid stands.
+type SweepRow struct {
+	Opt         string  `json:"opt"`
+	PredictedNS int64   `json:"predicted_ns,omitempty"`
+	ChangePct   float64 `json:"change_pct,omitempty"`
+	Tier        string  `json:"tier,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	ErrorKind   string  `json:"error_kind,omitempty"`
+}
+
+// SweepResponse answers a sweep request.
+type SweepResponse struct {
+	ID         string     `json:"id"`
+	BaselineNS int64      `json:"baseline_ns"`
+	Rows       []SweepRow `json:"rows"`
+}
+
+// Attribution is one critical-path attribution bucket.
+type Attribution struct {
+	Label  string  `json:"label"`
+	TimeNS int64   `json:"time_ns"`
+	Tasks  int     `json:"tasks"`
+	Pct    float64 `json:"pct"`
+}
+
+// DiagnoseResponse answers GET /v1/baselines/{id}/diagnose.
+type DiagnoseResponse struct {
+	ID         string        `json:"id"`
+	Model      string        `json:"model"`
+	BaselineNS int64         `json:"baseline_ns"`
+	PathTasks  int           `json:"path_tasks"`
+	ByKind     []Attribution `json:"by_kind"`
+	ByPhase    []Attribution `json:"by_phase"`
+}

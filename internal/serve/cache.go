@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// outcome is a completed prediction: what the cache stores and what
+// single-flight waiters share.
+type outcome struct {
+	value time.Duration
+	tier  string
+}
+
+// resultCache is a bounded LRU over completed predictions, keyed by
+// (baseline ID, canonical stack, canonical params, timeout). Only
+// successes are stored — errors are cheap to reproduce and must not
+// shadow a later fix (e.g. a re-uploaded device profile).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	out outcome
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, max),
+	}
+}
+
+func (c *resultCache) get(key string) (outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return outcome{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+func (c *resultCache) put(key string, out outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).out = out
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, out: out})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// call is one in-flight single-flight computation. The leader closes
+// done exactly once; waiters read out/err only after done.
+type call struct {
+	done chan struct{}
+	out  outcome
+	err  error
+}
+
+// flightGroup coalesces concurrent identical predictions: the first
+// requester becomes the leader and computes; the rest wait on the same
+// call. The leader's computation runs under the server's base context,
+// not any one request's — a waiter hanging up never kills the shared
+// result the others are waiting for.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*call)}
+}
+
+// join returns the in-flight call for key, creating it (leader=true)
+// when none exists.
+func (g *flightGroup) join(key string) (c *call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &call{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result and removes the key so the next
+// identical request starts fresh (on success it will hit the cache
+// instead).
+func (g *flightGroup) finish(key string, c *call, out outcome, err error) {
+	c.out, c.err = out, err
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}

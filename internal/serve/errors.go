@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"daydream/internal/core"
+	"daydream/internal/sweep"
+	"daydream/internal/trace"
+)
+
+// Sentinel errors for service-level conditions (everything else arrives
+// carrying the core/trace taxonomy).
+var (
+	// ErrOverloaded reports that the admission queue is full.
+	ErrOverloaded = errors.New("serve: overloaded, queue full")
+	// ErrDraining reports that the server is shutting down.
+	ErrDraining = errors.New("serve: draining, not accepting work")
+	// ErrUnknownBaseline reports a baseline ID not in the registry.
+	ErrUnknownBaseline = errors.New("serve: unknown baseline")
+)
+
+// apiError is the JSON error body: a human-readable message plus a
+// stable machine-readable kind, so clients can branch without parsing
+// prose.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// badRequest wraps a request-shape error (bad JSON, bad expression,
+// bad parameter) so classify maps it to 400 without guessing from
+// message text.
+type badRequest struct{ err error }
+
+func (e *badRequest) Error() string { return e.err.Error() }
+func (e *badRequest) Unwrap() error { return e.err }
+
+// classify maps an error onto its HTTP status and taxonomy kind. The
+// kind strings are part of the API: tests and clients match on them.
+func classify(err error) (status int, kind string) {
+	var br *badRequest
+	switch {
+	// Service-level conditions.
+	case errors.Is(err, ErrUnknownBaseline):
+		return http.StatusNotFound, "unknown-baseline"
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+
+	// Trace taxonomy: the client's bytes were bad → 400.
+	case errors.Is(err, trace.ErrMalformed):
+		return http.StatusBadRequest, "malformed-trace"
+	case errors.Is(err, trace.ErrNegativeTime):
+		return http.StatusBadRequest, "negative-time"
+	case errors.Is(err, trace.ErrTimeOverflow):
+		return http.StatusBadRequest, "time-overflow"
+	case errors.Is(err, trace.ErrDuplicateID):
+		return http.StatusBadRequest, "duplicate-id"
+	case errors.Is(err, trace.ErrBadCorrelation):
+		return http.StatusBadRequest, "bad-correlation"
+	case errors.Is(err, trace.ErrSpanInverted):
+		return http.StatusBadRequest, "span-inverted"
+
+	// Graph taxonomy: the trace parsed but violates a simulation
+	// invariant → 422 (well-formed, semantically unprocessable).
+	case errors.Is(err, core.ErrCycle):
+		return http.StatusUnprocessableEntity, "cycle"
+	case errors.Is(err, core.ErrDanglingEdge):
+		return http.StatusUnprocessableEntity, "dangling-edge"
+	case errors.Is(err, core.ErrNegativeDuration):
+		return http.StatusUnprocessableEntity, "negative-duration"
+	case errors.Is(err, core.ErrStalled):
+		return http.StatusUnprocessableEntity, "stalled"
+
+	// Cancellation taxonomy.
+	case errors.Is(err, core.ErrDeadlineExceeded),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, core.ErrCanceled),
+		errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "canceled"
+
+	// Isolated panic: one 500, server stays up.
+	case errors.Is(err, sweep.ErrPanic):
+		return http.StatusInternalServerError, "panic"
+
+	case errors.As(err, &br):
+		return http.StatusBadRequest, "bad-request"
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge, "too-large"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// writeError renders err as the service's JSON error body.
+func writeError(w http.ResponseWriter, err error) {
+	status, kind := classify(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: err.Error(), Kind: kind})
+}
+
+// writeJSON renders v with a 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/sweep"
+	"daydream/internal/whatif"
+)
+
+// handlerFunc is a handler that reports failure as an error; wrap maps
+// it onto the HTTP taxonomy and records latency.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/baselines", s.wrap("upload", s.handleUpload))
+	mux.HandleFunc("POST /v1/baselines/{id}/predict", s.wrap("predict", s.handlePredict))
+	mux.HandleFunc("POST /v1/baselines/{id}/sweep", s.wrap("sweep", s.handleSweep))
+	mux.HandleFunc("GET /v1/baselines/{id}/diagnose", s.wrap("diagnose", s.handleDiagnose))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+func (s *Server) wrap(name string, h handlerFunc) http.HandlerFunc {
+	ep := s.stats.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeError(w, ErrDraining)
+			return
+		}
+		start := time.Now()
+		err := h(w, r)
+		if err != nil {
+			writeError(w, err)
+		}
+		ep.record(time.Since(start), err != nil)
+	}
+}
+
+// handleUpload ingests a trace: content-addressed dedupe, then the
+// canonical LoadGraph path, validation, one baseline simulation (kept
+// for diagnose), and layer-index memoization — all before publication,
+// so every later request reads a fully-built immutable baseline.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(data)
+	id := "b" + hex.EncodeToString(sum[:8])
+
+	// Same bytes, same ID: answer an existing baseline without
+	// rebuilding (and refresh its LRU standing).
+	if b, err := s.retain(id); err == nil {
+		defer s.releaseBaseline(b)
+		writeJSON(w, uploadResponse(b, false))
+		return nil
+	}
+
+	if !s.track() {
+		return ErrDraining
+	}
+	defer s.untrack()
+	if err := s.acquire(r.Context()); err != nil {
+		return err
+	}
+	defer s.release()
+
+	tr, g, err := core.LoadGraph(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	defer cancel()
+	res, err := g.Simulate(core.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	g.LayerPhaseIndex()
+
+	b, created := s.insert(&baseline{
+		id: id, tr: tr, g: g, res: res, baselineNS: res.Makespan,
+	})
+	writeJSON(w, uploadResponse(b, created))
+	return nil
+}
+
+func uploadResponse(b *baseline, created bool) UploadResponse {
+	return UploadResponse{
+		ID:         b.id,
+		Created:    created,
+		Model:      b.tr.Model,
+		Device:     b.tr.Device,
+		Tasks:      b.g.NumTasks(),
+		Edges:      b.g.NumEdges(),
+		BaselineNS: int64(b.baselineNS),
+	}
+}
+
+// resolveTimeout merges a request's optional Timeout field with the
+// server ceiling: a request may shorten its budget, never extend it.
+func (s *Server) resolveTimeout(field string) (time.Duration, error) {
+	timeout := s.cfg.RequestTimeout
+	if field == "" {
+		return timeout, nil
+	}
+	d, err := time.ParseDuration(field)
+	if err != nil {
+		return 0, &badRequest{err}
+	}
+	if d <= 0 {
+		return 0, &badRequest{errors.New("serve: timeout must be positive")}
+	}
+	if d < timeout {
+		timeout = d
+	}
+	return timeout, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
+	b, err := s.retain(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	defer s.releaseBaseline(b)
+
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return &badRequest{err}
+	}
+	if strings.TrimSpace(req.Opt) == "" {
+		return &badRequest{errors.New(`serve: missing "opt" expression`)}
+	}
+	timeout, err := s.resolveTimeout(req.Timeout)
+	if err != nil {
+		return err
+	}
+	opt, err := whatif.ParseStack(req.Opt, req.Params.optParams())
+	if err != nil {
+		return &badRequest{err}
+	}
+
+	stack := canonStack(req.Opt)
+	key := b.id + "|" + stack + "|" + req.Params.canon() + "|" + timeout.String()
+	resp := PredictResponse{ID: b.id, Opt: stack, BaselineNS: int64(b.baselineNS)}
+
+	if out, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
+		fillPredict(&resp, out)
+		resp.Cached = true
+		writeJSON(w, resp)
+		return nil
+	}
+	s.stats.cacheMisses.Add(1)
+
+	// Single-flight: the leader computes under the server's base
+	// context in a drain-tracked goroutine; every identical concurrent
+	// request waits on the same call. The computation is pinned to its
+	// own baseline reference so waiters hanging up cannot expose it to
+	// eviction mid-simulation.
+	c, leader := s.group.join(key)
+	if leader {
+		if !s.track() {
+			s.group.finish(key, c, outcome{}, ErrDraining)
+			return ErrDraining
+		}
+		pin, pinErr := s.retain(b.id)
+		if pinErr != nil {
+			// Unreachable while the handler's own reference pins b,
+			// but fail the call rather than trust that forever.
+			s.untrack()
+			s.group.finish(key, c, outcome{}, pinErr)
+			return pinErr
+		}
+		go func() {
+			defer s.untrack()
+			defer s.releaseBaseline(pin)
+			out, err := s.compute(pin.g, opt, timeout)
+			if err == nil {
+				s.cache.put(key, out)
+			}
+			s.group.finish(key, c, out, err)
+		}()
+	} else {
+		s.stats.coalesced.Add(1)
+	}
+
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return c.err
+		}
+		fillPredict(&resp, c.out)
+		resp.Coalesced = !leader
+		writeJSON(w, resp)
+		return nil
+	case <-r.Context().Done():
+		// The client gave up; the leader's computation (if any) keeps
+		// running under baseCtx and will still populate the cache.
+		return r.Context().Err()
+	}
+}
+
+func fillPredict(resp *PredictResponse, out outcome) {
+	resp.PredictedNS = int64(out.value)
+	resp.Tier = out.tier
+	if resp.BaselineNS > 0 {
+		resp.ChangePct = 100 * float64(resp.PredictedNS-resp.BaselineNS) / float64(resp.BaselineNS)
+	}
+}
+
+// compute runs one scenario through the shared warm pool under a fresh
+// deadline slice of the server's base context.
+func (s *Server) compute(g *core.Graph, opt core.Optimization, timeout time.Duration) (outcome, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		return outcome{}, err
+	}
+	defer s.release()
+	rows, err := s.pool.Run(g, []sweep.Scenario{{Opt: opt}},
+		sweep.Workers(1), sweep.WithContext(ctx))
+	if err != nil {
+		return outcome{}, err
+	}
+	if rows[0].Err != nil {
+		return outcome{}, rows[0].Err
+	}
+	return outcome{value: rows[0].Value, tier: rows[0].Tier}, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
+	b, err := s.retain(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	defer s.releaseBaseline(b)
+
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return &badRequest{err}
+	}
+	if len(req.Opts) == 0 {
+		return &badRequest{errors.New(`serve: missing "opts" grid`)}
+	}
+	timeout, err := s.resolveTimeout(req.Timeout)
+	if err != nil {
+		return err
+	}
+
+	// Parse the whole grid before running any of it: a misspelled
+	// expression is a client error for the request, not a row result.
+	params := req.Params.optParams()
+	scenarios := make([]sweep.Scenario, len(req.Opts))
+	for i, expr := range req.Opts {
+		opt, err := whatif.ParseStack(expr, params)
+		if err != nil {
+			return &badRequest{err}
+		}
+		scenarios[i] = sweep.Scenario{Name: canonStack(expr), Opt: opt}
+	}
+
+	if !s.track() {
+		return ErrDraining
+	}
+	defer s.untrack()
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	// A client hang-up aborts the grid — unlike coalesced predictions,
+	// a sweep has exactly one interested party.
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.release()
+
+	// One admission slot covers the grid: rows run sequentially on one
+	// warm pool worker, so a sweep costs the same concurrency budget as
+	// a predict and cone-friendly rows ride the incremental tier.
+	rows, _ := s.pool.Run(b.g, scenarios, sweep.Workers(1), sweep.WithContext(ctx))
+
+	resp := SweepResponse{ID: b.id, BaselineNS: int64(b.baselineNS)}
+	resp.Rows = make([]SweepRow, len(rows))
+	for i, row := range rows {
+		out := SweepRow{Opt: row.Name}
+		if row.Err != nil {
+			_, kind := classify(row.Err)
+			out.Error = row.Err.Error()
+			out.ErrorKind = kind
+		} else {
+			out.PredictedNS = int64(row.Value)
+			out.Tier = row.Tier
+			if resp.BaselineNS > 0 {
+				out.ChangePct = 100 * float64(out.PredictedNS-resp.BaselineNS) / float64(resp.BaselineNS)
+			}
+		}
+		resp.Rows[i] = out
+	}
+	writeJSON(w, resp)
+	return nil
+}
+
+// handleDiagnose reconstructs the baseline's critical path from the
+// schedule retained at upload and attributes it by thread kind and
+// training phase — pure reads on immutable state, so it bypasses
+// admission control entirely.
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) error {
+	b, err := s.retain(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	defer s.releaseBaseline(b)
+
+	path := core.CriticalPathView(b.g, b.res)
+	resp := DiagnoseResponse{
+		ID:         b.id,
+		Model:      b.tr.Model,
+		BaselineNS: int64(b.baselineNS),
+		PathTasks:  len(path),
+		ByKind:     attributions(b, path, core.ByThreadKind),
+		ByPhase:    attributions(b, path, core.ByPhase),
+	}
+	writeJSON(w, resp)
+	return nil
+}
+
+func attributions(b *baseline, path []*core.Task, label func(*core.Task) string) []Attribution {
+	rows := core.AttributePathSim(b.res, path, label)
+	out := make([]Attribution, len(rows))
+	for i, row := range rows {
+		out[i] = Attribution{
+			Label:  row.Label,
+			TimeNS: int64(row.Time),
+			Tasks:  row.Tasks,
+		}
+		if b.baselineNS > 0 {
+			out[i].Pct = 100 * float64(row.Time) / float64(b.baselineNS)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, ErrDraining)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.stats.cacheHits.Load(), s.stats.cacheMisses.Load()
+	resp := StatsResponse{
+		UptimeMS:     time.Since(s.stats.start).Milliseconds(),
+		Baselines:    s.numBaselines(),
+		QueueDepth:   s.queued.Load(),
+		Workers:      s.cfg.Workers,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheEntries: s.cache.len(),
+		Coalesced:    s.stats.coalesced.Load(),
+		Rejected:     s.stats.rejected.Load(),
+		Evictions:    s.stats.evictions.Load(),
+		Endpoints: map[string]EndpointSnapshot{
+			"upload":   s.stats.upload.snapshot(),
+			"predict":  s.stats.predict.snapshot(),
+			"sweep":    s.stats.sweep.snapshot(),
+			"diagnose": s.stats.diagnose.snapshot(),
+		},
+	}
+	if total := hits + misses; total > 0 {
+		resp.CacheHitRate = float64(hits) / float64(total)
+	}
+	writeJSON(w, resp)
+}

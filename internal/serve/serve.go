@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/sweep"
+	"daydream/internal/trace"
+)
+
+// Config tunes the server. The zero value is usable: every field has a
+// production default applied by NewServer.
+type Config struct {
+	// MaxBaselines bounds the registry (default 8). Idle baselines
+	// beyond the bound are evicted least-recently-used.
+	MaxBaselines int
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot beyond the
+	// Workers already running (default 4×Workers). Past it: 429.
+	QueueDepth int
+	// CacheEntries bounds the prediction result cache (default 1024).
+	CacheEntries int
+	// RequestTimeout caps any one simulation (default 30s); a request
+	// Timeout field may shorten it, never extend it.
+	RequestTimeout time.Duration
+	// MaxTraceBytes bounds an uploaded trace (default 256 MB).
+	MaxTraceBytes int64
+	// PoolIdle bounds the warm sweep workers kept between requests
+	// (default Workers) — each holds a scratch/patch/incremental set.
+	PoolIdle int
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxBaselines <= 0 {
+		c.MaxBaselines = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxTraceBytes <= 0 {
+		c.MaxTraceBytes = 256 << 20
+	}
+	if c.PoolIdle <= 0 {
+		c.PoolIdle = c.Workers
+	}
+}
+
+// baseline is one registry entry. Everything but the registry
+// bookkeeping (refs, lastUsed — guarded by Server.mu) is immutable
+// after publish and read lock-free by any number of handlers.
+type baseline struct {
+	id string
+	tr *trace.Trace
+	g  *core.Graph
+	// res is the baseline schedule, retained for diagnose; baselineNS
+	// is its makespan, the denominator of every change_pct.
+	res        *core.SimResult
+	baselineNS time.Duration
+
+	refs     int
+	lastUsed int64
+}
+
+// Server is the long-lived prediction service. Create with NewServer,
+// mount Handler on an http.Server, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	pool  *sweep.Pool
+	cache *resultCache
+	group *flightGroup
+	stats stats
+
+	// baseCtx outlives any one request; compute goroutines run under
+	// it (plus RequestTimeout) so a hung-up client cannot cancel a
+	// coalesced computation. cancel fires only at the end of Shutdown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	// Admission: sem holds Workers slots; queued counts holders plus
+	// waiters and bounds the waiting line.
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// Drain state: once draining, track() refuses new compute and
+	// handlers answer 503; Shutdown waits for inflight to hit zero.
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	mu        sync.Mutex
+	baselines map[string]*baseline
+	seq       int64
+}
+
+// NewServer builds a server with cfg (zero fields defaulted).
+func NewServer(cfg Config) *Server {
+	cfg.applyDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		pool:      sweep.NewPool(cfg.PoolIdle),
+		cache:     newResultCache(cfg.CacheEntries),
+		group:     newFlightGroup(),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		sem:       make(chan struct{}, cfg.Workers),
+		baselines: make(map[string]*baseline),
+	}
+	s.stats.start = time.Now()
+	s.mux = s.routes()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new work is refused immediately (503
+// "draining"), in-flight simulations run to completion, and once the
+// last finishes — or ctx expires — the base context is canceled so any
+// straggler aborts through core.WithContext at its next periodic
+// check. Safe to call once; the server cannot be restarted.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			s.cancel()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+	s.cancel()
+	return nil
+}
+
+// track registers one unit of in-flight compute for drain accounting.
+// The increment-then-check order closes the race with Shutdown: either
+// this call sees draining and backs out, or Shutdown's drain loop sees
+// the incremented count.
+func (s *Server) track() bool {
+	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (s *Server) untrack() { s.inflight.Add(-1) }
+
+// acquire claims a worker slot, waiting in a bounded line: beyond
+// QueueDepth waiters the request is shed with ErrOverloaded instead of
+// queueing unboundedly (admission control, not backpressure-by-hang).
+func (s *Server) acquire(ctx context.Context) error {
+	if q := s.queued.Add(1); q > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.stats.rejected.Add(1)
+		return ErrOverloaded
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	<-s.sem
+	s.queued.Add(-1)
+}
+
+// retain pins a baseline against eviction and bumps its LRU clock.
+// Callers must release exactly once.
+func (s *Server) retain(id string) (*baseline, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.baselines[id]
+	if !ok {
+		return nil, ErrUnknownBaseline
+	}
+	b.refs++
+	s.seq++
+	b.lastUsed = s.seq
+	return b, nil
+}
+
+func (s *Server) releaseBaseline(b *baseline) {
+	s.mu.Lock()
+	b.refs--
+	s.mu.Unlock()
+}
+
+// insert publishes a baseline, returning the winner and whether this
+// call created it (a concurrent identical upload loses the race
+// harmlessly — same bytes, same ID, same graph shape). Inserting past
+// MaxBaselines evicts idle entries, least-recently-used first; pinned
+// entries are skipped, so the registry can transiently exceed the
+// bound rather than evict under a live request.
+func (s *Server) insert(b *baseline) (*baseline, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.baselines[b.id]; ok {
+		return cur, false
+	}
+	s.seq++
+	b.lastUsed = s.seq
+	s.baselines[b.id] = b
+	for len(s.baselines) > s.cfg.MaxBaselines {
+		var victim *baseline
+		for _, cand := range s.baselines {
+			if cand.refs > 0 || cand == b {
+				continue
+			}
+			if victim == nil || cand.lastUsed < victim.lastUsed {
+				victim = cand
+			}
+		}
+		if victim == nil {
+			break
+		}
+		delete(s.baselines, victim.id)
+		s.stats.evictions.Add(1)
+	}
+	return b, true
+}
+
+func (s *Server) numBaselines() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.baselines)
+}

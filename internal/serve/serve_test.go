@@ -1,0 +1,467 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"daydream/internal/dnn"
+	"daydream/internal/framework"
+	"daydream/internal/whatif"
+)
+
+// traceBytes profiles a zoo model on the synthetic substrate and
+// returns its trace as JSON — what a real client would upload. Results
+// are memoized per (model, seed): collection dominates test time.
+var traceMemo sync.Map
+
+func traceBytes(t testing.TB, model string, seed uint64) []byte {
+	t.Helper()
+	key := fmt.Sprintf("%s/%d", model, seed)
+	if data, ok := traceMemo.Load(key); ok {
+		return data.([]byte)
+	}
+	m, err := dnn.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := framework.Run(framework.Config{Model: m, Seed: seed, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	traceMemo.Store(key, buf.Bytes())
+	return buf.Bytes()
+}
+
+// testServer mounts a fresh server on httptest and tears both down.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, hs
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// upload pushes a trace and returns its baseline ID.
+func upload(t *testing.T, hs *httptest.Server, trace []byte) UploadResponse {
+	t.Helper()
+	resp, body := post(t, hs.URL+"/v1/baselines", trace)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: status %d, body %s", resp.StatusCode, body)
+	}
+	var up UploadResponse
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	return up
+}
+
+func decodeErr(t *testing.T, body []byte) apiError {
+	t.Helper()
+	var ae apiError
+	if err := json.Unmarshal(body, &ae); err != nil {
+		t.Fatalf("error body %q is not the JSON error shape: %v", body, err)
+	}
+	return ae
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	srv, hs := testServer(t, Config{})
+	tr := traceBytes(t, "resnet50", 1)
+
+	up := upload(t, hs, tr)
+	if !up.Created || up.ID == "" || up.Tasks == 0 || up.BaselineNS <= 0 {
+		t.Fatalf("bad upload response: %+v", up)
+	}
+
+	// Same bytes → same ID, no rebuild.
+	again := upload(t, hs, tr)
+	if again.Created || again.ID != up.ID {
+		t.Fatalf("re-upload: got %+v, want existing %s", again, up.ID)
+	}
+
+	// Predict, then hit the cache with the identical request.
+	predictURL := hs.URL + "/v1/baselines/" + up.ID + "/predict"
+	req := []byte(`{"opt":"amp"}`)
+	resp, body := post(t, predictURL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d, body %s", resp.StatusCode, body)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.PredictedNS <= 0 || pr.Tier == "" || pr.Cached {
+		t.Fatalf("bad predict response: %+v", pr)
+	}
+	if pr.ChangePct >= 0 {
+		t.Fatalf("amp should speed resnet50 up, got change %+.2f%%", pr.ChangePct)
+	}
+
+	resp, body = post(t, predictURL, req)
+	var cached PredictResponse
+	if err := json.Unmarshal(body, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !cached.Cached {
+		t.Fatalf("repeat predict not cached: status %d, %+v", resp.StatusCode, cached)
+	}
+	if cached.PredictedNS != pr.PredictedNS {
+		t.Fatalf("cached prediction %d != original %d", cached.PredictedNS, pr.PredictedNS)
+	}
+
+	// Sweep a grid; every row succeeds and reports its tier.
+	resp, body = post(t, hs.URL+"/v1/baselines/"+up.ID+"/sweep",
+		[]byte(`{"opts":["amp","fusedadam","amp+fusedadam"]}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d, body %s", resp.StatusCode, body)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Rows) != 3 {
+		t.Fatalf("sweep rows = %d, want 3", len(sw.Rows))
+	}
+	for _, row := range sw.Rows {
+		if row.Error != "" || row.Tier == "" || row.PredictedNS <= 0 {
+			t.Fatalf("bad sweep row: %+v", row)
+		}
+	}
+	if sw.Rows[0].Opt != "amp" || sw.Rows[2].Opt != "amp+fusedadam" {
+		t.Fatalf("row labels wrong: %+v", sw.Rows)
+	}
+
+	// Diagnose the baseline's critical path.
+	resp, body = get(t, hs.URL+"/v1/baselines/"+up.ID+"/diagnose")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diagnose: status %d, body %s", resp.StatusCode, body)
+	}
+	var dg DiagnoseResponse
+	if err := json.Unmarshal(body, &dg); err != nil {
+		t.Fatal(err)
+	}
+	if dg.PathTasks == 0 || len(dg.ByKind) == 0 || len(dg.ByPhase) == 0 {
+		t.Fatalf("bad diagnose response: %+v", dg)
+	}
+
+	// Health and stats reflect the traffic above.
+	resp, body = get(t, hs.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, hs.URL+"/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz: status %d", resp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits < 1 || st.CacheMisses < 1 || st.CacheHitRate <= 0 {
+		t.Fatalf("stats missed the cache traffic: %+v", st)
+	}
+	if st.Endpoints["predict"].Count < 2 || st.Endpoints["upload"].Count < 2 {
+		t.Fatalf("per-endpoint counters wrong: %+v", st.Endpoints)
+	}
+	if st.Endpoints["predict"].P99NS <= 0 {
+		t.Fatalf("predict latency percentiles empty: %+v", st.Endpoints["predict"])
+	}
+	if st.Baselines != srv.numBaselines() {
+		t.Fatalf("statsz baselines %d != registry %d", st.Baselines, srv.numBaselines())
+	}
+}
+
+func TestServeClientErrors(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	tr := traceBytes(t, "resnet50", 1)
+	up := upload(t, hs, tr)
+	predictURL := hs.URL + "/v1/baselines/" + up.ID + "/predict"
+
+	// Unknown baseline → 404 with the taxonomy kind.
+	resp, body := post(t, hs.URL+"/v1/baselines/nope/predict", []byte(`{"opt":"amp"}`))
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusNotFound || ae.Kind != "unknown-baseline" {
+		t.Fatalf("unknown baseline: %d %+v", resp.StatusCode, ae)
+	}
+
+	// Unknown optimization → 400 whose message doubles as the registry
+	// docs for a remote caller.
+	resp, body = post(t, predictURL, []byte(`{"opt":"amp+warpspeed"}`))
+	ae := decodeErr(t, body)
+	if resp.StatusCode != http.StatusBadRequest || ae.Kind != "bad-request" {
+		t.Fatalf("unknown opt: %d %+v", resp.StatusCode, ae)
+	}
+	for _, spec := range whatif.Registry() {
+		if !strings.Contains(ae.Error, spec.Name) {
+			t.Fatalf("unknown-opt error %q does not list %q", ae.Error, spec.Name)
+		}
+	}
+
+	// Malformed request shapes → 400.
+	for _, bad := range []string{`{`, `{}`, `{"opt":"amp","timeout":"-3s"}`, `{"opt":"amp","timeout":"soon"}`} {
+		resp, body = post(t, predictURL, []byte(bad))
+		if ae := decodeErr(t, body); resp.StatusCode != http.StatusBadRequest || ae.Kind != "bad-request" {
+			t.Fatalf("bad body %q: %d %+v", bad, resp.StatusCode, ae)
+		}
+	}
+
+	// Empty sweep grid → 400; a misspelled grid entry fails the whole
+	// request rather than one row.
+	sweepURL := hs.URL + "/v1/baselines/" + up.ID + "/sweep"
+	resp, body = post(t, sweepURL, []byte(`{"opts":[]}`))
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusBadRequest || ae.Kind != "bad-request" {
+		t.Fatalf("empty grid: %d %+v", resp.StatusCode, ae)
+	}
+	resp, body = post(t, sweepURL, []byte(`{"opts":["amp","warpspeed"]}`))
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusBadRequest || !strings.Contains(ae.Error, "warpspeed") {
+		t.Fatalf("bad grid entry: %d %+v", resp.StatusCode, ae)
+	}
+
+	// Oversized upload → 413.
+	_, hs2 := testServer(t, Config{MaxTraceBytes: 64})
+	resp, body = post(t, hs2.URL+"/v1/baselines", tr)
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusRequestEntityTooLarge || ae.Kind != "too-large" {
+		t.Fatalf("oversized upload: %d %+v", resp.StatusCode, ae)
+	}
+}
+
+func TestServePredictDeadline(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	up := upload(t, hs, traceBytes(t, "resnet50", 1))
+
+	// A 1ns budget has expired before the simulation even dispatches:
+	// the context check on entry converts it to a typed deadline error,
+	// deterministically.
+	resp, body := post(t, hs.URL+"/v1/baselines/"+up.ID+"/predict",
+		[]byte(`{"opt":"fusedadam","timeout":"1ns"}`))
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusGatewayTimeout || ae.Kind != "deadline" {
+		t.Fatalf("deadline: %d %+v", resp.StatusCode, ae)
+	}
+
+	// The timed-out scenario must not have poisoned the cache or the
+	// server: the same stack with a sane budget succeeds.
+	resp, body = post(t, hs.URL+"/v1/baselines/"+up.ID+"/predict",
+		[]byte(`{"opt":"fusedadam"}`))
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || pr.Cached || pr.PredictedNS <= 0 {
+		t.Fatalf("post-deadline predict: %d %+v", resp.StatusCode, pr)
+	}
+}
+
+func TestServeOverload(t *testing.T) {
+	srv, hs := testServer(t, Config{Workers: 1, QueueDepth: 1})
+	up := upload(t, hs, traceBytes(t, "resnet50", 1))
+
+	// Saturate admission artificially: with Workers+QueueDepth counted
+	// as already queued, the next simulation must shed with 429 rather
+	// than wait.
+	srv.queued.Add(2)
+	resp, body := post(t, hs.URL+"/v1/baselines/"+up.ID+"/predict", []byte(`{"opt":"amp"}`))
+	srv.queued.Add(-2)
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusTooManyRequests || ae.Kind != "overloaded" {
+		t.Fatalf("overload: %d %+v", resp.StatusCode, ae)
+	}
+	if srv.stats.rejected.Load() == 0 {
+		t.Fatal("rejection not counted")
+	}
+
+	// Load shedding is not a lockout: the same request succeeds once
+	// the queue clears.
+	resp, _ = post(t, hs.URL+"/v1/baselines/"+up.ID+"/predict", []byte(`{"opt":"amp"}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload predict: %d", resp.StatusCode)
+	}
+}
+
+// TestServeEvictionRace hammers a 2-slot registry with uploads and
+// predictions over 4 distinct baselines. Run under -race this is the
+// eviction torture test: retain/release vs LRU eviction vs coalesced
+// compute goroutines. Requests may legitimately 404 (their baseline was
+// evicted between upload and predict) — anything else is a failure.
+func TestServeEvictionRace(t *testing.T) {
+	_, hs := testServer(t, Config{MaxBaselines: 2, CacheEntries: 8})
+	traces := make([][]byte, 4)
+	for i := range traces {
+		traces[i] = traceBytes(t, "resnet50", uint64(i+1))
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan string, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				tr := traces[(g+round)%len(traces)]
+				resp, err := http.Post(hs.URL+"/v1/baselines", "application/json", bytes.NewReader(tr))
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail <- fmt.Sprintf("upload: %d %s", resp.StatusCode, body)
+					return
+				}
+				var upr UploadResponse
+				if err := json.Unmarshal(body, &upr); err != nil {
+					fail <- err.Error()
+					return
+				}
+				resp, err = http.Post(hs.URL+"/v1/baselines/"+upr.ID+"/predict",
+					"application/json", strings.NewReader(`{"opt":"amp"}`))
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				body, _ = io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+					fail <- fmt.Sprintf("predict: %d %s", resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+
+	resp, _ := get(t, hs.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server unhealthy after eviction race: %d", resp.StatusCode)
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	srv := NewServer(Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	up := upload(t, hs, traceBytes(t, "resnet50", 1))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with no in-flight work: %v", err)
+	}
+
+	// Every endpoint now refuses with 503 draining — including the
+	// health check, so load balancers stop routing here.
+	for _, probe := range []func() (*http.Response, []byte){
+		func() (*http.Response, []byte) {
+			return post(t, hs.URL+"/v1/baselines/"+up.ID+"/predict", []byte(`{"opt":"amp"}`))
+		},
+		func() (*http.Response, []byte) { return post(t, hs.URL+"/v1/baselines", traceBytes(t, "resnet50", 1)) },
+		func() (*http.Response, []byte) { return get(t, hs.URL+"/healthz") },
+	} {
+		resp, body := probe()
+		if ae := decodeErr(t, body); resp.StatusCode != http.StatusServiceUnavailable || ae.Kind != "draining" {
+			t.Fatalf("draining probe: %d %+v", resp.StatusCode, ae)
+		}
+	}
+}
+
+// TestFlightGroupCoalesces pins single-flight semantics at the unit
+// level, where joining concurrently is deterministic rather than a
+// scheduling accident.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	c1, leader1 := g.join("k")
+	c2, leader2 := g.join("k")
+	if !leader1 || leader2 || c1 != c2 {
+		t.Fatalf("join: leader1=%v leader2=%v same=%v", leader1, leader2, c1 == c2)
+	}
+	other, leaderOther := g.join("other")
+	if !leaderOther || other == c1 {
+		t.Fatal("distinct keys must not coalesce")
+	}
+
+	g.finish("k", c1, outcome{value: 42, tier: "overlay"}, nil)
+	<-c1.done
+	if c1.out.value != 42 || c1.err != nil {
+		t.Fatalf("published outcome wrong: %+v err=%v", c1.out, c1.err)
+	}
+
+	// The key is free again after finish.
+	c3, leader3 := g.join("k")
+	if !leader3 || c3 == c1 {
+		t.Fatal("finished key must start a fresh call")
+	}
+	g.finish("k", c3, outcome{}, nil)
+	g.finish("other", other, outcome{}, nil)
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", outcome{value: 1})
+	c.put("b", outcome{value: 2})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	// a was just touched, so inserting c evicts b.
+	c.put("c", outcome{value: 3})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being most recently used")
+	}
+	if got, _ := c.get("c"); got.value != 3 {
+		t.Fatalf("c = %+v", got)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latRingSize bounds each endpoint's latency sample ring. P50/P99 are
+// computed over the last latRingSize requests — a sliding window, not
+// all-time, so a warmed-up server's percentiles reflect current load.
+const latRingSize = 1024
+
+// endpointStats aggregates one endpoint's counters and latency window.
+type endpointStats struct {
+	count  atomic.Int64
+	errors atomic.Int64
+
+	mu   sync.Mutex
+	ring [latRingSize]int64
+	n    int64 // total samples ever recorded
+}
+
+func (e *endpointStats) record(d time.Duration, isErr bool) {
+	e.count.Add(1)
+	if isErr {
+		e.errors.Add(1)
+	}
+	e.mu.Lock()
+	e.ring[e.n%latRingSize] = int64(d)
+	e.n++
+	e.mu.Unlock()
+}
+
+// EndpointSnapshot is one endpoint's /statsz entry.
+type EndpointSnapshot struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	AvgNS  int64 `json:"avg_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+}
+
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{Count: e.count.Load(), Errors: e.errors.Load()}
+	e.mu.Lock()
+	n := e.n
+	if n > latRingSize {
+		n = latRingSize
+	}
+	window := append([]int64(nil), e.ring[:n]...)
+	e.mu.Unlock()
+	if len(window) == 0 {
+		return s
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	var sum int64
+	for _, v := range window {
+		sum += v
+	}
+	s.AvgNS = sum / int64(len(window))
+	s.P50NS = window[len(window)/2]
+	s.P99NS = window[(len(window)*99)/100]
+	return s
+}
+
+// stats is the server-wide counter set behind /statsz.
+type stats struct {
+	start time.Time
+
+	upload   endpointStats
+	predict  endpointStats
+	sweep    endpointStats
+	diagnose endpointStats
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	coalesced   atomic.Int64
+	rejected    atomic.Int64
+	evictions   atomic.Int64
+}
+
+func (s *stats) endpoint(name string) *endpointStats {
+	switch name {
+	case "upload":
+		return &s.upload
+	case "predict":
+		return &s.predict
+	case "sweep":
+		return &s.sweep
+	case "diagnose":
+		return &s.diagnose
+	}
+	return nil
+}
+
+// StatsResponse is the /statsz body.
+type StatsResponse struct {
+	UptimeMS  int64 `json:"uptime_ms"`
+	Baselines int   `json:"baselines"`
+	// QueueDepth counts requests currently holding or waiting for a
+	// worker slot; Workers is the concurrency bound.
+	QueueDepth int64 `json:"queue_depth"`
+	Workers    int   `json:"workers"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+	Coalesced    int64   `json:"coalesced"`
+	Rejected     int64   `json:"rejected"`
+	Evictions    int64   `json:"evictions"`
+
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+}

@@ -181,6 +181,7 @@ type config struct {
 	keepSims   bool
 	ctx        context.Context
 	failFast   bool
+	pool       *Pool
 }
 
 // Option configures a sweep.
@@ -221,6 +222,72 @@ func KeepGraphs() Option {
 // KeepSims retains each scenario's SimResult in its Result.
 func KeepSims() Option {
 	return func(c *config) { c.keepSims = true }
+}
+
+// Pool retains sweep worker state across Run calls, for long-lived
+// callers that answer many small batteries against recurring baselines
+// — a prediction service evaluating one scenario per request, or a
+// driver issuing grids in a loop. A plain Run builds each worker's
+// reusable buffers (simulation scratch, copy-on-write patch, result
+// buffer, warm incremental schedule) fresh and discards them when the
+// call returns; Pool.Run checks workers out of a free list instead, so
+// the buffers — including the incremental tier's warm baseline
+// schedule, the expensive one — survive from one call to the next.
+// With a pooled worker, a single timing-only scenario against a
+// baseline the pool has seen before rides the incremental tier
+// immediately instead of paying a cold overlay replay.
+//
+// A Pool is safe for concurrent use: concurrent Run calls check out
+// disjoint workers, and a worker whose scenario panicked was
+// quarantined (its buffers replaced) before being returned, so
+// poisoned state never crosses calls. When the free list is empty a
+// fresh worker is built on demand; at most maxIdle workers are
+// retained when calls finish.
+type Pool struct {
+	mu   sync.Mutex
+	free []*worker
+	max  int
+}
+
+// NewPool builds a worker-state pool retaining at most maxIdle idle
+// workers; values below 1 select GOMAXPROCS.
+func NewPool(maxIdle int) *Pool {
+	if maxIdle < 1 {
+		maxIdle = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{max: maxIdle}
+}
+
+// Run is Run with this pool's reusable worker state. Options and
+// semantics are identical to the package-level Run.
+func (p *Pool) Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, error) {
+	merged := make([]Option, 0, len(opts)+1)
+	merged = append(merged, opts...)
+	merged = append(merged, func(c *config) { c.pool = p })
+	return Run(baseline, scenarios, merged...)
+}
+
+// get checks a worker out of the free list, building one when empty.
+func (p *Pool) get() *worker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		w := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return w
+	}
+	return &worker{scratch: core.NewSimScratch()}
+}
+
+// put returns a worker to the free list, dropping it when the list is
+// at capacity.
+func (p *Pool) put(w *worker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, w)
+	}
 }
 
 // worker is the per-goroutine reusable state: the simulation scratch,
@@ -350,7 +417,11 @@ func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := worker{scratch: core.NewSimScratch()}
+			w := &worker{scratch: core.NewSimScratch()}
+			if cfg.pool != nil {
+				w = cfg.pool.get()
+				defer cfg.pool.put(w)
+			}
 			for i := range jobs {
 				// A canceled sweep converts the remaining queue into
 				// typed rows without evaluating anything further.
@@ -360,7 +431,7 @@ func Run(baseline *core.Graph, scenarios []Scenario, opts ...Option) ([]Result, 
 						continue
 					}
 				}
-				results[i] = runOneSafe(baseline, &scenarios[i], &w, &cfg)
+				results[i] = runOneSafe(baseline, &scenarios[i], w, &cfg)
 				if cfg.failFast && results[i].Err != nil {
 					cancel()
 				}

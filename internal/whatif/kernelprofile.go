@@ -74,13 +74,9 @@ func ScaleByName(g *core.Graph, sub string, factor float64) int {
 
 // ScaleByNameOverlay is ScaleByName's clone-free form.
 func ScaleByNameOverlay(o *core.Overlay, sub string, factor float64) int {
-	match := core.NameContains(sub)
-	n := 0
-	for _, u := range o.Base().LayerPhaseIndex().GPUTasks() {
-		if match(u) {
-			o.ScaleDuration(u, factor)
-			n++
-		}
+	tasks := o.Base().LayerPhaseIndex().GPUTasksMatching(sub)
+	for _, u := range tasks {
+		o.ScaleDuration(u, factor)
 	}
-	return n
+	return len(tasks)
 }

@@ -256,7 +256,14 @@ func ParseStack(expr string, p OptParams) (core.Optimization, error) {
 			return nil, fmt.Errorf("whatif: duplicate optimization %q in expression %q (each model may appear once; applying it twice would double its effect)", name, expr)
 		}
 		seen[name] = true
-		opt, err := BuildByName(name, p)
+		s, ok := SpecByName(name)
+		if !ok {
+			// Name the offending element and every accepted name: the
+			// caller may be a remote API client that cannot open the
+			// registry docs, so the rejection is the documentation.
+			return nil, fmt.Errorf("whatif: unknown optimization %q in expression %q (known: %s)", name, expr, registeredNames())
+		}
+		opt, err := s.Build(p)
 		if err != nil {
 			return nil, err
 		}

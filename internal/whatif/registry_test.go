@@ -175,3 +175,26 @@ func TestParsedStackPredicts(t *testing.T) {
 		t.Fatalf("parsed stack predicts %v, sequential %v", got, want)
 	}
 }
+
+// TestParseStackUnknownNameMessage pins the unknown-name rejection a
+// remote API caller sees: the error must name the offending element,
+// quote the whole expression, and list every valid registry name — the
+// rejection is the caller's only documentation.
+func TestParseStackUnknownNameMessage(t *testing.T) {
+	_, err := whatif.ParseStack("amp+warpspeed", whatif.OptParams{})
+	if err == nil {
+		t.Fatal("unknown optimization did not error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"warpspeed"`) {
+		t.Fatalf("error %q does not name the unknown optimization", msg)
+	}
+	if !strings.Contains(msg, `"amp+warpspeed"`) {
+		t.Fatalf("error %q does not quote the expression", msg)
+	}
+	for _, spec := range whatif.Registry() {
+		if !strings.Contains(msg, spec.Name) {
+			t.Fatalf("error %q does not list registry name %q", msg, spec.Name)
+		}
+	}
+}
