@@ -47,6 +47,8 @@ import (
 	"daydream/internal/core"
 	"daydream/internal/exp"
 	"daydream/internal/sweep"
+	"daydream/internal/trace"
+	"daydream/internal/whatif"
 )
 
 func main() {
@@ -416,6 +418,56 @@ func runMicro(path, against string, tolerance float64, timeout time.Duration) er
 		{"Fig8Sweep76", 76, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := sweep.Run(nil, fig8Scenarios, sweepOpts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The memory-timeline post-pass alone: sweep the baseline's
+		// alloc/free events over the already-computed cold schedule.
+		// This is the marginal cost every tier pays to add a memory
+		// profile to an existing simulation.
+		{"MemoryTimeline", 0, func(b *testing.B) {
+			ann, err := daydream.AnnotateMemory(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := daydream.ComputeMemoryProfile(g, coldRes, ann); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// A full memory-aware what-if end to end: vDNN_all surgery as
+		// patch deltas, simulation under the carried copy-stream
+		// scheduler, and the profile with the offload/prefetch tensor
+		// rewrite — both prediction axes from one simulation.
+		{"MemoryProfileScenario", 0, func(b *testing.B) {
+			opt := whatif.OptVDNN(whatif.VDNNOptions{
+				OffloadLayer: func(gr trace.GradientInfo) bool { return gr.ActBytes > 0 },
+			})
+			for i := 0; i < b.N; i++ {
+				if _, _, err := daydream.ProfileOptimization(g, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The capacity inversion: each op answers "largest resnet50
+		// batch under 8 whose simulated peak fits a 2080 Ti", tracing
+		// and profiling every candidate through the sweep tier.
+		{"MaxBatchFit", 0, func(b *testing.B) {
+			build := func(batch int) (*daydream.Graph, error) {
+				m, err := daydream.ModelByNameAtBatch("resnet50", batch)
+				if err != nil {
+					return nil, err
+				}
+				btr, err := daydream.Collect(daydream.CollectConfig{CustomModel: m})
+				if err != nil {
+					return nil, err
+				}
+				return daydream.BuildGraph(btr)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := daydream.MaxBatchFit(11<<30, build, nil, 8); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -62,6 +62,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "diagnose":
 		err = cmdDiagnose(os.Args[2:])
+	case "memory":
+		err = cmdMemory(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -89,6 +91,7 @@ commands:
   sweep      predict every optimization and a distributed grid concurrently
   export     convert a trace to Chrome Trace Event JSON (chrome://tracing)
   diagnose   attribute the critical path by resource and training phase
+  memory     simulate the memory timeline: peak, attribution, max batch fit
   serve      run the long-lived HTTP prediction service`)
 }
 
@@ -307,6 +310,7 @@ func cmdPredict(args []string) error {
 	gpus := fs.Int("gpus", 1, "GPUs per machine (distributed/p3)")
 	gbps := fs.Float64("gbps", 10, "network bandwidth in Gbps (distributed/p3)")
 	timeout := fs.Duration("timeout", 0, "abort the prediction after this duration (0 = no limit)")
+	withMem := fs.Bool("mem", false, "also report the simulated peak memory, baseline vs optimized")
 	params := optParamFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -332,6 +336,20 @@ func cmdPredict(args []string) error {
 	fmt.Printf("baseline iteration:  %v\n", baseline)
 	fmt.Printf("predicted with %s (%s): %v (%.1f%% change)\n",
 		o.Name(), o.Footprint(), predicted, 100*(1-float64(predicted)/float64(baseline)))
+	if *withMem {
+		_, baseProf, err := daydream.ProfileOptimization(g, nil, daydream.WithContext(ctx))
+		if err != nil {
+			return fmt.Errorf("memory profile: %w", err)
+		}
+		_, optProf, err := daydream.ProfileOptimization(g, o, daydream.WithContext(ctx))
+		if err != nil {
+			return fmt.Errorf("memory profile: %w", err)
+		}
+		basePeak, optPeak := baseProf.MaxPeak(), optProf.MaxPeak()
+		fmt.Printf("baseline peak memory:  %.2f GB\n", gib(basePeak))
+		fmt.Printf("predicted peak memory: %.2f GB (%+.1f%% change)\n",
+			gib(optPeak), 100*(float64(optPeak)/float64(basePeak)-1))
+	}
 	return nil
 }
 

@@ -1,0 +1,144 @@
+package main
+
+// The memory subcommand is the CLI face of the memory-timeline layer
+// (internal/mem): simulate a zoo model, sweep its activation alloc/free
+// events over the schedule, and answer the paper's introductory
+// question — "does GPU memory capacity limit the performance of my
+// model?" — dynamically. It reports the static analytic estimate next
+// to the simulated peak, attributes the peak to the tensors live under
+// it, optionally re-profiles under a memory optimization stack (vdnn,
+// gist), and inverts the peak curve into the largest batch that fits
+// the target device.
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"daydream"
+	"daydream/internal/xpu"
+)
+
+func cmdMemory(args []string) error {
+	fs := flag.NewFlagSet("memory", flag.ExitOnError)
+	model := fs.String("model", "resnet50", "zoo model name")
+	fw := fs.String("framework", "pytorch", "framework dialect: pytorch, mxnet, caffe")
+	device := fs.String("device", "2080ti", "device whose memory capacity bounds the fit search (preset or marketing name)")
+	optExpr := fs.String("opt", "", "optimization stack expression to profile alongside the baseline (e.g. vdnn, gist)")
+	maxBatch := fs.Int("maxbatch", 512, "ceiling for the max-batch-fit search (0 disables the search)")
+	top := fs.Int("top", 5, "peak-attribution tensors to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// FindDevice's error lists every accepted device name, so a typo is
+	// self-documenting.
+	dev, err := xpu.FindDevice(*device)
+	if err != nil {
+		return err
+	}
+	m, err := daydream.ModelByName(*model)
+	if err != nil {
+		return err
+	}
+	g, err := collectModelGraph(*model, *fw)
+	if err != nil {
+		return err
+	}
+
+	est := daydream.EstimateMemory(m)
+	fmt.Printf("model %s (batch %d), framework %s\n", *model, m.BatchSize, *fw)
+	fmt.Printf("static estimate: params %.2f + grads %.2f + optim %.2f + activations %.2f + workspace %.2f = %.2f GB\n",
+		gib(est.Params), gib(est.Gradients), gib(est.OptimizerState),
+		gib(est.Activations), gib(est.Workspace), gib(est.Total()))
+
+	baseMakespan, baseProf, err := daydream.ProfileOptimization(g, nil)
+	if err != nil {
+		return err
+	}
+	printDeviceProfile("simulated baseline", baseProf, baseMakespan, *top)
+
+	var opt daydream.Optimization
+	if *optExpr != "" {
+		opt, err = daydream.ParseOptimization(*optExpr, daydream.OptimizationParams{})
+		if err != nil {
+			return err
+		}
+		makespan, prof, err := daydream.ProfileOptimization(g, opt)
+		if err != nil {
+			return err
+		}
+		printDeviceProfile(fmt.Sprintf("with %s", opt.Name()), prof, makespan, *top)
+		basePeak, peak := baseProf.MaxPeak(), prof.MaxPeak()
+		fmt.Printf("  memory %+.1f%%, makespan %+.1f%% vs baseline\n",
+			100*(float64(peak)/float64(basePeak)-1),
+			100*(float64(makespan)/float64(baseMakespan)-1))
+	}
+
+	if *maxBatch > 0 {
+		fmt.Printf("\nlargest %s batch fitting %s (%.0f GB), simulated peak vs capacity:\n",
+			*model, dev.Name, gib(dev.MemBytes))
+		build := func(batch int) (*daydream.Graph, error) {
+			bm, err := daydream.ModelByNameAtBatch(*model, batch)
+			if err != nil {
+				return nil, err
+			}
+			return collectCustomGraph(bm, *fw)
+		}
+		fit, err := daydream.MaxBatchFit(dev.MemBytes, build, nil, *maxBatch)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  baseline: batch %d\n", fit)
+		if opt != nil {
+			fitOpt, err := daydream.MaxBatchFit(dev.MemBytes, build, opt, *maxBatch)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  with %s: batch %d\n", opt.Name(), fitOpt)
+		}
+	}
+	return nil
+}
+
+// collectModelGraph traces a zoo model and builds its mapped graph.
+func collectModelGraph(model, fw string) (*daydream.Graph, error) {
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: model, Framework: fw})
+	if err != nil {
+		return nil, err
+	}
+	return daydream.BuildGraph(tr)
+}
+
+// collectCustomGraph traces a caller-built model (a batch-sweep point)
+// and builds its mapped graph.
+func collectCustomGraph(m *daydream.Model, fw string) (*daydream.Graph, error) {
+	tr, err := daydream.Collect(daydream.CollectConfig{CustomModel: m, Framework: fw})
+	if err != nil {
+		return nil, err
+	}
+	return daydream.BuildGraph(tr)
+}
+
+// printDeviceProfile prints one profile's peak, interval and top peak
+// tensors.
+func printDeviceProfile(title string, prof *daydream.MemoryProfile, makespan time.Duration, top int) {
+	d := prof.Device(daydream.DeviceGPU)
+	if d == nil {
+		return
+	}
+	fmt.Printf("\n%s: peak %.2f GB over [%v, %v) of a %v iteration (resident %.2f GB, %d timeline samples)\n",
+		title, gib(d.Peak), d.PeakStart, d.PeakEnd, makespan, gib(d.Resident), len(d.Timeline))
+	n := top
+	if n > len(d.PeakTensors) {
+		n = len(d.PeakTensors)
+	}
+	if n > 0 {
+		fmt.Printf("  live at the peak (top %d of %d):\n", n, len(d.PeakTensors))
+	}
+	for _, tu := range d.PeakTensors[:n] {
+		fmt.Printf("    %-28s %8.3f GB  [%v, %v)\n", tu.Layer, gib(tu.Bytes), tu.Alloc, tu.Free)
+	}
+}
+
+// gib converts bytes to GiB for display.
+func gib(n int64) float64 { return float64(n) / (1 << 30) }

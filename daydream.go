@@ -11,6 +11,7 @@ import (
 	"daydream/internal/core"
 	"daydream/internal/dnn"
 	"daydream/internal/framework"
+	"daydream/internal/mem"
 	"daydream/internal/serve"
 	"daydream/internal/sweep"
 	"daydream/internal/trace"
@@ -370,6 +371,13 @@ func LoadGraph(r io.Reader) (*Trace, *Graph, error) {
 // ModelByName builds a zoo model at its default batch size.
 func ModelByName(name string) (*Model, error) { return dnn.ByName(name) }
 
+// ModelByNameAtBatch builds a zoo model at an explicit batch size
+// (sequence lengths stay at the zoo defaults), for batch sweeps and
+// MaxBatchFit build closures.
+func ModelByNameAtBatch(name string, batch int) (*Model, error) {
+	return dnn.ByNameAtBatch(name, batch)
+}
+
 // ModelNames lists the zoo.
 func ModelNames() []string { return dnn.Names() }
 
@@ -457,6 +465,15 @@ func OptP3(topo Topology, sliceBytes int64) Optimization {
 // view-generic, so even this scheduled structural scenario runs with
 // zero per-scenario clones.
 func OptVDNN() Optimization { return whatif.OptVDNN(whatif.VDNNOptions{}) }
+
+// OptGist returns the Gist what-if (Jain et al., paper §5.2 and
+// Algorithm 11) as an Optimization value: encode/decode kernels splice
+// around each targeted activation as clone-free patch deltas, with
+// durations estimated from the profile's element-wise kernels. The
+// value implements MemoryMeasurer, so memory-aware surfaces report the
+// compressed activations' predicted savings alongside the encode/decode
+// latency overhead.
+func OptGist() Optimization { return whatif.OptGist(whatif.GistOptions{}) }
 
 // OptDeviceUpgrade returns the device-upgrade what-if as an Optimization
 // value. Names resolve like DeviceUpgrade's: short presets and full
@@ -661,6 +678,72 @@ func EstimateMemory(m *Model) Footprint { return dnn.EstimateMemory(m) }
 // memBytes, for a caller-supplied model builder.
 func MaxBatchSize(build func(batch int) *Model, memBytes int64) int {
 	return dnn.MaxBatchSize(build, memBytes)
+}
+
+// Memory-timeline surface (paper §5.2's memory question, answered
+// dynamically). The static EstimateMemory sums worst-case components;
+// the timeline simulates when each activation is allocated (its
+// producing layer's forward kernel starts) and freed (its last backward
+// consumer finishes), so the peak reflects the schedule — and memory
+// what-ifs (OptVDNN, OptGist) change it.
+type (
+	// MemoryProfile is a simulation's per-device memory timeline: peak
+	// bytes, the interval the peak holds over, the full timeline, and
+	// per-tensor peak attribution.
+	MemoryProfile = mem.Profile
+	// DeviceMemoryProfile is one device's timeline within a
+	// MemoryProfile.
+	DeviceMemoryProfile = mem.DeviceProfile
+	// MemorySample is one timeline breakpoint (allocated bytes from T
+	// until the next sample).
+	MemorySample = mem.Sample
+	// MemoryAnnotation is a graph's tensor schedule (who allocates and
+	// frees each activation) plus its resident parameter+gradient
+	// bytes; AnnotateMemory memoizes it on the graph.
+	MemoryAnnotation = mem.Annotation
+	// MemoryTensorUse attributes part of a peak to one tensor.
+	MemoryTensorUse = mem.TensorUse
+	// MemoryMeasurer is the optional Optimization interface whose
+	// RewriteTensors maps the baseline tensor schedule onto the
+	// optimized view (OptVDNN's offloads, OptGist's compression).
+	MemoryMeasurer = mem.MemMeasurer
+)
+
+// DeviceGPU is the device key single-accelerator profiles report under.
+const DeviceGPU = mem.DeviceGPU
+
+// AnnotateMemory builds (and memoizes on the graph) the tensor schedule
+// the memory timeline sweeps: per activation, the producing forward
+// task and the backward consumers, sized from the layer mapping's
+// activation metadata. It errors on graphs without a layer mapping.
+func AnnotateMemory(g *Graph) (*MemoryAnnotation, error) { return mem.AnnotationOf(g) }
+
+// ComputeMemoryProfile sweeps the annotation's alloc/free events over a
+// finished simulation of any view — Graph, Overlay or Patch — and
+// returns the per-device timeline. A pure post-pass: the SimResult is
+// bit-identical before and after, on every simulation tier.
+func ComputeMemoryProfile(v TaskView, res *SimResult, ann *MemoryAnnotation) (*MemoryProfile, error) {
+	return mem.ComputeProfile(v, res, ann)
+}
+
+// ProfileOptimization answers one what-if with both halves of the
+// prediction: the optimized makespan and the optimized memory profile,
+// from one simulation. Clone-free through a Patch when the value allows
+// it, under any carried scheduler, with the value's MemoryMeasurer
+// rewrites applied. A nil or no-op opt profiles the baseline itself.
+func ProfileOptimization(g *Graph, opt Optimization, opts ...SimOption) (time.Duration, *MemoryProfile, error) {
+	return mem.ProfileOpt(g, opt, opts...)
+}
+
+// MaxBatchFit finds the largest batch size whose *simulated* peak
+// memory under the optimization stack fits in capacityBytes — the
+// dynamic counterpart of MaxBatchSize's static estimate, so memory
+// optimizations raise the answer. build constructs the baseline graph
+// at a candidate batch size; candidates are evaluated through the sweep
+// tier by doubling+bisection over [1, maxBatch] (maxBatch < 1 selects
+// mem.DefaultMaxBatch).
+func MaxBatchFit(capacityBytes int64, build func(batch int) (*Graph, error), opt Optimization, maxBatch int) (int, error) {
+	return mem.MaxBatchFit(capacityBytes, build, opt, maxBatch)
 }
 
 // PathAttribution groups critical-path time.

@@ -1,8 +1,10 @@
 // Memory planner: answer the paper's introductory question "Does GPU
-// memory capacity limit the performance of my model?" — estimate training
-// footprints for the model zoo, find the largest batch that fits each
-// device, and size the headroom a memory-footprint optimization like
-// vDNN_conv would free.
+// memory capacity limit the performance of my model?" — now with the
+// memory-timeline simulation. The static closed-form estimate (the old
+// planner) stays as a comparison column; the simulated peak comes from
+// replaying each model's trace and sweeping tensor alloc/free events
+// over the schedule, so it reflects when activations actually overlap
+// rather than assuming they all coexist.
 package main
 
 import (
@@ -16,55 +18,124 @@ import (
 
 func gb(n int64) float64 { return float64(n) / (1 << 30) }
 
+// profileModel traces one zoo model and simulates its memory timeline.
+func profileModel(name string) (*daydream.MemoryProfile, error) {
+	g, err := graphFor(name)
+	if err != nil {
+		return nil, err
+	}
+	_, prof, err := daydream.ProfileOptimization(g, nil)
+	return prof, err
+}
+
+// graphFor collects a baseline trace for a zoo model and builds its
+// dependency graph (phases 1–2 of the Daydream workflow).
+func graphFor(name string) (*daydream.Graph, error) {
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: name})
+	if err != nil {
+		return nil, err
+	}
+	return daydream.BuildGraph(tr)
+}
+
 func main() {
-	fmt.Println("Training memory footprints (at zoo default batch sizes):")
-	fmt.Printf("%-14s %8s %8s %8s %10s %8s %8s\n",
-		"model", "params", "grads", "optim", "activs", "wkspc", "total")
+	// 1. Footprints across the zoo: the static estimate assumes every
+	// activation is resident at once; the simulated peak knows better.
+	fmt.Println("Training memory footprints (zoo default batch sizes):")
+	fmt.Printf("%-14s %8s %8s %10s %8s %10s %9s\n",
+		"model", "params", "grads", "activs", "static", "sim peak", "peak/est")
 	for _, name := range daydream.ModelNames() {
 		m, err := daydream.ModelByName(name)
 		if err != nil {
 			log.Fatal(err)
 		}
 		f := daydream.EstimateMemory(m)
-		fmt.Printf("%-14s %7.2fG %7.2fG %7.2fG %9.2fG %7.2fG %7.2fG\n",
-			name, gb(f.Params), gb(f.Gradients), gb(f.OptimizerState),
-			gb(f.Activations), gb(f.Workspace), gb(f.Total()))
+		prof, err := profileModel(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak := prof.MaxPeak()
+		fmt.Printf("%-14s %7.2fG %7.2fG %9.2fG %7.2fG %9.2fG %8.0f%%\n",
+			name, gb(f.Params), gb(f.Gradients), gb(f.Activations),
+			gb(f.Total()), gb(peak), 100*float64(peak)/float64(f.Total()))
 	}
 
-	fmt.Println("\nLargest ResNet-50 batch that fits:")
-	// daydream.Devices lists every preset accelerator, so new presets
-	// show up here without touching the example.
-	for _, dev := range daydream.Devices() {
+	// 2. Where does the peak live? Attribute it for resnet50.
+	g, err := graphFor("resnet50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, base, err := daydream.ProfileOptimization(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := base.Device(daydream.DeviceGPU)
+	fmt.Printf("\nresnet50 peak: %.2f GB held %v–%v (%.2f GB resident params+grads)\n",
+		gb(dev.Peak), dev.PeakStart, dev.PeakEnd, gb(dev.Resident))
+	fmt.Println("largest tensors live under the peak:")
+	for i, tu := range dev.PeakTensors {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %-28s %7.1f MB  alive %v–%v\n",
+			tu.Layer, float64(tu.Bytes)/(1<<20), tu.Alloc, tu.Free)
+	}
+
+	// 3. Memory-footprint what-ifs: both prediction axes from one
+	// simulation — what each optimization saves, and what it costs.
+	fmt.Println("\nWhat-ifs on resnet50 (one simulation each):")
+	fmt.Printf("%-10s %10s %10s %12s %10s\n", "opt", "peak", "saving", "makespan", "time cost")
+	baseSpan, _, err := daydream.ProfileOptimization(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range []struct {
+		name string
+		opt  daydream.Optimization
+	}{
+		{"baseline", nil},
+		{"vdnn", daydream.OptVDNN()},
+		{"gist", daydream.OptGist()},
+	} {
+		span, prof, err := daydream.ProfileOptimization(g, w.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak := prof.MaxPeak()
+		fmt.Printf("%-10s %8.2fGB %9.1f%% %10.1fms %9.1f%%\n",
+			w.name, gb(peak), 100*(1-float64(peak)/float64(base.MaxPeak())),
+			float64(span.Microseconds())/1000,
+			100*(float64(span)/float64(baseSpan)-1))
+	}
+
+	// 4. Capacity planning: the static bound for every preset device,
+	// then the simulated fit — which also answers what vDNN buys.
+	fmt.Println("\nLargest ResNet-50 batch that fits (static estimate):")
+	for _, d := range daydream.Devices() {
 		b := daydream.MaxBatchSize(func(batch int) *daydream.Model {
 			return dnn.ResNet50(batch)
-		}, dev.MemBytes)
-		fmt.Printf("  %-22s (%2.0f GB): batch %d\n", dev.Name, gb(dev.MemBytes), b)
+		}, d.MemBytes)
+		fmt.Printf("  %-22s (%2.0f GB): batch %d\n", d.Name, gb(d.MemBytes), b)
 	}
 
-	// How much would offloading convolutional feature maps (vDNN_conv)
-	// free, and what batch would that enable?
-	const target = "resnet50"
-	m, _ := daydream.ModelByName(target)
-	freed := dnn.OffloadableActivations(m, func(l *dnn.Layer) bool { return l.Kind == dnn.Conv })
-	f := daydream.EstimateMemory(m)
-	fmt.Printf("\nvDNN_conv on %s/%d would offload %.2f GB of %.2f GB of activations (%.0f%%),\n",
-		target, m.BatchSize, gb(freed), gb(f.Activations), 100*float64(freed)/float64(f.Activations))
-
-	mem := xpu.RTX2080Ti().MemBytes
-	plain := daydream.MaxBatchSize(func(b int) *daydream.Model { return dnn.ResNet50(b) }, mem)
-	withVDNN := daydream.MaxBatchSize(func(b int) *daydream.Model { return dnn.ResNet50(b) },
-		mem+offloadAt(mem))
-	fmt.Printf("raising the feasible 2080 Ti batch from %d to ≈%d —\n", plain, withVDNN)
+	build := func(batch int) (*daydream.Graph, error) {
+		m := dnn.ResNet50(batch)
+		tr, err := daydream.Collect(daydream.CollectConfig{CustomModel: m})
+		if err != nil {
+			return nil, err
+		}
+		return daydream.BuildGraph(tr)
+	}
+	cap2080 := xpu.RTX2080Ti().MemBytes
+	plain, err := daydream.MaxBatchFit(cap2080, build, nil, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withVDNN, err := daydream.MaxBatchFit(cap2080, build, daydream.OptVDNN(), 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSimulated fit on a 2080 Ti (timeline peak, not the static sum):\n")
+	fmt.Printf("  baseline: batch %d    with vDNN offload: batch %d\n", plain, withVDNN)
 	fmt.Println("then run `examples/quickstart`-style what-ifs to see if the PCIe cost is worth it.")
-}
-
-// offloadAt estimates the activation bytes vDNN_conv frees at the batch
-// size that saturates the given memory (a fixed-point-ish approximation:
-// use the fit batch of the plain model).
-func offloadAt(mem int64) int64 {
-	b := daydream.MaxBatchSize(func(batch int) *daydream.Model {
-		return dnn.ResNet50(batch)
-	}, mem)
-	m := dnn.ResNet50(b)
-	return dnn.OffloadableActivations(m, func(l *dnn.Layer) bool { return l.Kind == dnn.Conv })
 }

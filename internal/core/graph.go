@@ -31,6 +31,12 @@ type Graph struct {
 	// deliberately leaves the copy's memo empty: the index holds task
 	// pointers into the graph it was built from.
 	layerIdx layerIdxMemo
+
+	// memAnnot memoizes the opaque memory-annotation snapshot
+	// internal/mem attaches through SetMemAnnotation (see memhook.go).
+	// Clone leaves the copy's memo empty; structural mutations and
+	// MapLayers invalidate it alongside the layer/phase index.
+	memAnnot memAnnotMemo
 }
 
 // Metadata is the non-timeline information a what-if analysis needs.

@@ -60,9 +60,11 @@ func (g *Graph) LayerPhaseIndex() *LayerPhaseIndex {
 
 // InvalidateLayerPhaseIndex drops the memoized index, forcing a rebuild
 // on the next LayerPhaseIndex call. Structural mutations and MapLayers
-// call it automatically.
+// call it automatically. The memory-annotation memo is derived from the
+// same task/layer snapshot, so it is dropped with the index.
 func (g *Graph) InvalidateLayerPhaseIndex() {
 	g.layerIdx.Store(nil)
+	g.InvalidateMemAnnotation()
 }
 
 // layerIdxMemo is the atomic memo cell embedded in Graph.

@@ -1,0 +1,43 @@
+package core
+
+import "sync/atomic"
+
+// memAnnotMemo is the atomic memo cell embedded in Graph for the
+// memory-annotation snapshot. The core package treats the value as
+// opaque: internal/mem owns its concrete type (an ID-indexed tensor
+// schedule), core only provides the same memoization lifecycle the
+// layer/phase index has — atomic publication for concurrent readers,
+// invalidation on structural mutation, an empty memo on Clone.
+type memAnnotMemo struct {
+	p atomic.Pointer[any]
+}
+
+// MemAnnotation returns the memory-annotation snapshot last attached
+// with SetMemAnnotation, or nil when none is attached (or a structural
+// mutation invalidated it). Callers type-assert the result; a nil or
+// foreign value means "rebuild".
+func (g *Graph) MemAnnotation() any {
+	if v := g.memAnnot.p.Load(); v != nil {
+		return *v
+	}
+	return nil
+}
+
+// SetMemAnnotation publishes a memory-annotation snapshot on the graph.
+// Publication is atomic, so any number of goroutines sharing an
+// immutable graph (sweep workers, serve handlers) may attach and read
+// concurrently; concurrent first builds may publish
+// duplicate-but-identical snapshots, of which one wins — the same
+// contract as LayerPhaseIndex.
+func (g *Graph) SetMemAnnotation(v any) {
+	g.memAnnot.p.Store(&v)
+}
+
+// InvalidateMemAnnotation drops the memoized annotation, forcing the
+// next mem.AnnotationOf call to rebuild. Structural mutations and
+// MapLayers call it automatically (via InvalidateLayerPhaseIndex);
+// call it manually after hand-editing Task layer mappings or
+// Meta.Gradients.
+func (g *Graph) InvalidateMemAnnotation() {
+	g.memAnnot.p.Store(nil)
+}

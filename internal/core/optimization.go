@@ -453,6 +453,22 @@ func (s *stack) MeasureFunc() func(TaskView, *SimResult) (time.Duration, error) 
 	return nil
 }
 
+// StackParts returns the optimizations a Stack-composed value applies,
+// in application order — opt itself (as a one-element slice) for a
+// non-stack value, nil for nil or a no-op. Cross-cutting consumers use
+// it to probe each part for optional interfaces the stack does not
+// forward wholesale (internal/mem collects per-part MemMeasurers this
+// way). The returned slice is fresh; callers may keep it.
+func StackParts(opt Optimization) []Optimization {
+	if OptIsNoop(opt) {
+		return nil
+	}
+	if s, ok := opt.(*stack); ok {
+		return append([]Optimization(nil), s.parts...)
+	}
+	return []Optimization{opt}
+}
+
 // SimScheduler returns the last part's carried scheduling policy (the
 // same last-wins rule as MeasureFunc), or nil when no part carries one.
 func (s *stack) SimScheduler() Scheduler {

@@ -157,6 +157,32 @@ func ByName(name string) (*Model, error) {
 	return f(), nil
 }
 
+// zooAt registers the batch-parameterized constructors behind the zoo,
+// with sequence lengths fixed at the paper's defaults.
+var zooAt = map[string]func(batch int) *Model{
+	"resnet50":    ResNet50,
+	"vgg19":       VGG19,
+	"densenet121": DenseNet121,
+	"gnmt":        func(b int) *Model { return GNMT(b, 25) },
+	"bert-base":   func(b int) *Model { return BERTBase(b, 384) },
+	"bert-large":  func(b int) *Model { return BERTLarge(b, 384) },
+	"transformer": func(b int) *Model { return Transformer(b, 32) },
+}
+
+// ByNameAtBatch builds the named zoo model at an explicit batch size
+// (sequence lengths stay at the zoo defaults), for batch sweeps and
+// capacity fits.
+func ByNameAtBatch(name string, batch int) (*Model, error) {
+	f, ok := zooAt[name]
+	if !ok {
+		return nil, fmt.Errorf("dnn: unknown model %q (known: %v)", name, Names())
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("dnn: batch size must be positive, got %d", batch)
+	}
+	return f(batch), nil
+}
+
 // Names returns the sorted list of zoo model names.
 func Names() []string {
 	names := make([]string, 0, len(zoo))

@@ -101,6 +101,7 @@ func All() []Experiment {
 		{ID: "upgrade", Title: "Device-upgrade what-if validation (extension)", Run: Upgrade},
 		{ID: "ampgrid", Title: "Per-layer AMP attribution grid (incremental sweep)", Run: AMPLayerGrid},
 		{ID: "kcurve", Title: "Kernel-profile sensitivity curve (incremental sweep)", Run: KernelCurve},
+		{ID: "memgrid", Title: "Memory-vs-makespan trade-off grid (memory timeline extension)", Run: MemGrid},
 	}
 }
 

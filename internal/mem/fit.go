@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/core"
+	"daydream/internal/sweep"
+)
+
+// DefaultMaxBatch bounds the MaxBatchFit search when the caller passes
+// no ceiling.
+const DefaultMaxBatch = 4096
+
+// MaxBatchFit answers "what is the largest batch size that fits in
+// capacityBytes under optimization stack opt?" — the capacity question
+// the static dnn.MaxBatchSize estimates, answered against the
+// *simulated* peak instead of a static sum, so memory optimizations
+// (vDNN, Gist) raise the answer. build constructs the baseline graph
+// for a candidate batch size; each candidate is evaluated as one
+// scenario through the sweep tier (clone-free patch/overlay dispatch,
+// the opt's carried scheduler, MemMeasurer rewrites) by
+// doubling+bisection over [1, maxBatch] (maxBatch < 1 selects
+// DefaultMaxBatch). Returns 0 when batch 1 already exceeds capacity.
+func MaxBatchFit(capacityBytes int64, build func(batch int) (*core.Graph, error), opt core.Optimization, maxBatch int) (int, error) {
+	if capacityBytes <= 0 {
+		return 0, fmt.Errorf("mem: MaxBatchFit: capacity must be positive, got %d", capacityBytes)
+	}
+	if build == nil {
+		return 0, fmt.Errorf("mem: MaxBatchFit: nil build function")
+	}
+	if maxBatch < 1 {
+		maxBatch = DefaultMaxBatch
+	}
+	fits := func(b int) (bool, error) {
+		peak, err := PeakAtBatch(build, b, opt)
+		if err != nil {
+			return false, fmt.Errorf("mem: MaxBatchFit: batch %d: %w", b, err)
+		}
+		return peak <= capacityBytes, nil
+	}
+	ok, err := fits(1)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	// Doubling: grow until the first batch that does not fit (hi), then
+	// bisect (lo fits, hi does not; hi = maxBatch+1 counts as not-fit).
+	lo, hi := 1, 2
+	for hi <= maxBatch {
+		if ok, err = fits(hi); err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	if hi > maxBatch {
+		hi = maxBatch + 1
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if ok, err = fits(mid); err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// PeakAtBatch builds the graph for one batch size and returns its
+// simulated peak memory under opt, evaluated as a single scenario
+// through the sweep tier.
+func PeakAtBatch(build func(batch int) (*core.Graph, error), batch int, opt core.Optimization) (int64, error) {
+	g, err := build(batch)
+	if err != nil {
+		return 0, err
+	}
+	ann, err := AnnotationOf(g)
+	if err != nil {
+		return 0, err
+	}
+	measurers := MeasurersOf(opt)
+	var peak int64
+	sc := sweep.Scenario{
+		Name: fmt.Sprintf("fit-batch-%d", batch),
+		Opt:  opt,
+		Measure: func(v core.TaskView, res *core.SimResult) (time.Duration, error) {
+			prof, err := ComputeProfile(v, res, ann, measurers...)
+			if err != nil {
+				return 0, err
+			}
+			peak = prof.MaxPeak()
+			return res.Makespan, nil
+		},
+	}
+	rows, err := sweep.Run(g, []sweep.Scenario{sc}, sweep.Workers(1))
+	if err != nil {
+		return 0, err
+	}
+	if rows[0].Err != nil {
+		return 0, rows[0].Err
+	}
+	return peak, nil
+}

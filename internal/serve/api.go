@@ -177,6 +177,42 @@ type Attribution struct {
 	Pct    float64 `json:"pct"`
 }
 
+// MemoryTensor is one peak-attribution entry of a memory response: a
+// tensor live under the peak and the simulated interval it occupied
+// memory.
+type MemoryTensor struct {
+	Layer   string `json:"layer"`
+	Round   int    `json:"round"`
+	Bytes   int64  `json:"bytes"`
+	AllocNS int64  `json:"alloc_ns"`
+	FreeNS  int64  `json:"free_ns"`
+}
+
+// MemorySample is one timeline breakpoint: bytes allocated from t_ns
+// until the next sample.
+type MemorySample struct {
+	TNS   int64 `json:"t_ns"`
+	Bytes int64 `json:"bytes"`
+}
+
+// MemoryResponse answers GET /v1/baselines/{id}/memory: the baseline's
+// simulated memory timeline — peak bytes, the interval the peak holds
+// over, the constant resident load, and the largest tensors live under
+// the peak. With ?timeline=true it carries the full sample curve.
+type MemoryResponse struct {
+	ID              string         `json:"id"`
+	Model           string         `json:"model"`
+	Device          string         `json:"device"`
+	BaselineNS      int64          `json:"baseline_ns"`
+	ResidentBytes   int64          `json:"resident_bytes"`
+	PeakBytes       int64          `json:"peak_bytes"`
+	PeakStartNS     int64          `json:"peak_start_ns"`
+	PeakEndNS       int64          `json:"peak_end_ns"`
+	TimelineSamples int            `json:"timeline_samples"`
+	PeakTensors     []MemoryTensor `json:"peak_tensors"`
+	Timeline        []MemorySample `json:"timeline,omitempty"`
+}
+
 // DiagnoseResponse answers GET /v1/baselines/{id}/diagnose.
 type DiagnoseResponse struct {
 	ID         string        `json:"id"`

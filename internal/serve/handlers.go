@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"daydream/internal/core"
+	"daydream/internal/mem"
 	"daydream/internal/sweep"
 	"daydream/internal/whatif"
 )
@@ -27,6 +28,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/baselines/{id}/predict", s.wrap("predict", s.handlePredict))
 	mux.HandleFunc("POST /v1/baselines/{id}/sweep", s.wrap("sweep", s.handleSweep))
 	mux.HandleFunc("GET /v1/baselines/{id}/diagnose", s.wrap("diagnose", s.handleDiagnose))
+	mux.HandleFunc("GET /v1/baselines/{id}/memory", s.wrap("memory", s.handleMemory))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
@@ -356,6 +358,68 @@ func attributions(b *baseline, path []*core.Task, label func(*core.Task) string)
 	return out
 }
 
+// handleMemory sweeps the baseline's memory timeline over the schedule
+// retained at upload: the annotation memoizes on the immutable graph
+// (atomic, rebuild-once) and the profile is a pure post-pass over the
+// retained SimResult, so — like diagnose — the endpoint is read-only
+// and bypasses admission control. Traces without a layer mapping cannot
+// carry a timeline and are rejected as client errors. ?timeline=true
+// additionally returns every sample.
+func (s *Server) handleMemory(w http.ResponseWriter, r *http.Request) error {
+	b, err := s.retain(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	defer s.releaseBaseline(b)
+
+	ann, err := mem.AnnotationOf(b.g)
+	if err != nil {
+		return &badRequest{err}
+	}
+	prof, err := mem.ComputeProfile(b.g, b.res, ann)
+	if err != nil {
+		return err
+	}
+	d := prof.Device(mem.DeviceGPU)
+	resp := MemoryResponse{
+		ID:              b.id,
+		Model:           b.tr.Model,
+		Device:          d.Device,
+		BaselineNS:      int64(b.baselineNS),
+		ResidentBytes:   d.Resident,
+		PeakBytes:       d.Peak,
+		PeakStartNS:     int64(d.PeakStart),
+		PeakEndNS:       int64(d.PeakEnd),
+		TimelineSamples: len(d.Timeline),
+	}
+	tensors := d.PeakTensors
+	if len(tensors) > maxPeakTensors {
+		tensors = tensors[:maxPeakTensors]
+	}
+	resp.PeakTensors = make([]MemoryTensor, len(tensors))
+	for i, tu := range tensors {
+		resp.PeakTensors[i] = MemoryTensor{
+			Layer:   tu.Layer,
+			Round:   tu.Round,
+			Bytes:   tu.Bytes,
+			AllocNS: int64(tu.Alloc),
+			FreeNS:  int64(tu.Free),
+		}
+	}
+	if r.URL.Query().Get("timeline") == "true" {
+		resp.Timeline = make([]MemorySample, len(d.Timeline))
+		for i, sm := range d.Timeline {
+			resp.Timeline[i] = MemorySample{TNS: int64(sm.T), Bytes: sm.Bytes}
+		}
+	}
+	writeJSON(w, resp)
+	return nil
+}
+
+// maxPeakTensors caps the peak attribution list in a memory response;
+// the timeline query returns the full curve when a client wants more.
+const maxPeakTensors = 10
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, ErrDraining)
@@ -383,6 +447,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"predict":  s.stats.predict.snapshot(),
 			"sweep":    s.stats.sweep.snapshot(),
 			"diagnose": s.stats.diagnose.snapshot(),
+			"memory":   s.stats.memory.snapshot(),
 		},
 	}
 	if total := hits + misses; total > 0 {

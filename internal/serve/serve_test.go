@@ -190,6 +190,36 @@ func TestServeRoundTrip(t *testing.T) {
 		t.Fatalf("bad diagnose response: %+v", dg)
 	}
 
+	// Memory timeline over the schedule retained at upload.
+	resp, body = get(t, hs.URL+"/v1/baselines/"+up.ID+"/memory")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("memory: status %d, body %s", resp.StatusCode, body)
+	}
+	var mr MemoryResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.PeakBytes <= mr.ResidentBytes || mr.TimelineSamples == 0 || len(mr.PeakTensors) == 0 {
+		t.Fatalf("bad memory response: %+v", mr)
+	}
+	if mr.Timeline != nil {
+		t.Fatalf("timeline returned without ?timeline=true: %+v", mr)
+	}
+	resp, body = get(t, hs.URL+"/v1/baselines/"+up.ID+"/memory?timeline=true")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("memory timeline: status %d, body %s", resp.StatusCode, body)
+	}
+	var mrt MemoryResponse
+	if err := json.Unmarshal(body, &mrt); err != nil {
+		t.Fatal(err)
+	}
+	if len(mrt.Timeline) != mrt.TimelineSamples {
+		t.Fatalf("timeline carries %d samples, header says %d", len(mrt.Timeline), mrt.TimelineSamples)
+	}
+	if last := mrt.Timeline[len(mrt.Timeline)-1]; last.Bytes != mrt.ResidentBytes {
+		t.Fatalf("timeline does not balance back to resident: %d != %d", last.Bytes, mrt.ResidentBytes)
+	}
+
 	// Health and stats reflect the traffic above.
 	resp, body = get(t, hs.URL+"/healthz")
 	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok") {

@@ -73,6 +73,7 @@ type stats struct {
 	predict  endpointStats
 	sweep    endpointStats
 	diagnose endpointStats
+	memory   endpointStats
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -91,6 +92,8 @@ func (s *stats) endpoint(name string) *endpointStats {
 		return &s.sweep
 	case "diagnose":
 		return &s.diagnose
+	case "memory":
+		return &s.memory
 	}
 	return nil
 }

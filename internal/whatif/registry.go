@@ -127,6 +127,14 @@ var registry = []OptSpec{
 		},
 	},
 	{
+		Name:      "gist",
+		Summary:   "Gist activation compression: encode/decode kernels around targeted activations (§5.2, Algorithm 11)",
+		Footprint: core.Structural,
+		Build: func(OptParams) (core.Optimization, error) {
+			return OptGist(GistOptions{}), nil
+		},
+	},
+	{
 		Name:      "distributed",
 		Summary:   "data-parallel scaling from a single-GPU profile (Algorithm 6)",
 		Params:    "topology",

@@ -17,6 +17,7 @@ func TestRegistryNamesAndFootprints(t *testing.T) {
 		"reconbn":         core.TimingOnly,
 		"reconbn-removal": core.Structural,
 		"vdnn":            core.Structural,
+		"gist":            core.Structural,
 		"distributed":     core.Structural,
 		"p3":              core.Structural,
 		"upgrade":         core.TimingOnly,

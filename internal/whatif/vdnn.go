@@ -2,9 +2,11 @@ package whatif
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"daydream/internal/core"
+	"daydream/internal/mem"
 	"daydream/internal/trace"
 )
 
@@ -201,6 +203,44 @@ func (v *vdnnOpt) Apply(p *core.Patch) error { return VDNNPatch(p, v.opts) }
 
 // SimScheduler implements core.SchedulerCarrier.
 func (v *vdnnOpt) SimScheduler() core.Scheduler { return VDNNScheduler{} }
+
+// RewriteTensors implements mem.MemMeasurer: an offloaded activation is
+// device-resident only from its producer until its vdnn_offload copy
+// drains to the host, and again from its vdnn_prefetch back — the
+// memory half of Algorithm 10 that the latency edits alone never
+// expressed. The rewrite finds the optimization's own offload/prefetch
+// tasks in the view by the naming convention vdnnInto emits, so it is
+// identical over a Patch and over the materialized clone.
+func (v *vdnnOpt) RewriteTensors(view core.TaskView, tensors []mem.Tensor) ([]mem.Tensor, error) {
+	offload := make(map[string]int)
+	prefetch := make(map[string]int)
+	for _, t := range view.Tasks() {
+		if t.Thread.Kind != core.CommChannel || t.Thread.Name != vdnnCopyChannel {
+			continue
+		}
+		if layer, ok := strings.CutPrefix(t.Name, "vdnn_offload "); ok {
+			offload[layer] = t.ID
+		} else if layer, ok := strings.CutPrefix(t.Name, "vdnn_prefetch "); ok {
+			prefetch[layer] = t.ID
+		}
+	}
+	out := make([]mem.Tensor, 0, len(tensors))
+	for _, tn := range tensors {
+		off, okOff := offload[tn.Layer]
+		pre, okPre := prefetch[tn.Layer]
+		if !okOff || !okPre {
+			out = append(out, tn)
+			continue
+		}
+		onDevice := tn
+		onDevice.Consumers = []int{off}
+		refetched := tn
+		refetched.Producer = pre
+		refetched.Consumers = append([]int(nil), tn.Consumers...)
+		out = append(out, onDevice, refetched)
+	}
+	return out, nil
+}
 
 // gateIndex picks the layer whose backward pass releases a prefetch:
 // distance layers above li, clamped to the model.
