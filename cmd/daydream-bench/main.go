@@ -205,6 +205,18 @@ func runMicro(path, against string, tolerance float64, timeout time.Duration) er
 		}
 	}
 	layerScenarios := fig5LayerScenarios(g)
+	var pipelineScenarios []sweep.Scenario
+	for _, stages := range []int{2, 4} {
+		for _, mb := range []int{2, 4, 8} {
+			for _, sched := range []string{whatif.Schedule1F1B, whatif.ScheduleGPipe} {
+				pipelineScenarios = append(pipelineScenarios, sweep.Scenario{
+					Opt: whatif.OptPipeline(whatif.PipelineOptions{
+						Stages: stages, Microbatches: mb, Schedule: sched,
+					}),
+				})
+			}
+		}
+	}
 
 	// The serving benchmarks go through a real localhost listener so
 	// BENCH.json tracks the whole request path, not just the simulator.
@@ -419,6 +431,49 @@ func runMicro(path, against string, tolerance float64, timeout time.Duration) er
 			for i := 0; i < b.N; i++ {
 				if _, err := sweep.Run(nil, fig8Scenarios, sweepOpts...); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		// The pipegrid experiment's shape: every (stages × microbatches
+		// × schedule) partitioning as a structural patch scenario under
+		// its carried 1F1B/GPipe scheduler, all over one shared
+		// baseline.
+		{"PipelineSweep", len(pipelineScenarios), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(g, pipelineScenarios, sweepOpts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// A Repeat(1000)-scale pipeline simulation in windowed mode:
+		// 1000 microbatches through 4 stages under 1F1B with an 8-round
+		// window. Beyond the ns/op trajectory this pins the window's
+		// memory contract on every run — all but the last 8 rounds must
+		// retire, and the per-task start storage must stay O(window)
+		// (1F1B's admission cap bounds the skew), not O(microbatches).
+		{"WindowedRepeatSimulate", 0, func(b *testing.B) {
+			opt := whatif.OptPipeline(whatif.PipelineOptions{Stages: 4, Microbatches: 1000})
+			p := daydream.NewPatch(g)
+			if err := opt.Apply(p); err != nil {
+				b.Fatal(err)
+			}
+			const stages, rounds, window = 4, 1000, 8
+			perRound := (p.NumTasks() - g.NumTasks() + rounds - 1) / rounds
+			budget := g.NumTasks() + (window+2*stages)*2*perRound
+			sched := core.OptScheduler(opt)
+			scratch := core.NewSimScratch()
+			buf := &daydream.SimResult{}
+			for i := 0; i < b.N; i++ {
+				res, err := p.Simulate(core.WithScratch(scratch), core.WithResultBuffer(buf),
+					core.WithScheduler(sched), core.WithRoundWindow(window))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := res.RetiredRounds(); got != rounds-window {
+					b.Fatalf("retired %d rounds, want %d", got, rounds-window)
+				}
+				if occ := res.WindowOccupancy(); occ > budget {
+					b.Fatalf("window occupancy %d exceeds O(window) budget %d", occ, budget)
 				}
 			}
 		}},

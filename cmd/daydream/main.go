@@ -368,6 +368,7 @@ func cmdSweep(args []string) error {
 	machines := fs.Int("machines", 4, "machines for explicit -opt distributed/p3 expressions")
 	gpus := fs.Int("gpus", 1, "GPUs per machine for explicit -opt distributed/p3 expressions")
 	explain := fs.Bool("explain", false, "print the simulation tier each scenario dispatched to (replay/incremental/overlay/patch/clone)")
+	window := fs.Int("window", 0, "simulate with a round window: retire rounds older than the last N into per-round summaries instead of keeping every per-task start (0 = full materialization)")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit); timed-out scenarios become typed error rows")
 	params := optParamFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -445,15 +446,29 @@ func cmdSweep(args []string) error {
 		}
 	}
 
+	if *window > 0 {
+		for i := range scenarios {
+			scenarios[i].SimOptions = append(scenarios[i].SimOptions,
+				daydream.WithRoundWindow(*window))
+		}
+	}
+
 	start := time.Now()
 	ctx, cancel := timeoutContext(*timeout)
 	defer cancel()
+	sweepOpts := []daydream.SweepOption{
+		daydream.SweepWorkers(*workers), daydream.SweepContext(ctx),
+	}
+	if *explain && *window > 0 {
+		// -explain reads retired-round counts and window occupancy off
+		// each scenario's SimResult, so windowed explain runs retain it.
+		sweepOpts = append(sweepOpts, daydream.SweepKeepSims())
+	}
 	// Per-scenario failures (e.g. vdnn on a model without offloadable
 	// conv activations) are reported as rows, not a battery abort: the
 	// sweep still returns every other scenario's prediction — and a
 	// -timeout expiry turns the unfinished tail into typed rows.
-	results, sweepErr := daydream.Sweep(g, scenarios,
-		daydream.SweepWorkers(*workers), daydream.SweepContext(ctx))
+	results, sweepErr := daydream.Sweep(g, scenarios, sweepOpts...)
 	if results == nil {
 		return sweepErr
 	}
@@ -473,10 +488,39 @@ func cmdSweep(args []string) error {
 			r.Name, r.Value, 100*(float64(r.Value)/float64(tr.IterationTime)-1))
 		if *explain {
 			fmt.Printf("  %s", r.Tier)
+			if r.Sim != nil && r.Sim.Windowed() {
+				fmt.Printf("  window[retired=%d occupancy=%d]",
+					r.Sim.RetiredRounds(), r.Sim.WindowOccupancy())
+			}
+			if p := pipelineRowParams(r.Name); p != "" {
+				fmt.Printf("  %s", p)
+			}
 		}
 		fmt.Println()
 	}
 	return nil
+}
+
+// pipelineRowParams decodes a pipeline stack element's inline grid for
+// -explain rows ("pipeline:4x8:gpipe" → "stages=4 microbatches=8
+// schedule=gpipe"); non-pipeline scenario names yield "".
+func pipelineRowParams(name string) string {
+	for _, elem := range strings.Split(name, "+") {
+		arg, ok := strings.CutPrefix(elem, "pipeline:")
+		if !ok {
+			continue
+		}
+		grid, sched, has := strings.Cut(arg, ":")
+		var s, m int
+		if _, err := fmt.Sscanf(grid, "%dx%d", &s, &m); err != nil {
+			continue
+		}
+		if !has {
+			sched = "1f1b"
+		}
+		return fmt.Sprintf("stages=%d microbatches=%d schedule=%s", s, m, sched)
+	}
+	return ""
 }
 
 func cmdDiagnose(args []string) error {

@@ -210,6 +210,17 @@ var (
 	// panicked; the row's error is a *SweepPanicError carrying the
 	// panic value and stack, and the worker's buffers were quarantined.
 	ErrSweepPanic = sweep.ErrPanic
+	// ErrNotRoundMajor marks a round-windowed simulation over a view
+	// whose task IDs are not non-decreasing in Task.Round — the layout
+	// WithRoundWindow's sliding storage requires. Repeated graphs and
+	// round-major patch appendices (OptPipeline's) satisfy it by
+	// construction.
+	ErrNotRoundMajor = core.ErrNotRoundMajor
+	// ErrWindowedResult marks an operation that needs the full start
+	// array of an unwindowed result — ComputeMemoryProfile, incremental
+	// warm builds — applied to a round-windowed one; re-simulate without
+	// WithRoundWindow.
+	ErrWindowedResult = core.ErrWindowedResult
 )
 
 type (
@@ -223,6 +234,22 @@ type (
 	// It unwraps to ErrSweepPanic.
 	SweepPanicError = sweep.PanicError
 )
+
+// RoundSummary is the retained record of a round retired by a
+// round-windowed simulation: its completion time, its makespan
+// contribution (Span, which converges to the steady-state iteration or
+// microbatch time), and its per-thread ends.
+type RoundSummary = core.RoundSummary
+
+// WithRoundWindow enables round-windowed simulation on a round-major
+// view (a repeated graph, or a pipeline patch whose microbatches ride
+// Task.Round): rounds more than w rounds behind the completion frontier
+// retire into RoundSummary records and their per-task starts are
+// evicted, so simulating thousands of rounds costs O(window) result
+// memory instead of O(rounds). The retained window reads bit-identically
+// to an unwindowed run through SimResult.StartOf/Finish; full-array
+// consumers reject windowed results with ErrWindowedResult.
+func WithRoundWindow(w int) SimOption { return core.WithRoundWindow(w) }
 
 // WithContext bounds one simulation by ctx: the simulator checks it on
 // entry and every few thousand scheduling steps, returning a typed
@@ -474,6 +501,24 @@ func OptVDNN() Optimization { return whatif.OptVDNN(whatif.VDNNOptions{}) }
 // compressed activations' predicted savings alongside the encode/decode
 // latency overhead.
 func OptGist() Optimization { return whatif.OptGist(whatif.GistOptions{}) }
+
+// PipelineOptions configures OptPipeline: stage count, microbatch
+// count, schedule ("1f1b" or "gpipe") and inter-stage link bandwidth.
+// Zero values select the defaults (2 stages × 4 microbatches, 1F1B,
+// NVLink-class links).
+type PipelineOptions = whatif.PipelineOptions
+
+// OptPipeline returns the pipeline-parallel what-if as an Optimization
+// value: the model's layers are partitioned into balanced contiguous
+// stages on distinct accelerator streams, microbatches stream through
+// the stage pipeline with activation/gradient transfers on inter-stage
+// links, and the value carries its microbatch-ordering Scheduler (1F1B
+// with PipeDream's in-flight cap, or GPipe's fill-then-drain). It
+// applies as clone-free structural patch deltas whose microbatch index
+// rides Task.Round — a round-major layout — so large-microbatch
+// pipelines simulate under WithRoundWindow in O(window) memory. The
+// registry form accepts inline parameters: "pipeline:4x8:gpipe".
+func OptPipeline(opts PipelineOptions) Optimization { return whatif.OptPipeline(opts) }
 
 // OptDeviceUpgrade returns the device-upgrade what-if as an Optimization
 // value. Names resolve like DeviceUpgrade's: short presets and full

@@ -1,0 +1,97 @@
+// Pipeline planner: answer PipeDream/GPipe's planning question — how
+// should a model's layers be split into pipeline stages, and how many
+// microbatches should flow through them? — from one single-GPU profile.
+// Every candidate partitioning is an Optimization value over the shared
+// baseline, so the whole grid is a single clone-free sweep; the chosen
+// split is then re-simulated at steady-state scale (1000 microbatches)
+// in round-windowed mode, which holds per-task starts for only the last
+// few microbatches and retires the rest into per-round summaries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daydream"
+)
+
+func main() {
+	tr, err := daydream.Collect(daydream.CollectConfig{Model: "resnet50"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := daydream.BuildGraph(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := g.PredictIteration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s — pipeline partitioning grid (single-GPU iteration: %v)\n\n", tr.Model, single)
+
+	// The grid: stages × microbatches × schedule, one scenario each.
+	type point struct {
+		stages, micro int
+		schedule      string
+	}
+	var grid []point
+	var scenarios []daydream.Scenario
+	for _, s := range []int{2, 4} {
+		for _, m := range []int{2, 4, 8, 16} {
+			for _, sched := range []string{"1f1b", "gpipe"} {
+				grid = append(grid, point{s, m, sched})
+				scenarios = append(scenarios, daydream.Scenario{
+					Opt: daydream.OptPipeline(daydream.PipelineOptions{
+						Stages: s, Microbatches: m, Schedule: sched,
+					}),
+				})
+			}
+		}
+	}
+	results, err := daydream.Sweep(g, scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := -1
+	fmt.Printf("%-8s %-13s %-9s %-14s %s\n", "stages", "microbatches", "schedule", "iteration", "vs 1 GPU")
+	for i, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("%-8d %-13d %-9s %-14v %+.1f%%\n",
+			grid[i].stages, grid[i].micro, grid[i].schedule, r.Value,
+			100*(float64(r.Value)/float64(single)-1))
+		if best < 0 || r.Value < results[best].Value {
+			best = i
+		}
+	}
+	choice := grid[best]
+	fmt.Printf("\nbest split: %d stages × %d microbatches under %s (%v)\n",
+		choice.stages, choice.micro, choice.schedule, results[best].Value)
+
+	// Steady state: the chosen partitioning with 1000 microbatches in
+	// flight, simulated with an 8-round window. 1F1B's admission cap
+	// bounds cross-stage skew, so the run holds O(window) per-task
+	// starts while the retired summaries still report every round.
+	const microbatches, window = 1000, 8
+	steady, err := daydream.Sweep(g, []daydream.Scenario{{
+		Opt: daydream.OptPipeline(daydream.PipelineOptions{
+			Stages: choice.stages, Microbatches: microbatches, Schedule: "1f1b",
+		}),
+		SimOptions: []daydream.SimOption{daydream.WithRoundWindow(window)},
+	}}, daydream.SweepKeepSims())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := steady[0].Sim
+	fmt.Printf("\nsteady state (%d microbatches, %d-round window): %v total\n",
+		microbatches, window, steady[0].Value)
+	fmt.Printf("retired %d rounds into summaries; window held %d task slots (baseline graph alone has %d tasks)\n",
+		res.RetiredRounds(), res.WindowOccupancy(), g.NumTasks())
+	sums := res.Summaries()
+	fmt.Printf("mid-stream round spans (the per-microbatch steady-state cost):\n")
+	for _, s := range sums[len(sums)/2 : len(sums)/2+choice.stages] {
+		fmt.Printf("  round %-4d span %v\n", s.Round, s.Span)
+	}
+}

@@ -38,6 +38,38 @@
 //     only for rewriters that must replace the graph (OptP3's Repeat
 //     form, manual Transforms).
 //
+// # Round windows
+//
+// WithRoundWindow(w) puts any simulation — Graph, Overlay, Patch,
+// scheduled or not — into windowed mode: rounds more than w behind the
+// newest finished round are retired into RoundSummary records (round
+// end, span contribution, per-thread ends including gaps) and their
+// per-task start storage is reclaimed, so a Repeat(1000)-scale run
+// holds O(window) starts instead of O(rounds). The contract:
+//
+//   - Eligibility: task IDs must be non-decreasing in Task.Round
+//     (round-major order, which Repeat and the pipeline appendix
+//     produce). A violating view fails fast with ErrNotRoundMajor
+//     before simulating.
+//   - Retained window: StartOf, Finish and TaskDuration on tasks of
+//     the last w rounds are bit-identical to the unwindowed run, as
+//     are Makespan, ThreadEnd and RoundSpan (served from summaries for
+//     retired rounds). SimResult.Start is empty on windowed results —
+//     always read through the accessors.
+//   - Retired rounds: StartOf reports !ok; Finish/TaskDuration panic,
+//     the same way out-of-range IDs do. Summaries() exposes the
+//     retired rounds' aggregates, RetiredRounds() their count, and
+//     WindowOccupancy() the high-water per-task slots held.
+//   - Full-array consumers: code that needs every start (the
+//     internal/mem post-pass) rejects windowed results with
+//     ErrWindowedResult; the documented fallback is to re-simulate
+//     without the window — full materialization costs exactly one
+//     unwindowed run, never a hidden partial answer.
+//   - Memory bound: O(window) occupancy also needs the graph to
+//     couple rounds across threads (e.g. 1F1B's admission cap). An
+//     uncoupled thread may run arbitrarily far ahead, and the window
+//     tracks the skew — correct, just not smaller.
+//
 // # Failure modes
 //
 // Every way a simulation can fail is a typed sentinel, matchable with

@@ -272,7 +272,11 @@ func (s *IncrementalSim) ReSimulate(view TaskView, opts ...SimOption) (*SimResul
 	if err != nil {
 		return nil, err
 	}
-	if cold || s.negWarm || customScheduler(so.scheduler) != nil || (o != nil && o.prioEdited) {
+	// A round window cannot ride the warm schedule: fillResult
+	// reconstructs the full start array the window exists to avoid. The
+	// cold fallback forwards the caller's options verbatim, so the
+	// window takes effect there.
+	if cold || so.window > 0 || s.negWarm || customScheduler(so.scheduler) != nil || (o != nil && o.prioEdited) {
 		return s.coldSimulate(view, opts)
 	}
 

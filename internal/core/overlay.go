@@ -169,6 +169,34 @@ func (o *Overlay) crossover() int {
 // regardless.
 func (o *Overlay) DenseEdits() bool { return o.dense }
 
+// EstimateConeSize estimates, before any warm schedule exists, the
+// affected cone of the overlay's timing delta: an upper bound on how
+// many tasks an incremental re-simulation could recompute, along with
+// the baseline's task span. The bound takes everything at or after the
+// earliest edited ID — trace-built graphs assign IDs in record order,
+// so schedule order tracks ID order closely. Batching callers (the
+// sweep's tier chooser) route near-total cones straight to overlay
+// replay: a handful of edits at the very front of the iteration
+// invalidates almost the whole warm schedule, so arming and building
+// incremental state would cost a cold simulation only to fall back
+// anyway. A dense overlay reports a total cone.
+func (o *Overlay) EstimateConeSize() (cone, total int) {
+	total = len(o.base.tasks)
+	if o.dense {
+		return total, total
+	}
+	if len(o.sparse) == 0 {
+		return 0, total
+	}
+	min := total
+	for id := range o.sparse {
+		if id < min {
+			min = id
+		}
+	}
+	return total - min, total
+}
+
 // densify materializes the dense per-ID arrays from the baseline
 // snapshot plus the sparse edits, then retires the map.
 func (o *Overlay) densify() {
@@ -392,10 +420,31 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 	n := len(g.tasks)
 	scratch.ensure(n)
 
-	res := newResult(so.result, n, len(g.threads))
-	res.dur = growDurations(res.dur, n)
-	res.gap = growDurations(res.gap, n)
-	o.fillTiming(res.dur, res.gap)
+	resN := n
+	if so.window > 0 {
+		resN = 0 // windowed: starts and timings live in the window rings
+	}
+	res := newResult(so.result, resN, len(g.threads))
+	var dur, gap []time.Duration
+	if so.window > 0 {
+		win, err := newWindowState(o, so.window, true)
+		if err != nil {
+			return nil, err
+		}
+		res.win = win
+		// The loop still wants O(1) effective-timing reads, but the
+		// full arrays must not ride the retained result — borrow
+		// scratch storage instead, and let record copy each dispatched
+		// task's timings into the O(window) rings.
+		scratch.effDur = growDurations(scratch.effDur, n)
+		scratch.effGap = growDurations(scratch.effGap, n)
+		dur, gap = scratch.effDur, scratch.effGap
+	} else {
+		res.dur = growDurations(res.dur, n)
+		res.gap = growDurations(res.gap, n)
+		dur, gap = res.dur, res.gap
+	}
+	o.fillTiming(dur, gap)
 	if s := customScheduler(so.scheduler); s != nil {
 		if o.prioEdited && isLegacySched(s) {
 			return nil, fmt.Errorf("core: Overlay.Simulate: priority overlays are invisible to a legacy Scheduler (AdaptScheduler reads Task.Priority from the shared baseline); migrate the policy to the view-generic Pick(frontier, ctx) contract")
@@ -417,7 +466,7 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 		earliest[id] = 0
 	}
 
-	dur, gap, threadOf := res.dur, res.gap, o.threadOf
+	threadOf := o.threadOf
 	// Per-thread progress, -1 = thread not yet touched (so the result
 	// map gets exactly the entries a plain simulation would).
 	tEnds := growDurations(scratch.threadEnds, len(o.threadIDs))
@@ -450,8 +499,12 @@ func (o *Overlay) Simulate(opts ...SimOption) (*SimResult, error) {
 			h = heapPush(h, heapEntry{start, e.prio, u})
 			continue
 		}
-		res.Start[u.ID] = start
 		end := start + dur[u.ID] + gap[u.ID]
+		if res.win == nil {
+			res.Start[u.ID] = start
+		} else {
+			res.win.record(u, start, dur[u.ID], gap[u.ID])
+		}
 		tEnds[threadOf[u.ID]] = end
 		if end > res.Makespan {
 			res.Makespan = end

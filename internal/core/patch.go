@@ -791,13 +791,33 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 	}
 	scratch.ensure(n)
 
-	res := newResult(so.result, n, len(g.threads)+1)
-	res.dur = growDurations(res.dur, n)
-	res.gap = growDurations(res.gap, n)
-	o.fillTiming(res.dur[:baseSpan], res.gap[:baseSpan])
+	resN := n
+	if so.window > 0 {
+		resN = 0 // windowed: starts and timings live in the window rings
+	}
+	res := newResult(so.result, resN, len(g.threads)+1)
+	var dur, gap []time.Duration
+	if so.window > 0 {
+		win, err := newWindowState(p, so.window, true)
+		if err != nil {
+			return nil, err
+		}
+		res.win = win
+		// Effective timings go to borrowed scratch storage so the
+		// retained result stays O(window); record copies each dispatched
+		// task's timings into the rings.
+		scratch.effDur = growDurations(scratch.effDur, n)
+		scratch.effGap = growDurations(scratch.effGap, n)
+		dur, gap = scratch.effDur, scratch.effGap
+	} else {
+		res.dur = growDurations(res.dur, n)
+		res.gap = growDurations(res.gap, n)
+		dur, gap = res.dur, res.gap
+	}
+	o.fillTiming(dur[:baseSpan], gap[:baseSpan])
 	for i, t := range p.added {
-		res.dur[baseSpan+i] = t.Duration
-		res.gap[baseSpan+i] = t.Gap
+		dur[baseSpan+i] = t.Duration
+		gap[baseSpan+i] = t.Gap
 	}
 	if s := customScheduler(so.scheduler); s != nil {
 		if (o.prioEdited || o.timingEdited) && isLegacySched(s) {
@@ -897,7 +917,7 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 		}
 	}
 
-	dur, gap, threadOf := res.dur, res.gap, p.threadOf
+	threadOf := p.threadOf
 	tEnds := growDurations(scratch.threadEnds, len(p.threadIDs))
 	scratch.threadEnds = tEnds
 	for i := range tEnds {
@@ -933,8 +953,12 @@ func (p *Patch) Simulate(opts ...SimOption) (*SimResult, error) {
 			h = heapPush(h, heapEntry{start, e.prio, u})
 			continue
 		}
-		res.Start[u.ID] = start
 		end := start + dur[u.ID] + gap[u.ID]
+		if res.win == nil {
+			res.Start[u.ID] = start
+		} else {
+			res.win.record(u, start, dur[u.ID], gap[u.ID])
+		}
 		tEnds[threadOf[u.ID]] = end
 		if end > res.Makespan {
 			res.Makespan = end

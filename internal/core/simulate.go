@@ -158,12 +158,27 @@ type SimResult struct {
 	// through them so result consumers never see baseline timings for
 	// an overlaid task.
 	dur, gap []time.Duration
+
+	// win holds the sliding-window state of a round-windowed simulation
+	// (WithRoundWindow); nil for ordinary results. When set, Start is
+	// empty and per-task reads route through the window.
+	win *windowState
 }
 
 // TaskDuration returns the task duration the simulation used: the
 // overlay's effective duration for an overlay simulation, the task's own
-// Duration otherwise.
+// Duration otherwise. On a windowed result the task must be within the
+// retained window.
 func (r *SimResult) TaskDuration(t *Task) time.Duration {
+	if w := r.win; w != nil {
+		if w.durRing == nil {
+			return t.Duration
+		}
+		if t.ID < w.lo[w.retired] {
+			w.retiredPanic("TaskDuration", t)
+		}
+		return w.durRing[t.ID%len(w.durRing)]
+	}
 	if len(r.dur) > t.ID {
 		return r.dur[t.ID]
 	}
@@ -173,14 +188,32 @@ func (r *SimResult) TaskDuration(t *Task) time.Duration {
 // TaskGap returns the gap the simulation used for the task (see
 // TaskDuration).
 func (r *SimResult) TaskGap(t *Task) time.Duration {
+	if w := r.win; w != nil {
+		if w.gapRing == nil {
+			return t.Gap
+		}
+		if t.ID < w.lo[w.retired] {
+			w.retiredPanic("TaskGap", t)
+		}
+		return w.gapRing[t.ID%len(w.gapRing)]
+	}
 	if len(r.gap) > t.ID {
 		return r.gap[t.ID]
 	}
 	return t.Gap
 }
 
-// Finish returns the simulated completion time of a task.
+// Finish returns the simulated completion time of a task. On a windowed
+// result the task must be within the retained window (use
+// Summaries/RoundSpan for retired rounds).
 func (r *SimResult) Finish(t *Task) time.Duration {
+	if w := r.win; w != nil {
+		start, ok := w.startOf(t.ID)
+		if !ok {
+			w.retiredPanic("Finish", t)
+		}
+		return start + r.TaskDuration(t)
+	}
 	return r.Start[t.ID] + r.TaskDuration(t)
 }
 
@@ -196,12 +229,14 @@ func (r *SimResult) Reset() {
 	}
 	r.dur = r.dur[:0]
 	r.gap = r.gap[:0]
+	r.win = nil
 }
 
 // Clone returns a deep copy of the result: the copy shares no storage
 // with the original, so one can keep a warm baseline result alive (for
 // incremental re-simulation or later inspection) while the original's
-// buffer is reused by the next simulation.
+// buffer is reused by the next simulation. Window state (rings,
+// summaries) is deep-copied too.
 func (r *SimResult) Clone() *SimResult {
 	c := &SimResult{
 		Makespan: r.Makespan,
@@ -214,6 +249,39 @@ func (r *SimResult) Clone() *SimResult {
 		for k, v := range r.ThreadEnd {
 			c.ThreadEnd[k] = v
 		}
+	}
+	if r.win != nil {
+		w := *r.win
+		w.lo = append([]int(nil), r.win.lo...)
+		w.hi = append([]int(nil), r.win.hi...)
+		w.left = append([]int(nil), r.win.left...)
+		w.rEnd = append([]time.Duration(nil), r.win.rEnd...)
+		w.rThreads = make([]map[ThreadID]time.Duration, len(r.win.rThreads))
+		for i, m := range r.win.rThreads {
+			if m == nil {
+				continue
+			}
+			cm := make(map[ThreadID]time.Duration, len(m))
+			for k, v := range m {
+				cm[k] = v
+			}
+			w.rThreads[i] = cm
+		}
+		w.ring = append([]time.Duration(nil), r.win.ring...)
+		w.durRing = append([]time.Duration(nil), r.win.durRing...)
+		w.gapRing = append([]time.Duration(nil), r.win.gapRing...)
+		w.summaries = make([]RoundSummary, len(r.win.summaries))
+		for i, s := range r.win.summaries {
+			cs := s
+			if s.ThreadEnd != nil {
+				cs.ThreadEnd = make(map[ThreadID]time.Duration, len(s.ThreadEnd))
+				for k, v := range s.ThreadEnd {
+					cs.ThreadEnd[k] = v
+				}
+			}
+			w.summaries[i] = cs
+		}
+		c.win = &w
 	}
 	return c
 }
@@ -244,9 +312,11 @@ func newResult(buf *SimResult, n, threads int) *SimResult {
 		}
 	}
 	// Keep the capacity, drop the content: a plain simulation must not
-	// inherit a previous overlay simulation's timings.
+	// inherit a previous overlay simulation's timings (or a previous
+	// windowed simulation's window).
 	buf.dur = buf.dur[:0]
 	buf.gap = buf.gap[:0]
+	buf.win = nil
 	return buf
 }
 
@@ -263,6 +333,10 @@ type SimScratch struct {
 	frontier   []*Task
 	prio       []int           // effective priorities for overlay simulations
 	threadEnds []time.Duration // per-thread-ordinal progress for overlay simulations
+	// effDur and effGap hold the effective timings of a *windowed*
+	// overlay/patch simulation: transient loop state, so the retained
+	// result stays O(window) while timing reads stay O(1).
+	effDur, effGap []time.Duration
 }
 
 // NewSimScratch returns an empty scratch, ready for WithScratch.
@@ -356,6 +430,10 @@ type simOptions struct {
 	// (pop) order — a valid topological order of the effective edge set.
 	// IncrementalSim records the warm schedule through it.
 	execOrder *[]int32
+	// window, when positive, enables round-windowed simulation
+	// (WithRoundWindow): retired rounds keep only a RoundSummary while
+	// a sliding window of that many rounds keeps full per-task starts.
+	window int
 }
 
 // cancelCheckInterval is how many task dispatches pass between context
@@ -468,7 +546,18 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 	n := len(g.tasks)
 	scratch.ensure(n)
 
-	res := newResult(o.result, n, len(g.threads))
+	resN := n
+	if o.window > 0 {
+		resN = 0 // windowed: starts live in the window rings, not Start
+	}
+	res := newResult(o.result, resN, len(g.threads))
+	if o.window > 0 {
+		win, err := newWindowState(g, o.window, false)
+		if err != nil {
+			return nil, err
+		}
+		res.win = win
+	}
 	if s := customScheduler(o.scheduler); s != nil {
 		return simulateScheduled(g, s, scratch, res, o.ctx)
 	}
@@ -502,8 +591,12 @@ func (g *Graph) Simulate(opts ...SimOption) (*SimResult, error) {
 			h = heapPush(h, heapEntry{start, u.Priority, u})
 			continue
 		}
-		res.Start[u.ID] = start
 		end := start + u.Duration + u.Gap
+		if res.win == nil {
+			res.Start[u.ID] = start
+		} else {
+			res.win.record(u, start, u.Duration, u.Gap)
+		}
 		res.ThreadEnd[u.Thread] = end
 		if end > res.Makespan {
 			res.Makespan = end
@@ -605,8 +698,13 @@ func simulateScheduled(v schedView, sched Scheduler, scratch *SimScratch, res *S
 		frontier[i] = frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]
 		start := sctx.EffStart(u)
-		res.Start[u.ID] = start
-		end = start + v.Duration(u) + v.Gap(u)
+		d, gp := v.Duration(u), v.Gap(u)
+		end = start + d + gp
+		if res.win == nil {
+			res.Start[u.ID] = start
+		} else {
+			res.win.record(u, start, d, gp)
+		}
 		res.ThreadEnd[u.Thread] = end
 		if end > res.Makespan {
 			res.Makespan = end

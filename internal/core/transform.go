@@ -239,6 +239,11 @@ func (g *Graph) Repeat(n int) (*Graph, error) {
 // steady-state iteration time of an n-round graph is RoundSpan(r) −
 // RoundSpan(r−1).
 func RoundSpan(v TaskView, res *SimResult, round int) time.Duration {
+	// On a windowed result, retired rounds answer from their summary;
+	// retained rounds fall through to the per-task scan below.
+	if w := res.win; w != nil && round >= 0 && round < w.retired {
+		return w.summaries[round].End
+	}
 	var end time.Duration
 	for _, t := range v.Tasks() {
 		if t.Round != round {

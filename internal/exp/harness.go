@@ -102,6 +102,7 @@ func All() []Experiment {
 		{ID: "ampgrid", Title: "Per-layer AMP attribution grid (incremental sweep)", Run: AMPLayerGrid},
 		{ID: "kcurve", Title: "Kernel-profile sensitivity curve (incremental sweep)", Run: KernelCurve},
 		{ID: "memgrid", Title: "Memory-vs-makespan trade-off grid (memory timeline extension)", Run: MemGrid},
+		{ID: "pipegrid", Title: "Pipeline partitioning grid — stages × microbatches vs data-parallel (pipeline extension)", Run: PipeGrid},
 	}
 }
 

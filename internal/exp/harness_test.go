@@ -38,8 +38,8 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(seen) != 14 {
-		t.Errorf("%d experiments, want 14 (Table 2, Figs 5–10, §6.4, Table 1, ablation, upgrade, ampgrid, kcurve, memgrid)", len(seen))
+	if len(seen) != 15 {
+		t.Errorf("%d experiments, want 15 (Table 2, Figs 5–10, §6.4, Table 1, ablation, upgrade, ampgrid, kcurve, memgrid, pipegrid)", len(seen))
 	}
 }
 

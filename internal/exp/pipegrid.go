@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"daydream/internal/comm"
+	"daydream/internal/framework"
+	"daydream/internal/sweep"
+	"daydream/internal/whatif"
+)
+
+// The pipeline grid asks PipeDream's planning question as a what-if
+// sweep: given one single-GPU profile, which (stages × microbatches)
+// partitioning — under which schedule — minimizes the per-iteration
+// makespan, and how does each split compare against simply going
+// data-parallel over the same number of GPUs? Every scenario is a
+// structural patch over the shared profile (stage skeleton + carried
+// 1F1B/GPipe scheduler), so the whole grid runs clone-free.
+
+// pipegridModels are the models the grid partitions (the acceptance
+// pair: an attention-heavy and a conv-heavy workload).
+var pipegridModels = []string{"bert-large", "resnet50"}
+
+// pipegridStages and pipegridMicrobatches span the grid.
+var (
+	pipegridStages       = []int{2, 4}
+	pipegridMicrobatches = []int{2, 4, 8}
+	pipegridSchedules    = []string{whatif.Schedule1F1B, whatif.ScheduleGPipe}
+)
+
+// PipeGridRow is one (model, stages, microbatches, schedule) point.
+type PipeGridRow struct {
+	Model        string
+	Stages       int
+	Microbatches int
+	Schedule     string
+	// Predicted is the pipeline-parallel iteration makespan.
+	Predicted time.Duration
+	// DataParallel is the data-parallel prediction over the same GPU
+	// count (single machine, NVLink-class intra links).
+	DataParallel time.Duration
+	// Delta is the fractional improvement of the pipeline split over
+	// the data-parallel baseline (positive = pipeline faster).
+	Delta float64
+}
+
+// pipegridTopology is the data-parallel reference cluster for a stage
+// count: one machine, stages GPUs, PCIe-class intra links.
+func pipegridTopology(gpus int) comm.Topology {
+	return comm.Topology{
+		Machines:       1,
+		GPUsPerMachine: gpus,
+		NICBandwidth:   comm.Gbps(10),
+		IntraBandwidth: 11e9,
+		StepLatency:    15 * time.Microsecond,
+	}
+}
+
+// RunPipeGrid computes the pipeline partitioning grid for one model:
+// every (stages, microbatches, schedule) split plus one data-parallel
+// reference per stage count, all swept over the shared profile.
+func RunPipeGrid(modelName string) ([]PipeGridRow, time.Duration, []string, error) {
+	_, g, err := Profile(framework.Config{Model: model(modelName)})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	baseline, err := g.PredictIteration()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	var scenarios []sweep.Scenario
+	for _, s := range pipegridStages {
+		scenarios = append(scenarios, sweep.Scenario{
+			Name: fmt.Sprintf("dp-%dgpu", s),
+			Opt:  whatif.OptDistributed(whatif.DistributedOptions{Topology: pipegridTopology(s)}),
+		})
+		for _, m := range pipegridMicrobatches {
+			for _, sched := range pipegridSchedules {
+				scenarios = append(scenarios, sweep.Scenario{
+					Name: fmt.Sprintf("pipeline:%dx%d:%s", s, m, sched),
+					Opt: whatif.OptPipeline(whatif.PipelineOptions{
+						Stages: s, Microbatches: m, Schedule: sched,
+					}),
+				})
+			}
+		}
+	}
+	results, err := sweep.Run(g, scenarios)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	tiers := make([]string, len(results))
+	dp := make(map[int]time.Duration, len(pipegridStages))
+	var rows []PipeGridRow
+	i := 0
+	for _, s := range pipegridStages {
+		r := results[i]
+		tiers[i] = r.Tier
+		i++
+		if r.Err != nil {
+			return nil, 0, nil, fmt.Errorf("exp: pipegrid %s: %w", r.Name, r.Err)
+		}
+		dp[s] = r.Value
+		for _, m := range pipegridMicrobatches {
+			for _, sched := range pipegridSchedules {
+				r := results[i]
+				tiers[i] = r.Tier
+				i++
+				if r.Err != nil {
+					return nil, 0, nil, fmt.Errorf("exp: pipegrid %s: %w", r.Name, r.Err)
+				}
+				rows = append(rows, PipeGridRow{
+					Model:        modelName,
+					Stages:       s,
+					Microbatches: m,
+					Schedule:     sched,
+					Predicted:    r.Value,
+					DataParallel: dp[s],
+					Delta:        improvement(dp[s], r.Value),
+				})
+			}
+		}
+	}
+	return rows, baseline, tiers, nil
+}
+
+// PipeGrid renders the pipeline partitioning grid: one table per model,
+// each row's makespan against the data-parallel baseline over the same
+// GPU count, and the best split called out in the notes.
+func PipeGrid() ([]*Table, error) {
+	var tables []*Table
+	for _, name := range pipegridModels {
+		rows, baseline, tiers, err := RunPipeGrid(name)
+		if err != nil {
+			return nil, err
+		}
+		best := rows[0]
+		for _, r := range rows[1:] {
+			if r.Predicted < best.Predicted {
+				best = r
+			}
+		}
+		t := &Table{
+			ID:    "pipegrid",
+			Title: fmt.Sprintf("Pipeline partitioning grid on %s — stages × microbatches × schedule vs data-parallel (PipeDream's planning question as a sweep)", name),
+			Header: []string{
+				"Stages", "Microbatches", "Schedule",
+				"Pipeline (ms)", "Data-parallel (ms)", "Delta vs DP",
+			},
+			Notes: []string{
+				fmt.Sprintf("single-GPU baseline %s ms", ms(baseline)),
+				fmt.Sprintf("best split: %dx%d under %s at %s ms (%s vs %d-GPU data-parallel)",
+					best.Stages, best.Microbatches, best.Schedule, ms(best.Predicted),
+					pct(best.Delta), best.Stages),
+				fmt.Sprintf("sweep tiers: %s", tierCounts(tiers)),
+			},
+		}
+		for _, r := range rows {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", r.Stages),
+				fmt.Sprintf("%d", r.Microbatches),
+				r.Schedule,
+				ms(r.Predicted),
+				ms(r.DataParallel),
+				pct(r.Delta),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

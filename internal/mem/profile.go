@@ -127,6 +127,13 @@ func ComputeProfile(view core.TaskView, res *core.SimResult, ann *Annotation, me
 	if ann == nil {
 		return nil, fmt.Errorf("mem: ComputeProfile: nil annotation")
 	}
+	if res.Windowed() {
+		// The memory post-pass needs every producer/consumer start, but a
+		// round-windowed result retired most of them. Documented
+		// fallback: re-simulate the view unwindowed (ProfileOpt always
+		// does) — the memory timeline is inherently O(ID span) anyway.
+		return nil, fmt.Errorf("mem: ComputeProfile: %w", core.ErrWindowedResult)
+	}
 	if len(res.Start) < ann.span {
 		return nil, fmt.Errorf("mem: ComputeProfile: result spans %d task IDs but the annotation was built over %d; profile with a result simulated from the annotated baseline", len(res.Start), ann.span)
 	}

@@ -247,6 +247,47 @@ func TestServeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServePipelineStack drives a parameterized stack element over
+// HTTP: the pipeline what-if arrives as inline arguments in the opt
+// expression ("pipeline:SxM[:sched]"), rides the registry's ParseArg
+// hook, and simulates as a structural patch under its carried
+// scheduler — no server-side special-casing.
+func TestServePipelineStack(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	up := upload(t, hs, traceBytes(t, "resnet50", 1))
+	predictURL := hs.URL + "/v1/baselines/" + up.ID + "/predict"
+
+	var preds [2]PredictResponse
+	for i, expr := range []string{`{"opt":"pipeline:2x4"}`, `{"opt":"pipeline:2x4:gpipe"}`} {
+		resp, body := post(t, predictURL, []byte(expr))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %s: status %d, body %s", expr, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &preds[i]); err != nil {
+			t.Fatal(err)
+		}
+		if preds[i].Tier != "patch" {
+			t.Fatalf("pipeline predict tier = %q, want patch (clone-free)", preds[i].Tier)
+		}
+		if preds[i].ChangePct >= 0 {
+			t.Fatalf("2-stage pipeline should beat single-GPU resnet50, got %+.2f%%", preds[i].ChangePct)
+		}
+		if preds[i].Cached {
+			t.Fatalf("schedule variants must not share a cache key: %+v", preds[i])
+		}
+	}
+	if preds[0].Opt != "pipeline:2x4" || preds[1].Opt != "pipeline:2x4:gpipe" {
+		t.Fatalf("inline args lost in echo: %q, %q", preds[0].Opt, preds[1].Opt)
+	}
+
+	// A malformed inline grid fails the request up front, like any
+	// other parse error.
+	resp, body := post(t, predictURL, []byte(`{"opt":"pipeline:2x"}`))
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusBadRequest || ae.Kind != "bad-request" {
+		t.Fatalf("bad pipeline grid: %d %+v", resp.StatusCode, ae)
+	}
+}
+
 func TestServeClientErrors(t *testing.T) {
 	_, hs := testServer(t, Config{})
 	tr := traceBytes(t, "resnet50", 1)

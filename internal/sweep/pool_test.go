@@ -11,12 +11,14 @@ import (
 
 // singleTaskScenarios builds n sparse timing-only scenarios (one task's
 // duration nudged per scenario) — the shape the incremental tier is
-// built for.
+// built for. Targets come from the tail of the graph so the deltas'
+// affected cones stay small; front edits would correctly be routed to
+// overlay replay by the tier chooser's cone estimate.
 func singleTaskScenarios(g *core.Graph, n int) []Scenario {
 	tasks := g.Tasks()
 	scenarios := make([]Scenario, n)
 	for i := range scenarios {
-		u := tasks[i%len(tasks)]
+		u := tasks[len(tasks)-1-(i%len(tasks))]
 		delta := time.Duration(i+1) * time.Microsecond
 		scenarios[i] = Scenario{
 			ScaleTransform: func(o *core.Overlay) error {

@@ -335,8 +335,13 @@ func (w *worker) simTimingOnly(base *core.Graph, hasSched bool, simOpts []core.S
 	// same goes for a dense delta (one past the overlay's dense-storage
 	// crossover, e.g. AMP rescaling half the graph): its affected cone
 	// is the whole schedule, so it rides the overlay path and neither
-	// arms nor consumes warm state.
-	if !hasSched && !w.patch.Timing().DenseEdits() {
+	// arms nor consumes warm state. A sparse delta can have the same
+	// shape — a few edits at the very front of the iteration invalidate
+	// almost the whole warm schedule — so the estimated cone is checked
+	// too: near-total cones (over ~3/4 of the span) take the overlay
+	// replay instead of arming warm state their re-simulation could not
+	// profit from.
+	if !hasSched && !w.patch.Timing().DenseEdits() && !nearTotalCone(w.patch.Timing()) {
 		if w.incr == nil || w.incr.Baseline() != base {
 			if w.incrBase != base {
 				w.incrBase = base
@@ -357,6 +362,15 @@ func (w *worker) simTimingOnly(base *core.Graph, hasSched bool, simOpts []core.S
 	}
 	res, err := w.patch.Simulate(simOpts...)
 	return res, TierOverlay, err
+}
+
+// nearTotalCone reports whether the overlay delta's estimated affected
+// cone covers more than ~3/4 of the baseline's task span — the
+// tier-chooser threshold past which incremental re-simulation is
+// expected to recompute nearly everything and overlay replay wins.
+func nearTotalCone(o *core.Overlay) bool {
+	cone, total := o.EstimateConeSize()
+	return total > 0 && cone*4 > total*3
 }
 
 // Run executes every scenario against the shared baseline (or the

@@ -718,6 +718,42 @@ func TestSweepStackedOptRace(t *testing.T) {
 // the dispatch treats it as a genuinely custom scheduler.
 type wrappedEarliest struct{ core.EarliestStart }
 
+// TestSweepNearTotalConeTakesOverlay pins the tier chooser's cone
+// estimate: a sparse delta touching the very front of the iteration
+// invalidates almost the whole warm schedule, so the battery must ride
+// the overlay replay on every row — never arming the incremental tier —
+// while the same battery editing the tail keeps riding incremental.
+func TestSweepNearTotalConeTakesOverlay(t *testing.T) {
+	g := testGraph(40)
+	edit := func(name string, pick func(ks []*core.Task) *core.Task, d time.Duration) Scenario {
+		return Scenario{Name: name, ScaleTransform: func(o *core.Overlay) error {
+			o.SetDuration(pick(o.Base().Select(core.OnGPUPred)), d)
+			return nil
+		}}
+	}
+	head := func(ks []*core.Task) *core.Task { return ks[0] }
+	tail := func(ks []*core.Task) *core.Task { return ks[len(ks)-1] }
+	results, err := Run(g, []Scenario{
+		edit("front-a", head, 40*time.Microsecond),
+		edit("front-b", head, 80*time.Microsecond),
+		edit("front-c", head, 120*time.Microsecond),
+		edit("tail-warmup", tail, 40*time.Microsecond),
+		edit("tail-incr", tail, 80*time.Microsecond),
+	}, Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTiers := []string{TierOverlay, TierOverlay, TierOverlay, TierOverlay, TierIncremental}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("scenario %q: %v", r.Name, r.Err)
+		}
+		if r.Tier != wantTiers[i] {
+			t.Errorf("scenario %q: tier %q, want %q", r.Name, r.Tier, wantTiers[i])
+		}
+	}
+}
+
 // TestSweepTierDispatch pins the Tier reported for every dispatch path
 // and checks the incremental tier's values stay bit-identical to the
 // sequential cold evaluation. Workers(1) makes the worker-local warm-up

@@ -36,6 +36,10 @@ type OptParams struct {
 	ReconBatchnorm ReconBatchnormOptions
 	// Rounds is the P3 steady-state iteration count (minimum 2).
 	Rounds int
+	// Pipeline configures the pipeline-parallel what-if; zero values
+	// select its defaults (2 stages × 4 microbatches, 1F1B). Stack
+	// expressions override it inline: "pipeline:4x8:gpipe".
+	Pipeline PipelineOptions
 }
 
 // OptSpec describes one registered optimization model: a stable name,
@@ -64,6 +68,11 @@ type OptSpec struct {
 	// Build constructs the optimization from the parameters, validating
 	// the fields it needs.
 	Build func(OptParams) (core.Optimization, error)
+	// ParseArg, when set, folds a stack-expression parameter into the
+	// build parameters: "pipeline:4x8" resolves the spec named
+	// "pipeline" and hands it "4x8". Specs without ParseArg reject
+	// parameterized elements.
+	ParseArg func(arg string, p OptParams) (OptParams, error)
 }
 
 // p3DefaultSlice is P3's default gradient slice size (the P3 paper's
@@ -165,6 +174,23 @@ var registry = []OptSpec{
 		},
 	},
 	{
+		Name:      "pipeline",
+		Summary:   "pipeline parallelism: layer stages on distinct accelerators, microbatched 1F1B or GPipe schedule",
+		Params:    "stages x microbatches and schedule, inline as pipeline:SxM[:1f1b|gpipe]",
+		Footprint: core.Structural,
+		Build: func(p OptParams) (core.Optimization, error) {
+			return OptPipeline(p.Pipeline), nil
+		},
+		ParseArg: func(arg string, p OptParams) (OptParams, error) {
+			opts, err := ParsePipelineArg(arg)
+			if err != nil {
+				return p, err
+			}
+			p.Pipeline = opts
+			return p, nil
+		},
+	},
+	{
 		Name:         "upgrade",
 		Summary:      "move the workload to a different accelerator",
 		Params:       "from/to device names",
@@ -256,10 +282,14 @@ func ParseStack(expr string, p OptParams) (core.Optimization, error) {
 	opts := make([]core.Optimization, 0, len(parts))
 	seen := make(map[string]bool, len(parts))
 	for _, part := range parts {
-		name := strings.TrimSpace(part)
-		if name == "" {
+		elem := strings.TrimSpace(part)
+		if elem == "" {
 			return nil, fmt.Errorf("whatif: empty element in optimization expression %q", expr)
 		}
+		// An element may carry an inline parameter after the first ':'
+		// ("pipeline:4x8:gpipe" → spec "pipeline", argument "4x8:gpipe").
+		name, arg, _ := strings.Cut(elem, ":")
+		name = strings.TrimSpace(name)
 		if seen[name] {
 			return nil, fmt.Errorf("whatif: duplicate optimization %q in expression %q (each model may appear once; applying it twice would double its effect)", name, expr)
 		}
@@ -271,7 +301,17 @@ func ParseStack(expr string, p OptParams) (core.Optimization, error) {
 			// registry docs, so the rejection is the documentation.
 			return nil, fmt.Errorf("whatif: unknown optimization %q in expression %q (known: %s)", name, expr, registeredNames())
 		}
-		opt, err := s.Build(p)
+		bp := p
+		if arg != "" {
+			if s.ParseArg == nil {
+				return nil, fmt.Errorf("whatif: optimization %q takes no inline parameter (got %q in expression %q)", name, arg, expr)
+			}
+			var err error
+			if bp, err = s.ParseArg(arg, bp); err != nil {
+				return nil, err
+			}
+		}
+		opt, err := s.Build(bp)
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,7 @@ func TestRegistryNamesAndFootprints(t *testing.T) {
 		"gist":            core.Structural,
 		"distributed":     core.Structural,
 		"p3":              core.Structural,
+		"pipeline":        core.Structural,
 		"upgrade":         core.TimingOnly,
 		"kprofile":        core.TimingOnly,
 		"scale":           core.TimingOnly,
